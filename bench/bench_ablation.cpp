@@ -1,0 +1,152 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   A1 — RE candidate filtering: right-closed sets vs all subsets (same
+//        output, the diagram-based filter is what makes RE scale in |Σ|),
+//   A2 — labeling decider: backtracking vs CNF+CDCL as instances grow (the
+//        crossover that justifies keeping both),
+//   A3 — lift evaluation: implicit ∀/∃ checks vs materialized membership.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/graph/generators.hpp"
+#include "src/lift/lift.hpp"
+#include "src/problems/classic.hpp"
+#include "src/problems/matching_family.hpp"
+#include "src/re/round_elimination.hpp"
+#include "src/solver/cnf_encoding.hpp"
+#include "src/solver/edge_labeling.hpp"
+#include "src/util/combinatorics.hpp"
+#include "src/util/rng.hpp"
+
+namespace slocal {
+namespace {
+
+void print_header() {
+  std::printf(
+      "\nAblations: A1 RE candidate filter, A2 solver backend, A3 lift eval\n\n");
+}
+
+void BM_A1_re_right_closed(benchmark::State& state) {
+  const Problem pi = make_matching_problem(static_cast<std::size_t>(state.range(0)), 0, 1);
+  REOptions options;
+  options.max_configurations = 10'000'000;
+  options.right_closed_candidates = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(round_eliminate(pi, options));
+  }
+}
+BENCHMARK(BM_A1_re_right_closed)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_A1_re_all_subsets(benchmark::State& state) {
+  const Problem pi = make_matching_problem(static_cast<std::size_t>(state.range(0)), 0, 1);
+  REOptions options;
+  options.max_configurations = 10'000'000;
+  options.right_closed_candidates = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(round_eliminate(pi, options));
+  }
+}
+BENCHMARK(BM_A1_re_all_subsets)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_A2_backtracking(benchmark::State& state) {
+  const std::size_t half = static_cast<std::size_t>(state.range(0));
+  const BipartiteGraph g = make_bipartite_cycle(half);
+  const Problem mm = make_maximal_matching_problem(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_bipartite_labeling(g, mm));
+  }
+}
+BENCHMARK(BM_A2_backtracking)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_A2_cdcl(benchmark::State& state) {
+  const std::size_t half = static_cast<std::size_t>(state.range(0));
+  const BipartiteGraph g = make_bipartite_cycle(half);
+  const Problem mm = make_maximal_matching_problem(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_bipartite_labeling_sat(g, mm));
+  }
+}
+BENCHMARK(BM_A2_cdcl)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_A2_unsat_backtracking(benchmark::State& state) {
+  // Unsolvable instance (lift at the miniature contradiction scale):
+  // refutation is where CDCL pulls ahead.
+  const Problem pi = make_matching_problem(2, 0, 1);
+  const LiftedProblem lift(pi, static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(0)));
+  const auto lifted = lift.materialize();
+  const BipartiteGraph support = make_complete_bipartite(
+      static_cast<std::size_t>(state.range(0)), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    bool exhausted = false;
+    LabelingOptions options;
+    options.node_budget = 20'000'000;
+    benchmark::DoNotOptimize(
+        solve_bipartite_labeling(support, *lifted, options, &exhausted));
+  }
+}
+BENCHMARK(BM_A2_unsat_backtracking)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_A2_unsat_cdcl(benchmark::State& state) {
+  const Problem pi = make_matching_problem(2, 0, 1);
+  const LiftedProblem lift(pi, static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(0)));
+  const auto lifted = lift.materialize();
+  const BipartiteGraph support = make_complete_bipartite(
+      static_cast<std::size_t>(state.range(0)), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_bipartite_labeling_sat(support, *lifted));
+  }
+}
+BENCHMARK(BM_A2_unsat_cdcl)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_A3_lift_implicit(benchmark::State& state) {
+  const Problem pi = make_matching_problem(3, 1, 1);
+  const std::size_t big_delta = static_cast<std::size_t>(state.range(0));
+  const LiftedProblem lift(pi, big_delta, 3);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for_each_multiset(lift.label_sets().size(), big_delta,
+                      [&](const std::vector<std::size_t>& pick) {
+                        if (lift.white_ok(pick)) ++count;
+                        return true;
+                      });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_A3_lift_implicit)->Arg(5)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_A3_lift_materialized_lookup(benchmark::State& state) {
+  const Problem pi = make_matching_problem(3, 1, 1);
+  const std::size_t big_delta = static_cast<std::size_t>(state.range(0));
+  const LiftedProblem lift(pi, big_delta, 3);
+  const auto explicit_problem = lift.materialize();
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for_each_multiset(lift.label_sets().size(), big_delta,
+                      [&](const std::vector<std::size_t>& pick) {
+                        std::vector<Label> labels;
+                        labels.reserve(pick.size());
+                        for (const std::size_t p : pick) {
+                          labels.push_back(static_cast<Label>(p));
+                        }
+                        if (explicit_problem->white().contains(
+                                Configuration(std::move(labels)))) {
+                          ++count;
+                        }
+                        return true;
+                      });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_A3_lift_materialized_lookup)->Arg(5)->Arg(7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace slocal
+
+int main(int argc, char** argv) {
+  slocal::print_header();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Experiment E8 — the Lemma 2.1 substrate: generated Δ-regular graphs vs
+// the lemma's girth and independence guarantees.
+//
+// girth(G) should track ε·log_Δ(n) and α(G) should track α·n·logΔ/Δ; the
+// table reports measured values next to the reference curves.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+#include "src/graph/transforms.hpp"
+#include "src/util/rng.hpp"
+
+namespace slocal {
+namespace {
+
+void print_table() {
+  std::printf(
+      "\nE8  Lemma 2.1 substitute: random Δ-regular graphs (best-of-k + swaps)\n"
+      "%6s %3s | %6s %10s | %8s %12s | %9s\n",
+      "n", "Δ", "girth", "log_Δ(n)", "α(G)", "n·logΔ/Δ", "χ >= n/α");
+  Rng rng(20240706);
+  for (const auto [n, delta] : {std::pair<std::size_t, std::size_t>{50, 4},
+                                {100, 4},
+                                {200, 4},
+                                {100, 6},
+                                {200, 6},
+                                {100, 8}}) {
+    const auto g = random_regular_high_girth(n, delta, rng, 6);
+    if (!g) continue;
+    const auto gg = girth(*g);
+    const auto alpha_exact = independence_number_exact(*g, 80'000'000);
+    const std::size_t alpha =
+        alpha_exact ? *alpha_exact : independence_number_greedy(*g);
+    const double logd_n = std::log2(static_cast<double>(n)) /
+                          std::log2(static_cast<double>(delta));
+    const double alon = static_cast<double>(n) *
+                        std::log2(static_cast<double>(delta)) /
+                        static_cast<double>(delta);
+    std::printf("%6zu %3zu | %6zu %10.2f | %7zu%s %12.1f | %9zu\n", n, delta,
+                gg.value_or(0), logd_n, alpha, alpha_exact ? " " : "~",
+                alon, chromatic_lower_bound_from_independence(n, alpha));
+  }
+  std::printf("  (~ marks greedy lower bound where exact search exceeded budget)\n\n");
+}
+
+void BM_random_regular(benchmark::State& state) {
+  Rng rng(1);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_regular(n, 4, rng));
+  }
+}
+BENCHMARK(BM_random_regular)->Arg(100)->Arg(400)->Arg(1600)->Unit(benchmark::kMicrosecond);
+
+void BM_girth(benchmark::State& state) {
+  Rng rng(2);
+  const auto g = random_regular(static_cast<std::size_t>(state.range(0)), 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(girth(*g));
+  }
+}
+BENCHMARK(BM_girth)->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+
+void BM_independence_greedy(benchmark::State& state) {
+  Rng rng(3);
+  const auto g = random_regular(static_cast<std::size_t>(state.range(0)), 6, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(independence_number_greedy(*g));
+  }
+}
+BENCHMARK(BM_independence_greedy)->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+
+void BM_double_cover(benchmark::State& state) {
+  Rng rng(4);
+  const auto g = random_regular(static_cast<std::size_t>(state.range(0)), 6, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bipartite_double_cover(*g));
+  }
+}
+BENCHMARK(BM_double_cover)->Arg(200)->Arg(800)->Unit(benchmark::kMicrosecond);
+
+void BM_linear_hypergraph(benchmark::State& state) {
+  Rng rng(5);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_regular_linear_hypergraph(n, 2, 3, rng));
+  }
+}
+BENCHMARK(BM_linear_hypergraph)->Arg(30)->Arg(90)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace slocal
+
+int main(int argc, char** argv) {
+  slocal::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

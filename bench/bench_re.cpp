@@ -1,0 +1,122 @@
+// Experiment E2 — the round elimination engine: Lemma 4.5 steps, Lemma 5.4
+// fixed points, and engine scaling in Δ and |Σ|.
+//
+// Prints the per-step verification table (RE alphabet/constraint sizes and
+// whether the relaxation witness was found) that underlies Corollary 4.6's
+// lower-bound sequences; then times RE itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/formalism/relaxation.hpp"
+#include "src/problems/classic.hpp"
+#include "src/problems/coloring_family.hpp"
+#include "src/problems/matching_family.hpp"
+#include "src/re/round_elimination.hpp"
+#include "src/re/sequence.hpp"
+
+namespace slocal {
+namespace {
+
+void print_table() {
+  std::printf(
+      "\nE2  round elimination steps (Lemma 4.5: Π_Δ(x+y,y) relaxes RE(Π_Δ(x,y)))\n"
+      "%3s %3s %3s | %8s %6s %6s | %10s\n",
+      "Δ", "x", "y", "|Σ(RE)|", "|W|", "|B|", "relaxation");
+  REOptions options;
+  options.max_configurations = 5'000'000;
+  for (const auto [delta, x, y] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{4, 0, 1},
+        {4, 1, 1},
+        {4, 2, 1},
+        {5, 0, 1},
+        {5, 1, 1},
+        {5, 1, 2}}) {
+    const Problem pi = make_matching_problem(delta, x, y);
+    const auto re = round_eliminate(pi, options);
+    if (!re) {
+      std::printf("%3zu %3zu %3zu | (resource cap exceeded)\n", delta, x, y);
+      continue;
+    }
+    const Problem relaxed = make_matching_problem(delta, x + y, y);
+    const bool ok = relaxation_label_map(*re, relaxed).has_value() ||
+                    find_relaxation(*re, relaxed, 20'000'000).has_value();
+    std::printf("%3zu %3zu %3zu | %8zu %6zu %6zu | %10s\n", delta, x, y,
+                re->alphabet_size(), re->white().size(), re->black().size(),
+                ok ? "verified" : "MISSING");
+  }
+
+  std::printf(
+      "\nE2b fixed points (Lemma 5.4: RE(Π_Δ(k)) = Π_Δ(k) for k <= Δ)\n"
+      "%3s %3s | %11s\n",
+      "Δ", "k", "fixed point");
+  for (const auto [delta, k] : {std::pair<std::size_t, std::size_t>{3, 2},
+                                {4, 2},
+                                {3, 3},
+                                {4, 3},
+                                {5, 2}}) {
+    const Problem pi = make_coloring_problem(delta, k);
+    std::printf("%3zu %3zu | %11s\n", delta, k,
+                is_fixed_point(pi) ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nE2c sinkless orientation chain: RE(SO) = SO' and RE(SO') = SO'\n");
+  for (const std::size_t delta : {3u, 4u, 5u}) {
+    const Problem so = make_sinkless_orientation_problem(delta);
+    const auto so_prime = round_eliminate(so);
+    std::printf("  Δ=%zu: RE(SO) computed=%s, SO' fixed point=%s\n", delta,
+                so_prime ? "yes" : "no",
+                so_prime && is_fixed_point(*so_prime) ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_re_matching(benchmark::State& state) {
+  const std::size_t delta = static_cast<std::size_t>(state.range(0));
+  const Problem pi = make_matching_problem(delta, 0, 1);
+  REOptions options;
+  options.max_configurations = 10'000'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(round_eliminate(pi, options));
+  }
+}
+BENCHMARK(BM_re_matching)->Arg(3)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_re_coloring_fixed_point(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const Problem pi = make_coloring_problem(4, k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_fixed_point(pi));
+  }
+}
+BENCHMARK(BM_re_coloring_fixed_point)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_re_half_step(benchmark::State& state) {
+  const std::size_t delta = static_cast<std::size_t>(state.range(0));
+  const Problem so = make_sinkless_orientation_problem(delta);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apply_R(so));
+  }
+}
+BENCHMARK(BM_re_half_step)->Arg(3)->Arg(6)->Arg(9)->Unit(benchmark::kMicrosecond);
+
+void BM_sequence_verification(benchmark::State& state) {
+  const auto problems = matching_lower_bound_sequence(4, 0, 1, 2);
+  REOptions options;
+  options.max_configurations = 5'000'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_lower_bound_sequence(problems, options));
+  }
+}
+BENCHMARK(BM_sequence_verification)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace slocal
+
+int main(int argc, char** argv) {
+  slocal::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Experiment E4 — Theorem 6.1 / 1.7: α-arbdefective c-colored β-ruling sets.
+//
+// Table 1: the Π_Δ(c,β) family — alphabet sizes and the Figure 2 diagram
+// relations. Table 2: the lower-bound formula sweep over β. Table 3: the
+// Supported (2,β)-ruling-set algorithm's measured rounds (UB shape ~ χ_G·β).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/bounds/formulas.hpp"
+#include "src/formalism/diagram.hpp"
+#include "src/graph/generators.hpp"
+#include "src/problems/rulingset_family.hpp"
+#include "src/problems/verifiers.hpp"
+#include "src/sim/algorithms.hpp"
+#include "src/sim/network.hpp"
+#include "src/util/rng.hpp"
+
+namespace slocal {
+namespace {
+
+void print_tables() {
+  std::printf(
+      "\nE4a Π_Δ(c,β) family (Definition 6.2) and Figure 2 diagram relations\n"
+      "%3s %3s %3s | %5s %6s %6s | %18s\n",
+      "Δ", "c", "β", "|Σ|", "|W|", "|B|", "P_β>=P_i, U_β>=P_i");
+  for (const auto [delta, c, beta] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{4, 2, 1},
+        {4, 2, 2},
+        {4, 3, 2},
+        {5, 2, 3}}) {
+    const Problem pi = make_rulingset_problem(delta, c, beta);
+    const Diagram d(pi.black(), pi.alphabet_size());
+    bool relations = true;
+    for (std::size_t i = 1; i < beta; ++i) {
+      relations = relations &&
+                  d.at_least_as_strong(*pointer_label(pi, beta), *pointer_label(pi, i)) &&
+                  d.at_least_as_strong(*up_label(pi, beta), *pointer_label(pi, i));
+    }
+    relations = relations &&
+                d.at_least_as_strong(*up_label(pi, beta), *pointer_label(pi, beta));
+    std::printf("%3zu %3zu %3zu | %5zu %6zu %6zu | %18s\n", delta, c, beta,
+                pi.alphabet_size(), pi.white().size(), pi.black().size(),
+                relations ? "verified" : "VIOLATED");
+  }
+
+  std::printf(
+      "\nE4b lower-bound formula sweep (Theorem 6.1, n = 1e9, Δ = Δ'logΔ')\n"
+      "%4s %3s %3s %3s | %8s | %10s %10s | %10s\n",
+      "Δ'", "α", "c", "β", "Δ̄", "LB det", "LB rand", "UB (known)");
+  for (const std::size_t beta : {1u, 2u, 3u}) {
+    for (const std::size_t delta_prime : {64u, 256u, 1024u}) {
+      const std::size_t delta = delta_prime * 10;
+      const auto b = rulingset_lower_bound(0, 1, beta, delta_prime, delta, 1e9);
+      std::printf("%4zu %3u %3u %3zu | %8.1f | %10.2f %10.2f | %10.2f\n",
+                  delta_prime, 0, 1, beta, b.delta_bar, b.det_rounds,
+                  b.rand_rounds, b.upper_rounds);
+    }
+  }
+
+  std::printf(
+      "\nE4c Supported (2,β)-ruling set: measured rounds (UB shape χ_G·β)\n"
+      "%5s %3s %3s | %6s %6s | %6s\n",
+      "n", "Δ", "β", "valid", "isMIS", "rounds");
+  for (const std::size_t beta : {1u, 2u, 3u}) {
+    Rng rng(31 + beta);
+    const auto g = random_regular(60, 4, rng);
+    if (!g) continue;
+    const std::vector<bool> input(g->edge_count(), true);
+    Network net(*g, input);
+    BetaRulingSet alg(beta);
+    const auto result = net.run(alg, 4000);
+    const bool valid = is_beta_ruling_set(*g, alg.in_set(), beta);
+    const bool mis = beta == 1 && is_mis(*g, alg.in_set());
+    std::printf("%5u %3u %3zu | %6s %6s | %6zu\n", 60, 4, beta,
+                valid ? "yes" : "NO", beta == 1 ? (mis ? "yes" : "NO") : "-",
+                result.rounds);
+  }
+  std::printf("\n");
+}
+
+void BM_build_rulingset_problem(benchmark::State& state) {
+  const std::size_t beta = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_rulingset_problem(5, 3, beta));
+  }
+}
+BENCHMARK(BM_build_rulingset_problem)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_rulingset_diagram(benchmark::State& state) {
+  const Problem pi = make_rulingset_problem(4, 3, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Diagram(pi.black(), pi.alphabet_size()));
+  }
+}
+BENCHMARK(BM_rulingset_diagram)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+void BM_beta_ruling_set_run(benchmark::State& state) {
+  const std::size_t beta = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const auto g = random_regular(80, 4, rng);
+  const std::vector<bool> input(g->edge_count(), true);
+  for (auto _ : state) {
+    Network net(*g, input);
+    BetaRulingSet alg(beta);
+    benchmark::DoNotOptimize(net.run(alg, 4000));
+  }
+}
+BENCHMARK(BM_beta_ruling_set_run)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace slocal
+
+int main(int argc, char** argv) {
+  slocal::print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Simulator substrate benchmarks: raw round-execution throughput and the
+// measured round complexities of every Supported-model algorithm on common
+// support families (the numbers the experiment tables cite).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+#include "src/graph/transforms.hpp"
+#include "src/problems/verifiers.hpp"
+#include "src/sim/algorithms.hpp"
+#include "src/sim/network.hpp"
+#include "src/sim/supported.hpp"
+#include "src/util/rng.hpp"
+
+namespace slocal {
+namespace {
+
+void print_table() {
+  std::printf(
+      "\nSimulator: measured Supported-model round complexities\n"
+      "%22s %6s %3s | %8s | %6s\n",
+      "algorithm", "n", "Δ", "rounds", "valid");
+  Rng rng(123);
+  const auto g = random_regular(200, 6, rng);
+  if (!g) return;
+  const std::vector<bool> input(g->edge_count(), true);
+  {
+    Network net(*g, input);
+    ColorClassMis alg;
+    const auto r = net.run(alg);
+    std::printf("%22s %6zu %3zu | %8zu | %6s\n", "color-class MIS",
+                g->node_count(), g->max_degree(), r.rounds,
+                is_mis(*g, alg.in_mis()) ? "yes" : "NO");
+  }
+  {
+    Network net(*g, input);
+    ArbdefectiveColoring alg(3);
+    const auto r = net.run(alg);
+    const bool ok = is_arbdefective_coloring(*g, alg.colors(), alg.edge_tails(net),
+                                             g->max_degree() / 3, 3);
+    std::printf("%22s %6zu %3zu | %8zu | %6s\n", "arbdefective (c=3)",
+                g->node_count(), g->max_degree(), r.rounds, ok ? "yes" : "NO");
+  }
+  for (const std::size_t beta : {1u, 2u}) {
+    Network net(*g, input);
+    BetaRulingSet alg(beta);
+    const auto r = net.run(alg, 5000);
+    char name[32];
+    std::snprintf(name, sizeof(name), "(2,%zu)-ruling set", beta);
+    std::printf("%22s %6zu %3zu | %8zu | %6s\n", name, g->node_count(),
+                g->max_degree(), r.rounds,
+                is_beta_ruling_set(*g, alg.in_set(), beta) ? "yes" : "NO");
+  }
+  {
+    const BipartiteGraph cover = bipartite_double_cover(*g);
+    const Graph support = cover.to_graph();
+    const std::vector<bool> all(support.edge_count(), true);
+    Network net(support, all);
+    std::vector<std::int32_t> colors(support.node_count(), 0);
+    for (std::size_t v = cover.white_count(); v < support.node_count(); ++v) {
+      colors[v] = 1;
+    }
+    net.set_colors(colors);
+    ProposalMatching alg;
+    const auto r = net.run(alg, 500);
+    const auto matched = alg.matched_edges(net);
+    std::printf("%22s %6zu %3zu | %8zu | %6s\n", "proposal matching",
+                support.node_count(), support.max_degree(), r.rounds,
+                is_maximal_matching(support, matched) ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_round_throughput(benchmark::State& state) {
+  // A do-nothing algorithm running for a fixed number of rounds: measures
+  // the simulator's message-routing overhead.
+  class Spin : public Algorithm {
+   public:
+    void on_start(const NodeContext&, std::vector<Message>& out, bool&) override {
+      for (auto& m : out) m = {1};
+    }
+    void on_round(const NodeContext&, std::size_t round, const std::vector<Message>&,
+                  std::vector<Message>& out, bool& halt) override {
+      for (auto& m : out) m = {static_cast<std::int64_t>(round)};
+      halt = round >= 50;
+    }
+  };
+  Rng rng(1);
+  const auto g = random_regular(static_cast<std::size_t>(state.range(0)), 6, rng);
+  for (auto _ : state) {
+    Network net(*g);
+    Spin alg;
+    benchmark::DoNotOptimize(net.run(alg, 100));
+  }
+  state.SetItemsProcessed(state.iterations() * 50 *
+                          static_cast<std::int64_t>(g->edge_count()) * 2);
+}
+BENCHMARK(BM_round_throughput)->Arg(100)->Arg(400)->Arg(1600)->Unit(benchmark::kMillisecond);
+
+void BM_supported_mis_scaling(benchmark::State& state) {
+  Rng rng(2);
+  const auto g = random_regular(static_cast<std::size_t>(state.range(0)), 6, rng);
+  const std::vector<bool> input(g->edge_count(), true);
+  for (auto _ : state) {
+    Network net(*g, input);
+    ColorClassMis alg;
+    benchmark::DoNotOptimize(net.run(alg));
+  }
+}
+BENCHMARK(BM_supported_mis_scaling)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+
+void BM_proposal_matching_scaling(benchmark::State& state) {
+  Rng rng(3);
+  const auto base = random_regular(static_cast<std::size_t>(state.range(0)), 4, rng);
+  const BipartiteGraph cover = bipartite_double_cover(*base);
+  const Graph support = cover.to_graph();
+  const std::vector<bool> input(support.edge_count(), true);
+  std::vector<std::int32_t> colors(support.node_count(), 0);
+  for (std::size_t v = cover.white_count(); v < support.node_count(); ++v) {
+    colors[v] = 1;
+  }
+  for (auto _ : state) {
+    Network net(support, input);
+    net.set_colors(colors);
+    ProposalMatching alg;
+    benchmark::DoNotOptimize(net.run(alg, 500));
+  }
+}
+BENCHMARK(BM_proposal_matching_scaling)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace slocal
+
+int main(int argc, char** argv) {
+  slocal::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// A complete Theorem 3.4 lower-bound certificate, assembled at miniature
+// scale for x-maximal y-matching (Section 4):
+//
+//   ingredient 1: a lower bound sequence (Corollary 4.6), verified by the
+//                 round elimination engine + relaxation search;
+//   ingredient 2: a support graph family (Lemma 2.1 substitute measured
+//                 for girth/independence, then double-covered);
+//   ingredient 3: unsolvability of lift(Π_k) on the support — certified
+//                 twice: by the Section 4.2 counting argument and by the
+//                 SAT solver on a concrete instance;
+//   output:       the Theorem 3.4 round lower bound.
+#include <cstdio>
+
+#include "src/bounds/counting.hpp"
+#include "src/bounds/formulas.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+#include "src/graph/transforms.hpp"
+#include "src/lift/lift.hpp"
+#include "src/problems/matching_family.hpp"
+#include "src/re/sequence.hpp"
+#include "src/solver/cnf_encoding.hpp"
+#include "src/util/rng.hpp"
+
+int main() {
+  using namespace slocal;
+
+  // Parameters: the smallest instance where everything is checkable.
+  const std::size_t delta_prime = 3, x = 0, y = 1;
+  const std::size_t k = matching_sequence_length(delta_prime, x, y);
+  std::printf("== Theorem 4.1 certificate (Δ'=%zu, x=%zu, y=%zu) ==\n",
+              delta_prime, x, y);
+  std::printf("sequence length k = floor((Δ'-x)/y) - 2 = %zu\n\n", k);
+
+  // Ingredient 1: the lower bound sequence Π_Δ'(x,y) ... Π_Δ'(x+ky,y).
+  std::printf("[1] verifying the lower bound sequence mechanically...\n");
+  const auto problems = matching_lower_bound_sequence(delta_prime, x, y, k);
+  REOptions options;
+  options.max_configurations = 5'000'000;
+  const auto report = verify_lower_bound_sequence(problems, options);
+  std::printf("%s\n", report.to_string().c_str());
+  if (!report.valid) return 1;
+
+  // Ingredient 2: the support family.
+  std::printf("[2] sampling the Lemma 2.1 substitute and double-covering...\n");
+  Rng rng(7);
+  const std::size_t delta = 5 * delta_prime;
+  const auto base = random_regular_high_girth(80, delta, rng, 4);
+  if (!base) return 1;
+  const BipartiteGraph cover = bipartite_double_cover(*base);
+  const auto gg = girth(cover);
+  std::printf("    support: %zu nodes, (%zu,%zu)-biregular, girth %zu\n\n",
+              cover.node_count(), delta, delta,
+              gg.value_or(0));
+
+  // Ingredient 3a: the counting certificate (works at every scale).
+  const std::size_t x_prime = delta_prime - 1 - y;
+  const auto cert = matching_counting_contradiction(delta, delta_prime, y);
+  std::printf("[3a] counting certificate at Δ=5Δ': P-edges per white node\n");
+  std::printf("     Lemma 4.8 lower bound %.1f > Lemma 4.9 upper bound %.1f : %s\n\n",
+              cert.p_lower, cert.p_upper,
+              cert.contradicts ? "CONTRADICTION (lift unsolvable)" : "no");
+
+  // Ingredient 3b: SAT confirmation at a directly checkable scale
+  // (Δ' = 2, Δ = 7 on K_{7,7}; the same mechanism, smaller numbers).
+  std::printf("[3b] SAT confirmation at miniature scale (Δ'=2, Δ=7, K_{7,7})...\n");
+  const Problem mini = make_matching_problem(2, 0, 1);
+  const LiftedProblem lift(mini, 7, 7);
+  const auto lifted = lift.materialize();
+  if (!lifted) return 1;
+  SatLabelingStats stats;
+  const auto solution =
+      solve_bipartite_labeling_sat(make_complete_bipartite(7, 7), *lifted, 0, &stats);
+  std::printf("     SAT verdict: %s (vars=%zu clauses=%zu conflicts=%llu)\n\n",
+              solution ? "SAT (!!)" : "UNSAT — certified",
+              stats.variables, stats.clauses,
+              static_cast<unsigned long long>(stats.conflicts));
+
+  // Output: the Theorem 3.4 bound.
+  const double det = theorem_3_4_deterministic(k, 0.5, 1.0, delta, delta,
+                                               static_cast<double>(cover.node_count()));
+  const double b2 = theorem_b2_bound(k, gg.value_or(4));
+  std::printf("[4] Theorem B.2 bound on this support: min{2k, (g-4)/2} = %.1f\n", b2);
+  std::printf("    Theorem 3.4 asymptotic form (eps=.5, c=1): %.2f rounds\n", det);
+  std::printf("    (for Θ(Δ')-scale bounds, grow Δ' and n together —\n"
+              "     see bench_matching for the sweep)\n");
+  return cert.contradicts && !solution ? 0 : 1;
+}

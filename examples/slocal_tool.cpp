@@ -1,0 +1,183 @@
+// slocal_tool — command-line front end to the framework, in the spirit of
+// the Round Eliminator: feed a problem in the paper's notation, inspect it,
+// speed it up, lift it, or decide solvability on a generated support.
+//
+// Problem file format: white configurations (one per line), a line "---",
+// black configurations (one per line). Tokens: NAME, NAME^k, [A B]^k.
+//
+//   slocal_tool print   <file>            parse + constraints + diagram DOT
+//   slocal_tool re      <file> [steps]    apply RE `steps` times (default 1)
+//   slocal_tool fixed   <file>            fixed-point check
+//   slocal_tool lift    <file> <Δ> <r>    materialize lift_{Δ,r}
+//   slocal_tool solve   <file> <support>  bipartite solvability on a support:
+//                                         cycle:<h> | complete:<a>x<b>
+//   slocal_tool zero    <file> <support>  0-round Supported-LOCAL decision
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "src/formalism/diagram.hpp"
+#include "src/formalism/parser.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/hypergraph.hpp"
+#include "src/lift/lift.hpp"
+#include "src/re/round_elimination.hpp"
+#include "src/solver/edge_labeling.hpp"
+#include "src/solver/zero_round.hpp"
+
+namespace {
+
+using namespace slocal;
+
+std::optional<Problem> load_problem(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const auto sep = text.find("---");
+  if (sep == std::string::npos) {
+    std::fprintf(stderr, "missing '---' separator in %s\n", path);
+    return std::nullopt;
+  }
+  ParseError error;
+  auto problem = parse_problem(path, text.substr(0, sep), text.substr(sep + 3), &error);
+  if (!problem) std::fprintf(stderr, "parse error: %s\n", error.message.c_str());
+  return problem;
+}
+
+std::optional<BipartiteGraph> load_support(const std::string& spec) {
+  if (spec.rfind("cycle:", 0) == 0) {
+    const std::size_t half = std::strtoul(spec.c_str() + 6, nullptr, 10);
+    if (half >= 2) return make_bipartite_cycle(half);
+  } else if (spec.rfind("complete:", 0) == 0) {
+    const char* body = spec.c_str() + 9;
+    char* end = nullptr;
+    const std::size_t a = std::strtoul(body, &end, 10);
+    if (end != nullptr && *end == 'x') {
+      const std::size_t b = std::strtoul(end + 1, nullptr, 10);
+      if (a >= 1 && b >= 1) return make_complete_bipartite(a, b);
+    }
+  }
+  if (spec == "petersen" || spec == "heawood" || spec == "mcgee" || spec == "fano") {
+    // Incidence graphs of the named cages / the Fano plane.
+    if (spec == "fano") return make_fano_plane().incidence_graph();
+    const Graph cage = spec == "petersen" ? make_petersen()
+                       : spec == "heawood" ? make_heawood()
+                                           : make_mcgee();
+    return Hypergraph::from_graph(cage).incidence_graph();
+  }
+  std::fprintf(stderr,
+               "bad support spec '%s' (want cycle:<h>, complete:<a>x<b>, "
+               "petersen, heawood, mcgee, or fano)\n",
+               spec.c_str());
+  return std::nullopt;
+}
+
+int cmd_print(const Problem& pi) {
+  std::printf("%s\n", format_problem(pi).c_str());
+  const Diagram black(pi.black(), pi.alphabet_size());
+  std::printf("black diagram:\n%s\n", black.to_dot(pi.registry()).c_str());
+  const Diagram white(pi.white(), pi.alphabet_size());
+  std::printf("white diagram:\n%s", white.to_dot(pi.registry()).c_str());
+  std::printf("\nright-closed sets of the black diagram: %zu\n",
+              black.right_closed_sets().size());
+  return 0;
+}
+
+int cmd_re(const Problem& pi, int steps) {
+  Problem current = pi;
+  REOptions options;
+  options.max_configurations = 5'000'000;
+  for (int s = 1; s <= steps; ++s) {
+    const auto next = round_eliminate(current, options);
+    if (!next) {
+      std::fprintf(stderr, "step %d: resource cap exceeded\n", s);
+      return 1;
+    }
+    current = *next;
+    std::printf("after %d step(s): |Sigma|=%zu |W|=%zu |B|=%zu\n", s,
+                current.alphabet_size(), current.white().size(),
+                current.black().size());
+  }
+  std::printf("\n%s", format_problem(current).c_str());
+  return 0;
+}
+
+int cmd_fixed(const Problem& pi) {
+  const bool fixed = is_fixed_point(pi);
+  std::printf("RE(Pi) %s Pi (up to renaming)\n", fixed ? "==" : "!=");
+  return fixed ? 0 : 2;
+}
+
+int cmd_lift(const Problem& pi, std::size_t big_delta, std::size_t big_r) {
+  if (big_delta < pi.white_degree() || big_r < pi.black_degree()) {
+    std::fprintf(stderr, "lift targets must dominate the problem degrees\n");
+    return 1;
+  }
+  const LiftedProblem lift(pi, big_delta, big_r);
+  std::printf("label-sets: %zu\n", lift.label_sets().size());
+  const auto materialized = lift.materialize();
+  if (!materialized) {
+    std::fprintf(stderr, "too large to materialize\n");
+    return 1;
+  }
+  std::printf("%s", format_problem(*materialized).c_str());
+  return 0;
+}
+
+int cmd_solve(const Problem& pi, const BipartiteGraph& support) {
+  const auto labels = solve_bipartite_labeling(support, pi);
+  if (!labels) {
+    std::printf("UNSOLVABLE on this support\n");
+    return 2;
+  }
+  std::printf("solution:");
+  for (const Label l : *labels) std::printf(" %s", pi.registry().name(l).c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_zero(const Problem& pi, const BipartiteGraph& support) {
+  ZeroRoundStats stats;
+  const bool exists = zero_round_white_algorithm_exists(support, pi, &stats);
+  std::printf("0-round Supported-LOCAL white algorithm: %s\n",
+              exists ? "EXISTS" : "does not exist");
+  std::printf("(cnf: %zu vars, %zu clauses, %zu black scenarios)\n", stats.variables,
+              stats.clauses, stats.black_scenarios);
+  return exists ? 0 : 2;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: slocal_tool print|re|fixed|lift|solve|zero <file> [args]\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const auto pi = load_problem(argv[2]);
+  if (!pi) return 1;
+  if (cmd == "print") return cmd_print(*pi);
+  if (cmd == "re") return cmd_re(*pi, argc > 3 ? std::atoi(argv[3]) : 1);
+  if (cmd == "fixed") return cmd_fixed(*pi);
+  if (cmd == "lift" && argc >= 5) {
+    return cmd_lift(*pi, std::strtoul(argv[3], nullptr, 10),
+                    std::strtoul(argv[4], nullptr, 10));
+  }
+  if ((cmd == "solve" || cmd == "zero") && argc >= 4) {
+    const auto support = load_support(argv[3]);
+    if (!support) return 1;
+    return cmd == "solve" ? cmd_solve(*pi, *support) : cmd_zero(*pi, *support);
+  }
+  return usage();
+}

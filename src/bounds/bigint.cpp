@@ -1,0 +1,116 @@
+#include "src/bounds/bigint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slocal {
+
+BigUint::BigUint(std::uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(value));
+    if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+  }
+}
+
+void BigUint::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::pow2(std::size_t exponent) {
+  BigUint out;
+  out.limbs_.assign(exponent / 32 + 1, 0);
+  out.limbs_.back() = std::uint32_t{1} << (exponent % 32);
+  return out;
+}
+
+BigUint BigUint::factorial(std::uint64_t n) {
+  BigUint out(1);
+  for (std::uint64_t i = 2; i <= n; ++i) out *= BigUint(i);
+  return out;
+}
+
+BigUint BigUint::operator+(const BigUint& o) const {
+  BigUint out;
+  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.assign(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::operator*(const BigUint& o) const {
+  if (is_zero() || o.is_zero()) return BigUint{};
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(limbs_[i]) * o.limbs_[j] +
+                                out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + o.limbs_.size();
+    while (carry != 0) {
+      const std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint& BigUint::operator*=(const BigUint& o) {
+  *this = *this * o;
+  return *this;
+}
+
+bool BigUint::operator<(const BigUint& o) const {
+  if (limbs_.size() != o.limbs_.size()) return limbs_.size() < o.limbs_.size();
+  for (std::size_t i = limbs_.size(); i > 0; --i) {
+    if (limbs_[i - 1] != o.limbs_[i - 1]) return limbs_[i - 1] < o.limbs_[i - 1];
+  }
+  return false;
+}
+
+std::size_t BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::string BigUint::to_string() const {
+  if (limbs_.empty()) return "0";
+  std::vector<std::uint32_t> work = limbs_;
+  std::string digits;
+  while (!work.empty()) {
+    // Divide by 10 in place.
+    std::uint64_t remainder = 0;
+    for (std::size_t i = work.size(); i > 0; --i) {
+      const std::uint64_t cur = (remainder << 32) | work[i - 1];
+      work[i - 1] = static_cast<std::uint32_t>(cur / 10);
+      remainder = cur % 10;
+    }
+    digits.push_back(static_cast<char>('0' + remainder));
+    while (!work.empty() && work.back() == 0) work.pop_back();
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+}  // namespace slocal

@@ -1,0 +1,45 @@
+// Minimal arbitrary-precision unsigned integer for the instance-counting
+// arguments of Appendix C.
+//
+// The derandomization lifting theorem bounds the number of Supported LOCAL
+// instances by 2^{C(n,2)} · n! · 2^{n²} and the paper claims this is at
+// most 2^{3n²}; verifying the claim exactly (experiment E7) needs integers
+// with thousands of bits, so we count for real instead of with doubles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slocal {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(std::uint64_t value);
+
+  static BigUint pow2(std::size_t exponent);
+  static BigUint factorial(std::uint64_t n);
+
+  BigUint operator+(const BigUint& o) const;
+  BigUint operator*(const BigUint& o) const;
+  BigUint& operator*=(const BigUint& o);
+
+  bool operator==(const BigUint& o) const { return limbs_ == o.limbs_; }
+  bool operator<(const BigUint& o) const;
+  bool operator<=(const BigUint& o) const { return *this < o || *this == o; }
+
+  bool is_zero() const { return limbs_.empty(); }
+
+  /// Number of bits (0 for zero); e.g. bit_length(2^k) = k+1.
+  std::size_t bit_length() const;
+
+  /// Decimal rendering (quadratic; fine for the sizes used here).
+  std::string to_string() const;
+
+ private:
+  void normalize();
+  std::vector<std::uint32_t> limbs_;  // little-endian base 2^32
+};
+
+}  // namespace slocal

@@ -1,0 +1,54 @@
+#include "src/bounds/counting.hpp"
+
+#include <cassert>
+
+namespace slocal {
+
+MatchingContradiction matching_counting_contradiction(std::size_t delta,
+                                                      std::size_t delta_prime,
+                                                      std::size_t y) {
+  MatchingContradiction out;
+  out.p_lower =
+      (static_cast<double>(delta) - static_cast<double>(delta_prime)) / 2.0 -
+      static_cast<double>(y);
+  out.p_upper = static_cast<double>(delta_prime) - 1.0;
+  out.contradicts = out.p_lower > out.p_upper;
+  return out;
+}
+
+std::size_t minimal_contradicting_multiplier(std::size_t delta_prime,
+                                             std::size_t y_max) {
+  for (std::size_t m = 2; m <= 64; ++m) {
+    bool all = true;
+    for (std::size_t y = 1; y <= y_max && all; ++y) {
+      all = matching_counting_contradiction(m * delta_prime, delta_prime, y)
+                .contradicts;
+    }
+    if (all) return m;
+  }
+  return 0;  // none within range
+}
+
+LabelSetCensus census_label_sets(const BipartiteGraph& g,
+                                 std::span<const SmallBitset> edge_sets,
+                                 Label m_label, Label p_label,
+                                 std::size_t delta, std::size_t delta_prime,
+                                 std::size_t y) {
+  assert(edge_sets.size() == g.edge_count());
+  LabelSetCensus out;
+  out.half_n = g.node_count() / 2;
+  for (const SmallBitset s : edge_sets) {
+    if (s.test(m_label)) ++out.edges_with_m;
+    if (s.test(p_label)) ++out.edges_with_p;
+  }
+  const double n = static_cast<double>(out.half_n);
+  const MatchingContradiction bounds =
+      matching_counting_contradiction(delta, delta_prime, y);
+  out.lemma_4_7_holds =
+      static_cast<double>(out.edges_with_m) <= n * static_cast<double>(y);
+  out.lemma_4_8_holds = static_cast<double>(out.edges_with_p) >= n * bounds.p_lower;
+  out.lemma_4_9_holds = static_cast<double>(out.edges_with_p) <= n * bounds.p_upper;
+  return out;
+}
+
+}  // namespace slocal

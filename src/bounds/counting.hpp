@@ -1,0 +1,59 @@
+// The counting certificates of Section 4.2 (Lemmas 4.7–4.9).
+//
+// Section 4.2 proves that lift_{Δ,Δ}(Π_Δ'(x', y)) admits no solution on the
+// double-cover support graphs by counting edges whose label-sets contain M
+// or P: white nodes force at least n((Δ-Δ')/2 - y) P-edges (Lemma 4.8)
+// while black nodes allow at most n(Δ'-1) (Lemma 4.9); at Δ = 5Δ' the two
+// bounds conflict. This module implements the lemmas both as
+//   * pure-parameter contradiction checks (does Δ, Δ', y certify
+//     unsolvability?), and
+//   * census checkers on explicit label-set assignments (count and verify
+//     the lemmas' inequalities on a candidate solution).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/formalism/label.hpp"
+#include "src/graph/bipartite.hpp"
+#include "src/util/bitset.hpp"
+
+namespace slocal {
+
+struct MatchingContradiction {
+  double p_lower = 0;      // Lemma 4.8: P-edges >= n((Δ-Δ')/2 - y)
+  double p_upper = 0;      // Lemma 4.9: P-edges <= n(Δ'-1)
+  bool contradicts = false;  // lower > upper  =>  lift unsolvable on G
+};
+
+/// Pure-parameter form: per Section 4.2 the counting bounds are
+/// (per n, where 2n = node count): lower = (Δ-Δ')/2 - y, upper = Δ' - 1.
+MatchingContradiction matching_counting_contradiction(std::size_t delta,
+                                                      std::size_t delta_prime,
+                                                      std::size_t y);
+
+/// The smallest integer multiplier m with Δ = m·Δ' making the bounds
+/// contradictory for all y <= y_max (Section 4.2 fixes m = 5).
+std::size_t minimal_contradicting_multiplier(std::size_t delta_prime,
+                                             std::size_t y_max);
+
+struct LabelSetCensus {
+  std::size_t edges_with_m = 0;  // label-sets containing M
+  std::size_t edges_with_p = 0;  // label-sets containing P
+  std::size_t half_n = 0;        // n where the graph has 2n nodes
+  bool lemma_4_7_holds = false;  // edges_with_m <= n*y
+  bool lemma_4_8_holds = false;  // edges_with_p >= n*((Δ-Δ')/2 - y)
+  bool lemma_4_9_holds = false;  // edges_with_p <= n*(Δ'-1)
+};
+
+/// Census of a candidate lifted labeling: `edge_sets[e]` is the label-set
+/// (bits over Π_Δ'(x',y)'s labels) on edge e of the (Δ,Δ)-biregular 2n-node
+/// support graph g. `m_label` / `p_label` are the M / P label indices.
+LabelSetCensus census_label_sets(const BipartiteGraph& g,
+                                 std::span<const SmallBitset> edge_sets,
+                                 Label m_label, Label p_label,
+                                 std::size_t delta, std::size_t delta_prime,
+                                 std::size_t y);
+
+}  // namespace slocal

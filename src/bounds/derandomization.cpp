@@ -1,0 +1,35 @@
+#include "src/bounds/derandomization.hpp"
+
+#include <cmath>
+
+namespace slocal {
+
+InstanceCount supported_instance_count(std::size_t n) {
+  InstanceCount out;
+  out.graphs = BigUint::pow2(n * (n - 1) / 2);
+  out.id_orders = BigUint::factorial(n);
+  out.inputs = BigUint::pow2(n * n);
+  out.total = out.graphs * out.id_orders * out.inputs;
+  out.total_bits = out.total.bit_length();
+  out.claimed_bits = 3 * n * n;
+  out.bound_holds = out.total <= BigUint::pow2(out.claimed_bits);
+  return out;
+}
+
+HypergraphInstanceCount hypergraph_instance_count(std::size_t n) {
+  HypergraphInstanceCount out;
+  const std::size_t log_n =
+      n <= 1 ? 1 : static_cast<std::size_t>(std::ceil(std::log2(static_cast<double>(n))));
+  const BigUint hypergraphs = BigUint::pow2(2 * n * n * log_n);
+  const BigUint ids = BigUint::factorial(n);
+  const BigUint inputs = BigUint::pow2(n * n * n);
+  out.total = hypergraphs * ids * inputs;
+  out.total_bits = out.total.bit_length();
+  out.claimed_bits = 4 * n * n * n;
+  out.bound_holds = out.total <= BigUint::pow2(out.claimed_bits);
+  return out;
+}
+
+std::size_t randomized_instance_exponent(std::size_t n) { return 3 * n * n; }
+
+}  // namespace slocal

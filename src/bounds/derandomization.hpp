@@ -1,0 +1,45 @@
+// Appendix C: the derandomization lifting theorem for Supported LOCAL.
+//
+// Lemma C.2 bounds the number of n-node Supported LOCAL instances by
+//   |G| <= 2^{C(n,2)} · n! · 2^{n²} <= 2^{3n²}
+// (graphs × canonical id assignments × input-edge markings) and concludes
+// D_Π(n) <= R_Π(2^{3n²}). Theorem C.3 does the same for linear hypergraphs
+// with bound 2^{4n³}. This module computes the exact counts with BigUint
+// and checks the paper's closed-form bounds.
+#pragma once
+
+#include <cstddef>
+
+#include "src/bounds/bigint.hpp"
+
+namespace slocal {
+
+struct InstanceCount {
+  BigUint graphs;        // 2^{C(n,2)}
+  BigUint id_orders;     // n!
+  BigUint inputs;        // 2^{n²}
+  BigUint total;         // product
+  std::size_t total_bits = 0;     // bit length of the product
+  std::size_t claimed_bits = 0;   // 3n² (the paper's exponent)
+  bool bound_holds = false;       // total <= 2^{3n²}
+};
+
+/// Exact Supported LOCAL instance count for n-node supports (Lemma C.2).
+InstanceCount supported_instance_count(std::size_t n);
+
+struct HypergraphInstanceCount {
+  BigUint total;                 // 2^{2n²·ceil(log n)} · n! · 2^{n³}
+  std::size_t total_bits = 0;
+  std::size_t claimed_bits = 0;  // 4n³
+  bool bound_holds = false;      // total <= 2^{4n³}
+};
+
+/// Linear-hypergraph instance count (Theorem C.3).
+HypergraphInstanceCount hypergraph_instance_count(std::size_t n);
+
+/// The lifting statement D(n) <= R(N) instantiated: the randomized instance
+/// size N = 2^{3n²} at which a failure probability 1/N leaves room for a
+/// union bound over all n-node instances. Returns the bit length of N.
+std::size_t randomized_instance_exponent(std::size_t n);
+
+}  // namespace slocal

@@ -1,0 +1,87 @@
+#include "src/bounds/formulas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slocal {
+
+namespace {
+
+double log_base(double base, double x) { return std::log(x) / std::log(base); }
+
+}  // namespace
+
+double theorem_3_4_deterministic(std::size_t k, double epsilon, double c,
+                                 std::size_t delta, std::size_t r, double n) {
+  const double base = static_cast<double>(delta) * static_cast<double>(r);
+  const double girth_term = (epsilon * (log_base(base, n) - c) - 4.0) / 2.0;
+  return std::min(2.0 * static_cast<double>(k), girth_term) - 1.0;
+}
+
+double theorem_3_4_randomized(std::size_t k, double epsilon, double c,
+                              std::size_t delta, std::size_t r, double n) {
+  const double n_det = std::sqrt(std::log2(n) / 3.0);
+  return theorem_3_4_deterministic(k, epsilon, c, delta, r, std::max(n_det, 2.0));
+}
+
+MatchingBound matching_lower_bound(std::size_t delta_prime, std::size_t x,
+                                   std::size_t y, std::size_t delta, double n,
+                                   double epsilon) {
+  MatchingBound out;
+  const double progress = static_cast<double>(delta_prime - x) / static_cast<double>(y);
+  out.k = progress >= 2.0 ? static_cast<std::size_t>(progress) - 2 : 0;
+  const double ld = static_cast<double>(delta);
+  out.det_rounds = std::max(0.0, std::min(progress, epsilon * log_base(ld, n)));
+  out.rand_rounds =
+      std::max(0.0, std::min(progress, epsilon * log_base(ld, std::log2(n))));
+  out.upper_rounds = static_cast<double>(delta_prime) / static_cast<double>(y);
+  return out;
+}
+
+ArbdefectiveBound arbdefective_lower_bound(std::size_t alpha, std::size_t c,
+                                           std::size_t delta_prime,
+                                           std::size_t delta, double n,
+                                           double epsilon) {
+  ArbdefectiveBound out;
+  const double ld = static_cast<double>(delta);
+  out.k_threshold = std::min(static_cast<double>(delta_prime),
+                             epsilon * ld / std::log2(ld));
+  out.applies = static_cast<double>((alpha + 1) * c) <= out.k_threshold;
+  out.det_rounds = log_base(ld, n);
+  out.rand_rounds = log_base(ld, std::max(2.0, std::log2(n)));
+  return out;
+}
+
+RulingSetBound rulingset_lower_bound(std::size_t alpha, std::size_t c,
+                                     std::size_t beta, std::size_t delta_prime,
+                                     std::size_t delta, double n, double epsilon,
+                                     double big_c) {
+  RulingSetBound out;
+  const double ld = static_cast<double>(delta);
+  const double base = std::min(static_cast<double>(delta_prime),
+                               epsilon * ld / std::log2(ld));
+  out.delta_bar = base / std::pow(2.0, big_c * static_cast<double>(beta));
+  out.applies = static_cast<double>((alpha + 1) * c) <= out.delta_bar &&
+                beta >= 1 && beta < delta_prime;
+  const double ratio = out.delta_bar / static_cast<double>((alpha + 1) * c);
+  const double growth = std::pow(std::max(ratio, 1.0), 1.0 / static_cast<double>(beta));
+  out.det_rounds = std::max(0.0, std::min(growth, log_base(ld, n)));
+  out.rand_rounds =
+      std::max(0.0, std::min(growth, log_base(ld, std::max(2.0, std::log2(n)))));
+  out.upper_rounds =
+      static_cast<double>(beta) *
+      std::pow(ld / static_cast<double>((alpha + 1) * c), 1.0 / static_cast<double>(beta));
+  return out;
+}
+
+MisChromaticInstance mis_chromatic_instance(double n) {
+  MisChromaticInstance out;
+  const double loglog = std::log2(std::max(2.0, std::log2(n)));
+  out.delta_prime = std::log2(n) / loglog;
+  out.delta = out.delta_prime * std::log2(std::max(2.0, out.delta_prime));
+  out.lower_bound = std::log2(n) / loglog;
+  out.chromatic_bound = out.delta / std::log2(std::max(2.0, out.delta));
+  return out;
+}
+
+}  // namespace slocal

@@ -1,0 +1,75 @@
+// Lower-bound formula calculators for the paper's theorems.
+//
+// Each function evaluates, at concrete finite parameters, the bound the
+// corresponding theorem asserts asymptotically. The constants (ε, c) that
+// the theorems leave implicit are explicit arguments with the defaults the
+// proofs instantiate (e.g. c = 1 and Δ = 5Δ' in Section 4.2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace slocal {
+
+/// Theorem 3.4's final deterministic bound:
+///   min{2k, (ε(log_{Δr}(n) - c) - 4)/2} - 1
+double theorem_3_4_deterministic(std::size_t k, double epsilon, double c,
+                                 std::size_t delta, std::size_t r, double n);
+
+/// Theorem 3.4's randomized bound: the deterministic bound evaluated at
+/// n_det = sqrt(log(n)/3).
+double theorem_3_4_randomized(std::size_t k, double epsilon, double c,
+                              std::size_t delta, std::size_t r, double n);
+
+struct MatchingBound {
+  std::size_t k = 0;        // sequence length floor((Δ'-x)/y) - 2
+  double det_rounds = 0;    // Ω(min{(Δ'-x)/y, log_Δ n}) instantiation
+  double rand_rounds = 0;   // Ω(min{(Δ'-x)/y, log_Δ log n})
+  double upper_rounds = 0;  // O(Δ'/y) matching upper bound shape
+};
+
+/// Theorem 4.1 / 1.5: x-maximal y-matching in Supported LOCAL.
+MatchingBound matching_lower_bound(std::size_t delta_prime, std::size_t x,
+                                   std::size_t y, std::size_t delta, double n,
+                                   double epsilon = 0.1);
+
+struct ArbdefectiveBound {
+  bool applies = false;   // (α+1)c <= min{Δ', εΔ/logΔ}
+  double k_threshold = 0; // min{Δ', εΔ/logΔ}
+  double det_rounds = 0;  // Ω(log_Δ n)
+  double rand_rounds = 0; // Ω(log_Δ log n)
+};
+
+/// Theorem 5.1 / 1.6: α-arbdefective c-coloring.
+ArbdefectiveBound arbdefective_lower_bound(std::size_t alpha, std::size_t c,
+                                           std::size_t delta_prime,
+                                           std::size_t delta, double n,
+                                           double epsilon = 0.5);
+
+struct RulingSetBound {
+  bool applies = false;    // (α+1)c <= Δ̄ and β < Δ'
+  double delta_bar = 0;    // min{Δ', εΔ/logΔ} / 2^{cβ}
+  double det_rounds = 0;   // Ω(min{(Δ̄/((α+1)c))^{1/β}, log_Δ n})
+  double rand_rounds = 0;  // Ω(min{(Δ̄/((α+1)c))^{1/β}, log_Δ log n})
+  double upper_rounds = 0; // O(β (Δ/((α+1)c))^{1/β}) known UB shape
+};
+
+/// Theorem 6.1 / 1.7: α-arbdefective c-colored β-ruling sets.
+RulingSetBound rulingset_lower_bound(std::size_t alpha, std::size_t c,
+                                     std::size_t beta, std::size_t delta_prime,
+                                     std::size_t delta, double n,
+                                     double epsilon = 0.5,
+                                     double big_c = 2.0);
+
+/// The [AAPR23] open-question instantiation after Theorem 1.7:
+/// Δ' = log n / log log n, Δ = Δ' log Δ'; returns the resulting
+/// Ω(log n / log log n) bound together with χ_G = Θ(Δ/log Δ).
+struct MisChromaticInstance {
+  double delta_prime = 0;
+  double delta = 0;
+  double lower_bound = 0;      // Ω(log n / loglog n)
+  double chromatic_bound = 0;  // Θ(Δ / log Δ) upper bound via coloring
+};
+MisChromaticInstance mis_chromatic_instance(double n);
+
+}  // namespace slocal

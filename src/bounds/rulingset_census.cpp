@@ -1,0 +1,69 @@
+#include "src/bounds/rulingset_census.hpp"
+
+#include <cassert>
+
+#include "src/problems/rulingset_family.hpp"
+
+namespace slocal {
+
+RulingsetTypeCensus rulingset_type_census(
+    const Graph& g, const LiftedProblem& lift, const Problem& base,
+    std::size_t beta, std::size_t delta_prime, const std::vector<bool>& in_s,
+    std::span<const std::size_t> lifted_half_labels) {
+  assert(lifted_half_labels.size() == 2 * g.edge_count());
+  RulingsetTypeCensus out;
+
+  const auto p_beta = pointer_label(base, beta);
+  const auto u_beta = up_label(base, beta);
+  assert(p_beta && u_beta);
+
+  const auto set_of = [&](EdgeId e, NodeId v) {
+    const std::size_t half =
+        2 * static_cast<std::size_t>(e) + (g.edge(e).u == v ? 0 : 1);
+    return lift.label_sets()[lifted_half_labels[half]];
+  };
+
+  const std::size_t delta = g.max_degree();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!in_s[v]) continue;
+    ++out.s_size;
+    bool all_u = true;
+    bool any_pu = false;
+    std::size_t p_count = 0;
+    for (const EdgeId e : g.incident_edges(v)) {
+      const SmallBitset s = set_of(e, v);
+      const bool has_u = s.test(*u_beta);
+      const bool has_p = s.test(*p_beta);
+      all_u = all_u && has_u;
+      any_pu = any_pu || has_u || has_p;
+      if (has_p) ++p_count;
+    }
+    if (!any_pu) {
+      ++out.plain;
+    } else if (!all_u) {
+      ++out.type3;
+    } else if (delta >= delta_prime && p_count > delta - delta_prime) {
+      ++out.type1;
+    } else {
+      ++out.type2;
+    }
+  }
+
+  // P_β pairing inside S: the edge constraint of Π_Δ'(k,β) forbids
+  // {P_β, P_β}, so for S-internal edges at most one side's set has P_β.
+  out.p_beta_pairing_ok = true;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (!in_s[edge.u] || !in_s[edge.v]) continue;
+    const bool pu = set_of(e, edge.u).test(*p_beta);
+    const bool pv = set_of(e, edge.v).test(*p_beta);
+    if (pu) ++out.p_beta_half_edges;
+    if (pv) ++out.p_beta_half_edges;
+    if (pu && pv) out.p_beta_pairing_ok = false;
+  }
+
+  out.type1_bound_ok = 4 * out.type1 <= 3 * out.s_size;
+  return out;
+}
+
+}  // namespace slocal

@@ -1,0 +1,50 @@
+// The node-type decomposition of Lemma 6.6 (Section 6.2), as an executable
+// census.
+//
+// Given an S-solution of a lifted ruling-set problem lift_{Δ,2}(Π_Δ'(k,β)),
+// Lemma 6.6 classifies the nodes touching P_β/U_β labels:
+//   type 1: every incident label-set contains U_β and more than Δ-Δ'
+//           incident label-sets contain P_β   (discarded; at most 3|S|/4
+//           when Δ >= 3Δ' and no P escapes S),
+//   type 2: every incident label-set contains U_β, at most Δ-Δ' contain
+//           P_β                               (recolorable with +k colors),
+//   type 3: some incident label-set lacks U_β (degree discount),
+//   plain:  no incident P_β/U_β at all        (already a Π(k,β-1) node).
+// The census computes the classification on a concrete labeling and checks
+// the counting facts the lemma's proof uses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/formalism/problem.hpp"
+#include "src/graph/graph.hpp"
+#include "src/lift/lift.hpp"
+
+namespace slocal {
+
+struct RulingsetTypeCensus {
+  std::size_t type1 = 0;
+  std::size_t type2 = 0;
+  std::size_t type3 = 0;
+  std::size_t plain = 0;
+  std::size_t s_size = 0;
+
+  /// #half-edges inside S whose label-set contains P_β (the proof bounds
+  /// these by |S|·Δ/2 since P_β is incompatible with itself across an edge).
+  std::size_t p_beta_half_edges = 0;
+  bool p_beta_pairing_ok = false;  // no edge carries P_β on both sides
+  bool type1_bound_ok = false;     // type1 <= 3|S|/4 (meaningful for Δ>=3Δ')
+};
+
+/// Classifies the S-nodes of a lifted labeling. `base` must be the
+/// Π_Δ'(k, β) problem the lift was built from (the source of the P_β/U_β
+/// label indices); `lifted_half_labels[2e+side]` indexes lift.label_sets().
+/// delta_prime is Δ' (the input-graph degree the types compare against).
+RulingsetTypeCensus rulingset_type_census(
+    const Graph& g, const LiftedProblem& lift, const Problem& base,
+    std::size_t beta, std::size_t delta_prime, const std::vector<bool>& in_s,
+    std::span<const std::size_t> lifted_half_labels);
+
+}  // namespace slocal

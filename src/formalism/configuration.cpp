@@ -1,0 +1,61 @@
+#include "src/formalism/configuration.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slocal {
+
+Configuration::Configuration(std::vector<Label> labels) : labels_(std::move(labels)) {
+  std::sort(labels_.begin(), labels_.end());
+}
+
+Configuration::Configuration(std::initializer_list<Label> labels)
+    : Configuration(std::vector<Label>(labels)) {}
+
+std::size_t Configuration::count(Label l) const {
+  const auto [lo, hi] = std::equal_range(labels_.begin(), labels_.end(), l);
+  return static_cast<std::size_t>(hi - lo);
+}
+
+bool Configuration::submultiset_of(const Configuration& other) const {
+  // Both sorted: merge scan.
+  std::size_t j = 0;
+  for (const Label l : labels_) {
+    while (j < other.labels_.size() && other.labels_[j] < l) ++j;
+    if (j >= other.labels_.size() || other.labels_[j] != l) return false;
+    ++j;
+  }
+  return true;
+}
+
+Configuration Configuration::with_replaced(Label from, Label to,
+                                           std::size_t how_many) const {
+  assert(count(from) >= how_many);
+  std::vector<Label> out = labels_;
+  std::size_t replaced = 0;
+  for (auto& l : out) {
+    if (replaced == how_many) break;
+    if (l == from) {
+      l = to;
+      ++replaced;
+    }
+  }
+  return Configuration(std::move(out));
+}
+
+Configuration Configuration::with_added(Label l) const {
+  std::vector<Label> out = labels_;
+  out.push_back(l);
+  return Configuration(std::move(out));
+}
+
+std::string Configuration::to_string(const LabelRegistry& reg) const {
+  std::string out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += reg.name(labels_[i]);
+  }
+  return out;
+}
+
+}  // namespace slocal

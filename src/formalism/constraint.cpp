@@ -1,0 +1,96 @@
+#include "src/formalism/constraint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slocal {
+
+bool Constraint::add(Configuration c) {
+  assert(c.size() == degree_);
+  return configs_.insert(std::move(c)).second;
+}
+
+void Constraint::add_condensed(const std::vector<std::vector<Label>>& alternatives) {
+  assert(alternatives.size() == degree_);
+  if (alternatives.empty()) {
+    add(Configuration{});
+    return;
+  }
+  for (const auto& a : alternatives) {
+    if (a.empty()) return;  // empty alternative set: empty product
+  }
+  // Positions with identical alternative sets are interchangeable in a
+  // multiset: group them and enumerate non-decreasing choices per group.
+  // This makes the expansion linear in the number of DISTINCT resulting
+  // configurations (e.g. [A B]^50 expands to 51 configurations, not 2^50
+  // tuples).
+  std::vector<std::vector<Label>> groups;  // canonical alternative sets
+  std::vector<std::size_t> multiplicity;
+  for (auto a : alternatives) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+    const auto it = std::find(groups.begin(), groups.end(), a);
+    if (it == groups.end()) {
+      groups.push_back(std::move(a));
+      multiplicity.push_back(1);
+    } else {
+      ++multiplicity[static_cast<std::size_t>(it - groups.begin())];
+    }
+  }
+  std::vector<Label> current;
+  current.reserve(degree_);
+  // DFS over groups; within a group choose a non-decreasing index sequence.
+  auto expand = [&](auto&& self, std::size_t group, std::size_t slot,
+                    std::size_t min_index) -> void {
+    if (group == groups.size()) {
+      configs_.insert(Configuration(current));
+      return;
+    }
+    if (slot == multiplicity[group]) {
+      self(self, group + 1, 0, 0);
+      return;
+    }
+    for (std::size_t i = min_index; i < groups[group].size(); ++i) {
+      current.push_back(groups[group][i]);
+      self(self, group, slot + 1, i);
+      current.pop_back();
+    }
+  };
+  expand(expand, 0, 0, 0);
+}
+
+bool Constraint::extendable(const Configuration& partial) const {
+  if (partial.size() > degree_) return false;
+  return std::any_of(configs_.begin(), configs_.end(), [&](const Configuration& c) {
+    return partial.submultiset_of(c);
+  });
+}
+
+std::vector<Configuration> Constraint::sorted_members() const {
+  std::vector<Configuration> out(configs_.begin(), configs_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Label> Constraint::used_labels() const {
+  std::vector<bool> seen(256, false);
+  for (const auto& c : configs_) {
+    for (const Label l : c.labels()) seen[l] = true;
+  }
+  std::vector<Label> out;
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i]) out.push_back(static_cast<Label>(i));
+  }
+  return out;
+}
+
+std::string Constraint::to_string(const LabelRegistry& reg) const {
+  std::string out;
+  for (const auto& c : sorted_members()) {
+    out += c.to_string(reg);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace slocal

@@ -1,0 +1,62 @@
+// A constraint: a set of same-size configurations (C_W or C_B, Section 2).
+//
+// Supports condensed configurations ([AB][CD]E regular-expression style):
+// a vector of per-position alternative sets expands to the product set.
+// Also provides the queries the solvers need: exact membership and
+// "is this partial multiset extendable to a member?".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/formalism/configuration.hpp"
+#include "src/formalism/label.hpp"
+
+namespace slocal {
+
+class Constraint {
+ public:
+  Constraint() = default;
+  explicit Constraint(std::size_t degree) : degree_(degree) {}
+
+  std::size_t degree() const { return degree_; }
+  std::size_t size() const { return configs_.size(); }
+  bool empty() const { return configs_.empty(); }
+
+  /// Adds a configuration; must match degree(). Returns false on duplicates.
+  bool add(Configuration c);
+
+  /// Adds every expansion of a condensed configuration: position i may take
+  /// any label in alternatives[i]. alternatives.size() must equal degree().
+  void add_condensed(const std::vector<std::vector<Label>>& alternatives);
+
+  bool contains(const Configuration& c) const { return configs_.contains(c); }
+
+  /// True if some member of the constraint has `partial` as a sub-multiset.
+  /// This is the per-node pruning test used by the backtracking solver.
+  bool extendable(const Configuration& partial) const;
+
+  /// All members, in unspecified but deterministic-per-build order.
+  const std::unordered_set<Configuration>& members() const { return configs_; }
+
+  /// Members sorted lexicographically (stable order for printing/tests).
+  std::vector<Configuration> sorted_members() const;
+
+  /// Set of labels that occur in at least one configuration.
+  std::vector<Label> used_labels() const;
+
+  std::string to_string(const LabelRegistry& reg) const;
+
+  bool operator==(const Constraint& other) const {
+    return degree_ == other.degree_ && configs_ == other.configs_;
+  }
+
+ private:
+  std::size_t degree_ = 0;
+  std::unordered_set<Configuration> configs_;
+};
+
+}  // namespace slocal

@@ -1,0 +1,113 @@
+#include "src/formalism/diagram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slocal {
+
+namespace {
+
+/// Direct strength test: is x at least as strong as y w.r.t. C?
+bool direct_at_least_as_strong(const Constraint& c, Label x, Label y) {
+  if (x == y) return true;
+  for (const auto& conf : c.members()) {
+    const std::size_t m = conf.count(y);
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (!c.contains(conf.with_replaced(y, x, j))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Diagram::Diagram(const Constraint& constraint, std::size_t alphabet_size)
+    : reach_(alphabet_size) {
+  assert(alphabet_size <= SmallBitset::kCapacity);
+  // Direct relation.
+  for (std::size_t y = 0; y < alphabet_size; ++y) {
+    for (std::size_t x = 0; x < alphabet_size; ++x) {
+      if (direct_at_least_as_strong(constraint, static_cast<Label>(x),
+                                    static_cast<Label>(y))) {
+        reach_[y].set(x);
+      }
+    }
+  }
+  // Transitive closure (the relation is already transitive in theory; the
+  // closure keeps the invariant robust against degenerate constraints).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t y = 0; y < alphabet_size; ++y) {
+      SmallBitset extended = reach_[y];
+      for (const std::size_t x : reach_[y].indices()) {
+        extended |= reach_[x];
+      }
+      if (extended != reach_[y]) {
+        reach_[y] = extended;
+        changed = true;
+      }
+    }
+  }
+}
+
+SmallBitset Diagram::right_closure(SmallBitset set) const {
+  SmallBitset out;
+  for (const std::size_t l : set.indices()) out |= reach_[l];
+  return out;
+}
+
+std::vector<SmallBitset> Diagram::right_closed_sets() const {
+  // Every right-closed set is a union of principal filters reach_[l];
+  // enumerate all distinct unions by breadth-first closure under union.
+  std::vector<SmallBitset> result{SmallBitset{}};
+  for (std::size_t l = 0; l < reach_.size(); ++l) {
+    const std::size_t current = result.size();
+    for (std::size_t i = 0; i < current; ++i) {
+      const SmallBitset candidate = result[i] | reach_[l];
+      if (std::find(result.begin(), result.end(), candidate) == result.end()) {
+        result.push_back(candidate);
+      }
+    }
+  }
+  // Drop the empty set; sort for determinism.
+  std::erase_if(result, [](SmallBitset s) { return s.empty(); });
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<std::pair<Label, Label>> Diagram::hasse_edges() const {
+  std::vector<std::pair<Label, Label>> out;
+  const std::size_t n = reach_.size();
+  const auto strictly_stronger = [&](std::size_t strong, std::size_t weak) {
+    return reach_[weak].test(strong) && !reach_[strong].test(weak);
+  };
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      if (!strictly_stronger(x, y)) continue;
+      bool has_intermediate = false;
+      for (std::size_t z = 0; z < n && !has_intermediate; ++z) {
+        if (z == x || z == y) continue;
+        has_intermediate = strictly_stronger(z, y) && strictly_stronger(x, z);
+      }
+      if (!has_intermediate) {
+        out.emplace_back(static_cast<Label>(y), static_cast<Label>(x));
+      }
+    }
+  }
+  return out;
+}
+
+std::string Diagram::to_dot(const LabelRegistry& reg) const {
+  std::string out = "digraph diagram {\n  rankdir=LR;\n";
+  for (std::size_t l = 0; l < reach_.size(); ++l) {
+    out += "  \"" + reg.name(static_cast<Label>(l)) + "\";\n";
+  }
+  for (const auto& [y, x] : hasse_edges()) {
+    out += "  \"" + reg.name(y) + "\" -> \"" + reg.name(x) + "\";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace slocal

@@ -1,0 +1,57 @@
+// The strength relation and diagram of a problem (Section 2).
+//
+// Label X is *at least as strong as* Y w.r.t. a constraint C if, for every
+// configuration in C containing Y, replacing any number of Y's by X's stays
+// in C. The diagram is the digraph of this relation; the `lift` construction
+// (Definition 3.1) needs its *right-closed* label sets: S is right-closed if
+// ℓ ∈ S implies every label reachable from ℓ is in S.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/formalism/constraint.hpp"
+#include "src/formalism/label.hpp"
+#include "src/util/bitset.hpp"
+
+namespace slocal {
+
+class Diagram {
+ public:
+  /// Computes the strength relation of `constraint` over an alphabet of
+  /// `alphabet_size` labels.
+  Diagram(const Constraint& constraint, std::size_t alphabet_size);
+
+  std::size_t alphabet_size() const { return reach_.size(); }
+
+  /// True if `strong` is at least as strong as `weak` (direct relation,
+  /// which is transitive by construction; reflexive closure included).
+  bool at_least_as_strong(Label strong, Label weak) const {
+    return reach_[weak].test(strong);
+  }
+
+  /// All labels reachable from l (successors in the paper's wording),
+  /// including l itself.
+  SmallBitset reachable_from(Label l) const { return reach_[l]; }
+
+  /// Right-closure of an arbitrary set: adds all successors.
+  SmallBitset right_closure(SmallBitset set) const;
+
+  bool is_right_closed(SmallBitset set) const { return right_closure(set) == set; }
+
+  /// Every non-empty right-closed subset of the alphabet, sorted by raw
+  /// bits. This is exactly the label alphabet of lift(Π) (Definition 3.1).
+  std::vector<SmallBitset> right_closed_sets() const;
+
+  /// Direct edges (Y -> X meaning X at least as strong as Y), with
+  /// transitive edges removed for readability.
+  std::vector<std::pair<Label, Label>> hasse_edges() const;
+
+  /// Graphviz DOT rendering (for comparing against Figures 1-3).
+  std::string to_dot(const LabelRegistry& reg) const;
+
+ private:
+  std::vector<SmallBitset> reach_;  // reach_[y] = {x : x at least as strong as y}
+};
+
+}  // namespace slocal

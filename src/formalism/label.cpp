@@ -1,0 +1,25 @@
+#include "src/formalism/label.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace slocal {
+
+Label LabelRegistry::intern(std::string_view name) {
+  const std::string key(name);
+  if (const auto it = index_.find(key); it != index_.end()) return it->second;
+  assert(names_.size() < std::numeric_limits<Label>::max());
+  const Label l = static_cast<Label>(names_.size());
+  names_.push_back(key);
+  index_.emplace(key, l);
+  return l;
+}
+
+std::optional<Label> LabelRegistry::find(std::string_view name) const {
+  if (const auto it = index_.find(std::string(name)); it != index_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+}  // namespace slocal

@@ -1,0 +1,37 @@
+// Labels and label registries for the black-white formalism.
+//
+// A problem's output alphabet Σ is a small finite set; labels are dense
+// indices into a per-problem LabelRegistry that remembers human-readable
+// names ("M", "P_1", "l({1,2})"). All formalism machinery works on indices;
+// names only matter at parse/print boundaries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace slocal {
+
+using Label = std::uint8_t;
+
+class LabelRegistry {
+ public:
+  /// Registers (or finds) a name; returns its index.
+  Label intern(std::string_view name);
+
+  std::optional<Label> find(std::string_view name) const;
+
+  const std::string& name(Label l) const { return names_[l]; }
+  std::size_t size() const { return names_.size(); }
+
+  bool operator==(const LabelRegistry&) const = default;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Label> index_;
+};
+
+}  // namespace slocal

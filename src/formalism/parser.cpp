@@ -1,0 +1,165 @@
+#include "src/formalism/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "src/util/strings.hpp"
+
+namespace slocal {
+
+namespace {
+
+void set_error(ParseError* error, std::string message) {
+  if (error != nullptr) error->message = std::move(message);
+}
+
+/// One parsed token: alternative labels and a repeat count.
+struct Token {
+  std::vector<Label> alternatives;
+  std::size_t repeat = 1;
+};
+
+/// Parses "NAME", "NAME^k", "[A B ...]", "[A B ...]^k". Returns nullopt on
+/// malformed syntax. Advances `pos` past the token.
+std::optional<Token> parse_token(std::string_view text, std::size_t& pos,
+                                 LabelRegistry& registry, ParseError* error) {
+  Token tok;
+  if (text[pos] == '[') {
+    const std::size_t close = text.find(']', pos);
+    if (close == std::string_view::npos) {
+      set_error(error, "unterminated '[' in: " + std::string(text));
+      return std::nullopt;
+    }
+    for (const auto& name : split(text.substr(pos + 1, close - pos - 1))) {
+      tok.alternatives.push_back(registry.intern(name));
+    }
+    if (tok.alternatives.empty()) {
+      set_error(error, "empty alternatives '[]' in: " + std::string(text));
+      return std::nullopt;
+    }
+    pos = close + 1;
+  } else {
+    std::size_t end = pos;
+    while (end < text.size() && !std::isspace(static_cast<unsigned char>(text[end])) &&
+           text[end] != '^' && text[end] != '[') {
+      ++end;
+    }
+    if (end == pos) {
+      set_error(error, "empty label name in: " + std::string(text));
+      return std::nullopt;
+    }
+    tok.alternatives.push_back(registry.intern(text.substr(pos, end - pos)));
+    pos = end;
+  }
+  if (pos < text.size() && text[pos] == '^') {
+    ++pos;
+    std::size_t end = pos;
+    while (end < text.size() && std::isdigit(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+    std::size_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data() + pos, text.data() + end, value);
+    if (ec != std::errc{} || value == 0) {
+      set_error(error, "bad exponent in: " + std::string(text));
+      return std::nullopt;
+    }
+    tok.repeat = value;
+    pos = end;
+  }
+  return tok;
+}
+
+/// Parses one configuration line into per-position alternatives.
+std::optional<std::vector<std::vector<Label>>> parse_line(std::string_view line,
+                                                          LabelRegistry& registry,
+                                                          ParseError* error) {
+  std::vector<std::vector<Label>> positions;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+      continue;
+    }
+    const auto tok = parse_token(line, pos, registry, error);
+    if (!tok) return std::nullopt;
+    if (positions.size() + tok->repeat > 64) {
+      set_error(error, "configuration longer than 64 positions: " + std::string(line));
+      return std::nullopt;
+    }
+    for (std::size_t r = 0; r < tok->repeat; ++r) positions.push_back(tok->alternatives);
+  }
+  if (positions.empty()) {
+    set_error(error, "empty configuration line");
+    return std::nullopt;
+  }
+  return positions;
+}
+
+}  // namespace
+
+std::optional<Constraint> parse_constraint(std::string_view text,
+                                           LabelRegistry& registry,
+                                           ParseError* error) {
+  auto lines = split_lines(text);
+  std::erase_if(lines, [](const std::string& line) { return line[0] == '#'; });
+  if (lines.empty()) {
+    set_error(error, "constraint has no configurations");
+    return std::nullopt;
+  }
+  std::optional<Constraint> constraint;
+  for (const auto& line : lines) {
+    const auto positions = parse_line(line, registry, error);
+    if (!positions) return std::nullopt;
+    if (!constraint) {
+      constraint.emplace(positions->size());
+    } else if (positions->size() != constraint->degree()) {
+      set_error(error, "configuration size mismatch at line: " + line);
+      return std::nullopt;
+    }
+    constraint->add_condensed(*positions);
+  }
+  return constraint;
+}
+
+std::optional<Problem> parse_problem(std::string_view name,
+                                     std::string_view white_text,
+                                     std::string_view black_text,
+                                     ParseError* error) {
+  LabelRegistry registry;
+  auto white = parse_constraint(white_text, registry, error);
+  if (!white) return std::nullopt;
+  auto black = parse_constraint(black_text, registry, error);
+  if (!black) return std::nullopt;
+  return Problem(std::string(name), std::move(registry), std::move(*white),
+                 std::move(*black));
+}
+
+std::string format_configuration(const Configuration& c, const LabelRegistry& reg) {
+  std::string out;
+  std::size_t i = 0;
+  const auto labels = c.labels();
+  while (i < labels.size()) {
+    std::size_t j = i;
+    while (j < labels.size() && labels[j] == labels[i]) ++j;
+    if (!out.empty()) out += ' ';
+    out += reg.name(labels[i]);
+    if (j - i > 1) out += '^' + std::to_string(j - i);
+    i = j;
+  }
+  return out;
+}
+
+std::string format_problem(const Problem& p) {
+  std::string out = "# " + p.name() + "\nwhite:\n";
+  for (const auto& c : p.white().sorted_members()) {
+    out += "  " + format_configuration(c, p.registry()) + '\n';
+  }
+  out += "black:\n";
+  for (const auto& c : p.black().sorted_members()) {
+    out += "  " + format_configuration(c, p.registry()) + '\n';
+  }
+  return out;
+}
+
+}  // namespace slocal

@@ -1,0 +1,51 @@
+// Text format for problems in the black-white formalism.
+//
+// The grammar follows the paper's notation (and the Round Eliminator's):
+// one configuration per line; tokens separated by spaces; a token is
+//
+//   NAME            one label
+//   NAME^k          label repeated k times
+//   [N1 N2 ...]     condensed position: any one of the alternatives
+//   [N1 N2 ...]^k   k condensed positions
+//
+// Example (maximal matching, Appendix A, Δ = 3):
+//   white:  "M O^2"      "P^3"
+//   black:  "M [O P]^2"  "O^3"
+//
+// Lines starting with '#' are comments. Labels are interned in order of
+// first appearance across white then black. Configurations are capped at
+// 64 positions (the SmallBitset label-universe bound); longer lines are
+// parse errors rather than memory bombs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/formalism/problem.hpp"
+
+namespace slocal {
+
+struct ParseError {
+  std::string message;
+};
+
+/// Parses a problem from white/black constraint texts (one configuration
+/// per line). All lines in a constraint must expand to the same size.
+std::optional<Problem> parse_problem(std::string_view name,
+                                     std::string_view white_text,
+                                     std::string_view black_text,
+                                     ParseError* error = nullptr);
+
+/// Parses a single constraint against an existing registry (labels are
+/// interned into it). Returns nullopt and fills error on malformed input.
+std::optional<Constraint> parse_constraint(std::string_view text,
+                                           LabelRegistry& registry,
+                                           ParseError* error = nullptr);
+
+/// Renders a problem in the same format parse_problem accepts
+/// (compact: repeated labels use the ^k form).
+std::string format_problem(const Problem& p);
+std::string format_configuration(const Configuration& c, const LabelRegistry& reg);
+
+}  // namespace slocal

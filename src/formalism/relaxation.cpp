@@ -1,0 +1,182 @@
+#include "src/formalism/relaxation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/bitset.hpp"
+#include "src/util/combinatorics.hpp"
+
+namespace slocal {
+
+namespace {
+
+Configuration remap(const Configuration& c, const std::vector<Label>& map) {
+  std::vector<Label> out;
+  out.reserve(c.size());
+  for (const Label l : c.labels()) out.push_back(map[l]);
+  return Configuration(std::move(out));
+}
+
+bool label_map_valid(const Problem& pi, const Problem& pi_prime,
+                     const std::vector<Label>& map) {
+  const auto ok = [&](const Constraint& from, const Constraint& to) {
+    return std::all_of(from.members().begin(), from.members().end(),
+                       [&](const Configuration& c) { return to.contains(remap(c, map)); });
+  };
+  return ok(pi.white(), pi_prime.white()) && ok(pi.black(), pi_prime.black());
+}
+
+bool search_label_map(const Problem& pi, const Problem& pi_prime,
+                      std::vector<Label>& map, std::size_t next) {
+  const std::size_t n = pi.alphabet_size();
+  if (next == n) return label_map_valid(pi, pi_prime, map);
+  for (std::size_t t = 0; t < pi_prime.alphabet_size(); ++t) {
+    map[next] = static_cast<Label>(t);
+    if (search_label_map(pi, pi_prime, map, next + 1)) return true;
+  }
+  return false;
+}
+
+/// r(l): union over mapping entries of image labels at positions where the
+/// (sorted) source configuration holds l.
+std::vector<SmallBitset> relation_of(const Problem& pi, const ConfigMapping& mapping) {
+  std::vector<SmallBitset> r(pi.alphabet_size());
+  for (const auto& [source, image] : mapping) {
+    assert(image.size() == source.size());
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      r[source[i]].set(image[i]);
+    }
+  }
+  return r;
+}
+
+/// All black configurations of Π survive all choices over r(·) in Π'.
+/// Positions with empty r impose no constraint yet (used during search,
+/// where r only grows: a violation found on partial r is final).
+bool black_side_ok(const Problem& pi, const Problem& pi_prime,
+                   const std::vector<SmallBitset>& r) {
+  for (const auto& black : pi.black().members()) {
+    std::vector<std::vector<std::size_t>> choices;
+    choices.reserve(black.size());
+    bool any_empty = false;
+    for (const Label l : black.labels()) {
+      auto idx = r[l].indices();
+      if (idx.empty()) {
+        any_empty = true;
+        break;
+      }
+      choices.push_back(std::move(idx));
+    }
+    if (any_empty) continue;
+    const bool all_ok =
+        for_each_choice(choices, [&](const std::vector<std::size_t>& pick) {
+          std::vector<Label> labels;
+          labels.reserve(pick.size());
+          for (const std::size_t p : pick) labels.push_back(static_cast<Label>(p));
+          return pi_prime.black().contains(Configuration(std::move(labels)));
+        });
+    if (!all_ok) return false;
+  }
+  return true;
+}
+
+/// Every distinct positional image of a target white configuration: all
+/// distinct permutations of its label vector.
+std::vector<std::vector<Label>> positional_images(const Configuration& target) {
+  std::vector<Label> perm(target.labels().begin(), target.labels().end());
+  std::vector<std::vector<Label>> out;
+  std::sort(perm.begin(), perm.end());
+  do {
+    out.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return out;
+}
+
+struct RelaxSearch {
+  const Problem& pi;
+  const Problem& pi_prime;
+  std::vector<Configuration> sources;
+  std::vector<std::vector<std::vector<Label>>> candidates;  // per source
+  std::uint64_t budget;
+  std::uint64_t visited = 0;
+  bool exhausted = false;
+  ConfigMapping mapping;
+
+  bool recurse(std::size_t index, std::vector<SmallBitset>& r) {
+    if (exhausted) return false;
+    if (++visited > budget) {
+      exhausted = true;
+      return false;
+    }
+    if (index == sources.size()) return true;
+    const auto& source = sources[index];
+    for (const auto& image : candidates[index]) {
+      // Apply: extend r positionally.
+      const std::vector<SmallBitset> saved = r;
+      for (std::size_t i = 0; i < source.size(); ++i) r[source[i]].set(image[i]);
+      if (black_side_ok(pi, pi_prime, r)) {
+        mapping[source] = image;
+        if (recurse(index + 1, r)) return true;
+        mapping.erase(source);
+      }
+      r = saved;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<Label>> relaxation_label_map(const Problem& pi,
+                                                       const Problem& pi_prime) {
+  if (pi.white_degree() != pi_prime.white_degree() ||
+      pi.black_degree() != pi_prime.black_degree()) {
+    return std::nullopt;
+  }
+  std::vector<Label> map(pi.alphabet_size(), 0);
+  if (search_label_map(pi, pi_prime, map, 0)) return map;
+  return std::nullopt;
+}
+
+bool check_relaxation_witness(const Problem& pi, const Problem& pi_prime,
+                              const ConfigMapping& mapping) {
+  if (pi.white_degree() != pi_prime.white_degree() ||
+      pi.black_degree() != pi_prime.black_degree()) {
+    return false;
+  }
+  // Every white configuration of Π must have an image, and the image must be
+  // a white configuration of Π'.
+  for (const auto& source : pi.white().members()) {
+    const auto it = mapping.find(source);
+    if (it == mapping.end()) return false;
+    if (it->second.size() != source.size()) return false;
+    if (!pi_prime.white().contains(Configuration(it->second))) return false;
+  }
+  return black_side_ok(pi, pi_prime, relation_of(pi, mapping));
+}
+
+std::optional<ConfigMapping> find_relaxation(const Problem& pi,
+                                             const Problem& pi_prime,
+                                             std::uint64_t node_budget,
+                                             bool* exhausted) {
+  if (exhausted != nullptr) *exhausted = false;
+  if (pi.white_degree() != pi_prime.white_degree() ||
+      pi.black_degree() != pi_prime.black_degree()) {
+    return std::nullopt;
+  }
+  RelaxSearch search{pi, pi_prime, pi.white().sorted_members(), {}, node_budget, 0, false, {}};
+  // Candidate positional images: all distinct orderings of all white
+  // configurations of Π'.
+  std::vector<std::vector<Label>> all_images;
+  for (const auto& target : pi_prime.white().sorted_members()) {
+    const auto perms = positional_images(target);
+    all_images.insert(all_images.end(), perms.begin(), perms.end());
+  }
+  search.candidates.assign(search.sources.size(), all_images);
+  std::vector<SmallBitset> r(pi.alphabet_size());
+  if (search.recurse(0, r)) return search.mapping;
+  if (exhausted != nullptr) *exhausted = search.exhausted;
+  return std::nullopt;
+}
+
+}  // namespace slocal

@@ -1,0 +1,52 @@
+// Relaxation checks (Section 2).
+//
+// Π' is a relaxation of Π when a solution of Π can be converted pointwise
+// into a solution of Π'. The paper's definition maps each *ordered* white
+// configuration of Π to an ordered white configuration of Π' and demands
+// that the induced label relation r(·) keeps every black configuration
+// valid under all choices. We provide:
+//   * the cheap sufficient check via a single per-label map (the form every
+//     concrete relaxation in the paper takes, e.g. Observation 4.3),
+//   * a witness verifier for an explicit configuration mapping,
+//   * a bounded exact search implementing the paper's definition verbatim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/formalism/problem.hpp"
+
+namespace slocal {
+
+/// Searches for a per-label map m: Σ(Π) -> Σ(Π') such that every white
+/// configuration of Π maps into C_W(Π') and every black configuration maps
+/// into C_B(Π'). Such a map witnesses that Π' is a relaxation of Π.
+/// Returns the witness (indexed by Π labels) or nullopt.
+std::optional<std::vector<Label>> relaxation_label_map(const Problem& pi,
+                                                       const Problem& pi_prime);
+
+/// A configuration-mapping witness: for each white configuration of Π
+/// (canonical form, labels in sorted order), the image labels *positionally
+/// aligned* with the sorted source labels.
+using ConfigMapping = std::map<Configuration, std::vector<Label>>;
+
+/// Verifies the paper's relaxation definition for an explicit mapping:
+/// images must be white configurations of Π', and for every black
+/// configuration {l1..ld} of Π, every choice over r(l1) x ... x r(ld) must
+/// lie in C_B(Π'), where r(l) collects all image labels of l across the
+/// mapping.
+bool check_relaxation_witness(const Problem& pi, const Problem& pi_prime,
+                              const ConfigMapping& mapping);
+
+/// Exact bounded search for a ConfigMapping witness (the paper's definition
+/// verbatim). `node_budget` caps backtracking nodes; nullopt means
+/// "no witness found within budget" when the budget was exhausted, and a
+/// definitive "no" otherwise (distinguished by `*exhausted`).
+std::optional<ConfigMapping> find_relaxation(const Problem& pi,
+                                             const Problem& pi_prime,
+                                             std::uint64_t node_budget = 5'000'000,
+                                             bool* exhausted = nullptr);
+
+}  // namespace slocal

@@ -1,0 +1,57 @@
+#include "src/graph/bipartite.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slocal {
+
+BipartiteGraph::BipartiteGraph(std::size_t white_count, std::size_t black_count)
+    : white_adj_(white_count), black_adj_(black_count) {}
+
+std::optional<EdgeId> BipartiteGraph::add_edge(NodeId w, NodeId b) {
+  assert(w < white_count() && b < black_count());
+  if (has_edge(w, b)) return std::nullopt;
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(BiEdge{w, b});
+  white_adj_[w].push_back(id);
+  black_adj_[b].push_back(id);
+  return id;
+}
+
+bool BipartiteGraph::has_edge(NodeId w, NodeId b) const {
+  assert(w < white_count() && b < black_count());
+  return std::any_of(white_adj_[w].begin(), white_adj_[w].end(),
+                     [&](EdgeId e) { return edges_[e].black == b; });
+}
+
+std::size_t BipartiteGraph::max_white_degree() const {
+  std::size_t d = 0;
+  for (const auto& a : white_adj_) d = std::max(d, a.size());
+  return d;
+}
+
+std::size_t BipartiteGraph::max_black_degree() const {
+  std::size_t d = 0;
+  for (const auto& a : black_adj_) d = std::max(d, a.size());
+  return d;
+}
+
+bool BipartiteGraph::is_biregular(std::size_t dw, std::size_t db) const {
+  for (const auto& a : white_adj_) {
+    if (a.size() != dw) return false;
+  }
+  for (const auto& a : black_adj_) {
+    if (a.size() != db) return false;
+  }
+  return true;
+}
+
+Graph BipartiteGraph::to_graph() const {
+  Graph g(node_count());
+  for (const BiEdge& e : edges_) {
+    g.add_edge(e.white, static_cast<NodeId>(white_count() + e.black));
+  }
+  return g;
+}
+
+}  // namespace slocal

@@ -1,0 +1,65 @@
+// Properly 2-colored bipartite graph with white and black sides.
+//
+// The black-white formalism (Section 2 of the paper) assigns output labels
+// to edges and checks the multiset of labels around white nodes against C_W
+// and around black nodes against C_B. BipartiteGraph keeps the two sides as
+// separate index spaces so that "white node w" and "black node b" cannot be
+// confused, and exposes per-side incidence lists in stable order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace slocal {
+
+struct BiEdge {
+  NodeId white;
+  NodeId black;
+  bool operator==(const BiEdge&) const = default;
+};
+
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+  BipartiteGraph(std::size_t white_count, std::size_t black_count);
+
+  std::size_t white_count() const { return white_adj_.size(); }
+  std::size_t black_count() const { return black_adj_.size(); }
+  std::size_t node_count() const { return white_count() + black_count(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Adds the edge {white w, black b}; rejects duplicates.
+  std::optional<EdgeId> add_edge(NodeId w, NodeId b);
+
+  bool has_edge(NodeId w, NodeId b) const;
+
+  const BiEdge& edge(EdgeId e) const { return edges_[e]; }
+  std::span<const BiEdge> edges() const { return edges_; }
+
+  std::span<const EdgeId> white_incident(NodeId w) const { return white_adj_[w]; }
+  std::span<const EdgeId> black_incident(NodeId b) const { return black_adj_[b]; }
+
+  std::size_t white_degree(NodeId w) const { return white_adj_[w].size(); }
+  std::size_t black_degree(NodeId b) const { return black_adj_[b].size(); }
+
+  std::size_t max_white_degree() const;
+  std::size_t max_black_degree() const;
+
+  /// True when every white node has degree dw and every black node degree db.
+  bool is_biregular(std::size_t dw, std::size_t db) const;
+
+  /// The same graph forgetting the 2-coloring: white w -> node w,
+  /// black b -> node white_count() + b. Edge ids are preserved.
+  Graph to_graph() const;
+
+ private:
+  std::vector<BiEdge> edges_;
+  std::vector<std::vector<EdgeId>> white_adj_;
+  std::vector<std::vector<EdgeId>> black_adj_;
+};
+
+}  // namespace slocal

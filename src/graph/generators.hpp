@@ -1,0 +1,79 @@
+// Graph generators.
+//
+// The lower-bound theorems instantiate their support graphs from Lemma 2.1
+// ([Alo10]): Δ-regular graphs with girth Ω(log_Δ n) and independence number
+// O(n·logΔ/Δ). Alon's construction is probabilistic/existential, so the
+// reproduction substitutes random Δ-regular graphs drawn from the
+// configuration model — which have the stated properties with high
+// probability — plus explicit metric checks (src/graph/metrics.hpp) and a
+// best-of-k girth selection helper. Deterministic families (cycles, trees,
+// complete (bi)graphs, tori) support the simulator and the test suite.
+#pragma once
+
+#include <optional>
+
+#include "src/graph/bipartite.hpp"
+#include "src/graph/graph.hpp"
+#include "src/graph/hypergraph.hpp"
+#include "src/util/rng.hpp"
+
+namespace slocal {
+
+Graph make_cycle(std::size_t n);
+Graph make_path(std::size_t n);
+Graph make_complete(std::size_t n);
+Graph make_star(std::size_t leaves);
+
+/// Balanced complete bipartite K_{a,b} as a 2-colored graph.
+BipartiteGraph make_complete_bipartite(std::size_t a, std::size_t b);
+
+/// Even cycle C_{2n} as a 2-colored graph (whites and blacks alternate).
+BipartiteGraph make_bipartite_cycle(std::size_t half);
+
+/// w x h torus (4-regular when w,h >= 3).
+Graph make_torus(std::size_t w, std::size_t h);
+
+/// Complete Δ-ary tree of the given depth (root has Δ children, internal
+/// nodes Δ-1 further children), as used for the padding component in
+/// Theorem 3.4's construction.
+Graph make_tree(std::size_t branching, std::size_t depth);
+
+/// Random Δ-regular simple graph via the configuration model with
+/// resampling on collisions. Requires n*degree even and degree < n.
+/// Returns nullopt if a simple matching was not found within the attempt
+/// budget (practically only for adversarial tiny parameters).
+std::optional<Graph> random_regular(std::size_t n, std::size_t degree, Rng& rng,
+                                    int max_attempts = 500);
+
+/// Best-of-k wrapper around random_regular that keeps the sample with the
+/// largest girth — the executable stand-in for Lemma 2.1's graph family.
+std::optional<Graph> random_regular_high_girth(std::size_t n, std::size_t degree,
+                                               Rng& rng, int samples = 8);
+
+/// Random (dw, db)-biregular 2-colored graph on (nw, nb) nodes; requires
+/// nw*dw == nb*db.
+std::optional<BipartiteGraph> random_biregular(std::size_t nw, std::size_t dw,
+                                               std::size_t nb, std::size_t db,
+                                               Rng& rng, int max_attempts = 500);
+
+/// Random Δ-regular r-uniform linear hypergraph (configuration model with
+/// linearity rejection), the substrate of Corollary 3.5.
+std::optional<Hypergraph> random_regular_linear_hypergraph(
+    std::size_t n, std::size_t degree, std::size_t rank, Rng& rng,
+    int max_attempts = 2000);
+
+/// Petersen graph: 3-regular, girth 5, n = 10 — the smallest 3-regular
+/// cage; a deterministic stand-in for Lemma 2.1 at fixed size.
+Graph make_petersen();
+
+/// Heawood graph: 3-regular, girth 6, n = 14 (the (3,6)-cage).
+Graph make_heawood();
+
+/// McGee graph: 3-regular, girth 7, n = 24 (the (3,7)-cage).
+Graph make_mcgee();
+
+/// Fano plane as a hypergraph: 7 points, 7 lines, 3-uniform, 3-regular,
+/// linear — the classic hypergraph that is NOT weakly 2-colorable.
+Hypergraph make_fano_plane();
+
+}  // namespace slocal

@@ -1,0 +1,52 @@
+#include "src/graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slocal {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+std::optional<EdgeId> Graph::add_edge(NodeId u, NodeId v) {
+  assert(u < node_count() && v < node_count());
+  if (u == v) return std::nullopt;
+  if (has_edge(u, v)) return std::nullopt;
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v});
+  adjacency_[u].push_back(id);
+  adjacency_[v].push_back(id);
+  return id;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  assert(u < node_count() && v < node_count());
+  // Scan the smaller adjacency list.
+  const NodeId probe = adjacency_[u].size() <= adjacency_[v].size() ? u : v;
+  const NodeId target = probe == u ? v : u;
+  return std::any_of(adjacency_[probe].begin(), adjacency_[probe].end(),
+                     [&](EdgeId e) { return edges_[e].other(probe) == target; });
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& a : adjacency_) d = std::max(d, a.size());
+  return d;
+}
+
+std::size_t Graph::min_degree() const {
+  if (adjacency_.empty()) return 0;
+  std::size_t d = adjacency_.front().size();
+  for (const auto& a : adjacency_) d = std::min(d, a.size());
+  return d;
+}
+
+bool Graph::is_regular() const { return max_degree() == min_degree(); }
+
+std::vector<NodeId> Graph::neighbors(NodeId v) const {
+  std::vector<NodeId> out;
+  out.reserve(adjacency_[v].size());
+  for (EdgeId e : adjacency_[v]) out.push_back(edges_[e].other(v));
+  return out;
+}
+
+}  // namespace slocal

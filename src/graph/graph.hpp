@@ -1,0 +1,60 @@
+// Simple undirected graph with stable node and edge indices.
+//
+// This is the substrate on which support graphs live: the Supported LOCAL
+// simulator, the girth / independence metrics of Lemma 2.1, and the
+// solution-existence solvers all operate on Graph (or its bipartite /
+// hypergraph siblings).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace slocal {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+struct Edge {
+  NodeId u;
+  NodeId v;
+
+  NodeId other(NodeId x) const { return x == u ? v : u; }
+  bool operator==(const Edge&) const = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Adds an undirected edge. Parallel edges and self-loops are rejected
+  /// (returns nullopt); the framework works with simple graphs only.
+  std::optional<EdgeId> add_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Edge ids incident to `v`, in insertion order.
+  std::span<const EdgeId> incident_edges(NodeId v) const { return adjacency_[v]; }
+
+  std::size_t degree(NodeId v) const { return adjacency_[v].size(); }
+  std::size_t max_degree() const;
+  std::size_t min_degree() const;
+  bool is_regular() const;
+
+  /// Neighbor node ids of `v` (materialized; prefer incident_edges in loops).
+  std::vector<NodeId> neighbors(NodeId v) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+}  // namespace slocal

@@ -1,0 +1,79 @@
+#include "src/graph/hypergraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slocal {
+
+Hypergraph::Hypergraph(std::size_t node_count) : incident_(node_count) {}
+
+std::optional<HyperedgeId> Hypergraph::add_hyperedge(std::vector<NodeId> nodes) {
+  std::vector<NodeId> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return std::nullopt;  // repeated node within a hyperedge
+  }
+  for ([[maybe_unused]] NodeId v : nodes) assert(v < node_count());
+  const HyperedgeId id = static_cast<HyperedgeId>(hyperedges_.size());
+  for (NodeId v : nodes) incident_[v].push_back(id);
+  hyperedges_.push_back(std::move(nodes));
+  return id;
+}
+
+std::size_t Hypergraph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& a : incident_) d = std::max(d, a.size());
+  return d;
+}
+
+std::size_t Hypergraph::max_rank() const {
+  std::size_t r = 0;
+  for (const auto& e : hyperedges_) r = std::max(r, e.size());
+  return r;
+}
+
+bool Hypergraph::is_linear() const {
+  // Two hyperedges share at most one node <=> no pair of nodes appears in
+  // two different hyperedges together.
+  for (NodeId v = 0; v < node_count(); ++v) {
+    for (std::size_t i = 0; i < incident_[v].size(); ++i) {
+      for (std::size_t j = i + 1; j < incident_[v].size(); ++j) {
+        const auto& a = hyperedges_[incident_[v][i]];
+        const auto& b = hyperedges_[incident_[v][j]];
+        std::size_t shared = 0;
+        for (NodeId x : a) {
+          if (std::find(b.begin(), b.end(), x) != b.end()) ++shared;
+        }
+        if (shared > 1) return false;
+      }
+    }
+  }
+  return true;
+}
+
+BipartiteGraph Hypergraph::incidence_graph() const {
+  BipartiteGraph g(node_count(), hyperedge_count());
+  for (HyperedgeId e = 0; e < hyperedge_count(); ++e) {
+    for (NodeId v : hyperedges_[e]) g.add_edge(v, e);
+  }
+  return g;
+}
+
+Hypergraph Hypergraph::from_incidence(const BipartiteGraph& g) {
+  Hypergraph h(g.white_count());
+  for (NodeId b = 0; b < g.black_count(); ++b) {
+    std::vector<NodeId> nodes;
+    nodes.reserve(g.black_degree(b));
+    for (EdgeId e : g.black_incident(b)) nodes.push_back(g.edge(e).white);
+    h.add_hyperedge(std::move(nodes));
+  }
+  return h;
+}
+
+Hypergraph Hypergraph::from_graph(const Graph& g) {
+  Hypergraph h(g.node_count());
+  for (const Edge& e : g.edges()) h.add_hyperedge({e.u, e.v});
+  return h;
+}
+
+}  // namespace slocal

@@ -1,0 +1,62 @@
+// Hypergraphs and their incidence graphs.
+//
+// The paper's hypergraph results (Corollary 3.3, Corollary B.3, Theorem C.3)
+// work through the standard equivalence: non-bipartitely solving Π on a
+// hypergraph H means bipartitely solving Π on the incidence graph of H,
+// where hypergraph nodes become white nodes and hyperedges become black
+// nodes. Hypergraph stores ranks explicitly and converts both ways.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/graph/bipartite.hpp"
+#include "src/graph/graph.hpp"
+
+namespace slocal {
+
+using HyperedgeId = std::uint32_t;
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+  explicit Hypergraph(std::size_t node_count);
+
+  std::size_t node_count() const { return incident_.size(); }
+  std::size_t hyperedge_count() const { return hyperedges_.size(); }
+
+  /// Adds a hyperedge over the given (distinct) nodes. Duplicate node lists
+  /// are allowed (multi-hypergraph), but nodes within an edge must be
+  /// distinct; returns nullopt otherwise.
+  std::optional<HyperedgeId> add_hyperedge(std::vector<NodeId> nodes);
+
+  std::span<const NodeId> hyperedge(HyperedgeId e) const { return hyperedges_[e]; }
+  std::span<const HyperedgeId> incident(NodeId v) const { return incident_[v]; }
+
+  std::size_t degree(NodeId v) const { return incident_[v].size(); }
+  std::size_t rank(HyperedgeId e) const { return hyperedges_[e].size(); }
+  std::size_t max_degree() const;
+  std::size_t max_rank() const;
+
+  /// Linear: every pair of hyperedges shares at most one node.
+  bool is_linear() const;
+
+  /// Incidence graph: white node i = hypergraph node i, black node j =
+  /// hyperedge j. Node-hyperedge pair (v, e) = incidence edge.
+  BipartiteGraph incidence_graph() const;
+
+  /// Inverse of BipartiteGraph::incidence: white nodes -> nodes,
+  /// black nodes -> hyperedges.
+  static Hypergraph from_incidence(const BipartiteGraph& g);
+
+  /// 2-uniform hypergraph from an ordinary graph (each edge a rank-2 edge).
+  static Hypergraph from_graph(const Graph& g);
+
+ private:
+  std::vector<std::vector<NodeId>> hyperedges_;
+  std::vector<std::vector<HyperedgeId>> incident_;
+};
+
+}  // namespace slocal

@@ -1,0 +1,303 @@
+#include "src/graph/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <numeric>
+
+#include "src/util/rng.hpp"
+
+namespace slocal {
+
+namespace {
+
+/// Shortest cycle through edges reachable from `source` found by BFS: for
+/// each node we track parent edge; a non-tree edge closing two BFS branches
+/// witnesses a cycle of length dist(u) + dist(v) + 1. Running this from
+/// every source yields the exact girth.
+std::optional<std::size_t> shortest_cycle_from(const Graph& g, NodeId source) {
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(g.node_count(), kInf);
+  std::vector<EdgeId> parent_edge(g.node_count(), std::numeric_limits<EdgeId>::max());
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  std::optional<std::size_t> best;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (EdgeId e : g.incident_edges(u)) {
+      if (e == parent_edge[u]) continue;
+      const NodeId v = g.edge(e).other(u);
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        parent_edge[v] = e;
+        queue.push_back(v);
+      } else if (dist[v] >= dist[u]) {
+        // Non-tree edge; cycle through source of length <= dist(u)+dist(v)+1.
+        const std::size_t len = dist[u] + dist[v] + 1;
+        if (!best || len < *best) best = len;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<std::size_t> girth(const Graph& g) {
+  std::optional<std::size_t> best;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto c = shortest_cycle_from(g, v);
+    if (c && (!best || *c < *best)) best = c;
+  }
+  return best;
+}
+
+namespace {
+
+/// BFS from `source` reconstructing a cycle of length `target` through it,
+/// if one exists: the closing non-tree edge plus the two disjoint parent
+/// chains. Exact when `target` equals the girth and `source` lies on a
+/// shortest cycle (the chains are then disjoint).
+std::optional<std::vector<EdgeId>> cycle_through(const Graph& g, NodeId source,
+                                                 std::size_t target) {
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(g.node_count(), kInf);
+  std::vector<EdgeId> parent_edge(g.node_count(), std::numeric_limits<EdgeId>::max());
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (EdgeId e : g.incident_edges(u)) {
+      if (e == parent_edge[u]) continue;
+      const NodeId v = g.edge(e).other(u);
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        parent_edge[v] = e;
+        queue.push_back(v);
+      } else if (dist[v] >= dist[u] && dist[u] + dist[v] + 1 == target) {
+        // Reconstruct: e plus both parent chains back to the source.
+        std::vector<EdgeId> cycle{e};
+        for (NodeId x : {u, v}) {
+          while (x != source) {
+            const EdgeId pe = parent_edge[x];
+            cycle.push_back(pe);
+            x = g.edge(pe).other(x);
+          }
+        }
+        // The chains may merge above the source for non-witness sources;
+        // only accept the exact-length (disjoint) reconstruction.
+        std::sort(cycle.begin(), cycle.end());
+        cycle.erase(std::unique(cycle.begin(), cycle.end()), cycle.end());
+        if (cycle.size() == target) return cycle;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<EdgeId>> shortest_cycle(const Graph& g) {
+  const auto target = girth(g);
+  if (!target) return std::nullopt;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (auto cycle = cycle_through(g, v, *target)) return cycle;
+  }
+  return std::nullopt;  // unreachable: some source witnesses the girth
+}
+
+std::optional<std::size_t> girth(const BipartiteGraph& g) {
+  return girth(g.to_graph());
+}
+
+namespace {
+
+struct BnBState {
+  const Graph* g;
+  std::uint64_t budget;
+  std::uint64_t visited = 0;
+  std::size_t best = 0;
+  bool exceeded = false;
+
+  // candidates: nodes still eligible; size of current independent set: depth.
+  void recurse(std::vector<NodeId>& candidates, std::size_t depth) {
+    if (exceeded) return;
+    if (++visited > budget) {
+      exceeded = true;
+      return;
+    }
+    if (depth + candidates.size() <= best) return;  // bound
+    if (candidates.empty()) {
+      best = std::max(best, depth);
+      return;
+    }
+    // Branch on the highest-degree candidate (within the candidate set).
+    std::size_t pick = 0;
+    std::size_t pick_deg = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const std::size_t d = g->degree(candidates[i]);
+      if (d >= pick_deg) {
+        pick_deg = d;
+        pick = i;
+      }
+    }
+    const NodeId v = candidates[pick];
+    // Branch 1: include v (remove v and its neighbors).
+    {
+      std::vector<NodeId> next;
+      next.reserve(candidates.size());
+      for (NodeId u : candidates) {
+        if (u != v && !g->has_edge(u, v)) next.push_back(u);
+      }
+      recurse(next, depth + 1);
+    }
+    // Branch 2: exclude v.
+    {
+      std::vector<NodeId> next;
+      next.reserve(candidates.size() - 1);
+      for (NodeId u : candidates) {
+        if (u != v) next.push_back(u);
+      }
+      recurse(next, depth);
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<std::size_t> independence_number_exact(const Graph& g,
+                                                     std::uint64_t node_budget) {
+  BnBState state{&g, node_budget};
+  state.best = independence_number_greedy(g, /*seed=*/7, /*trials=*/8);
+  std::vector<NodeId> candidates(g.node_count());
+  std::iota(candidates.begin(), candidates.end(), NodeId{0});
+  state.recurse(candidates, 0);
+  if (state.exceeded) return std::nullopt;
+  return state.best;
+}
+
+std::size_t independence_number_greedy(const Graph& g, std::uint64_t seed,
+                                       int trials) {
+  Rng rng(seed);
+  std::size_t best = 0;
+  std::vector<NodeId> order(g.node_count());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  for (int t = 0; t < trials; ++t) {
+    if (t > 0) rng.shuffle(order);
+    std::vector<char> blocked(g.node_count(), 0);
+    std::size_t size = 0;
+    for (NodeId v : order) {
+      if (blocked[v]) continue;
+      ++size;
+      blocked[v] = 1;
+      for (EdgeId e : g.incident_edges(v)) blocked[g.edge(e).other(v)] = 1;
+    }
+    best = std::max(best, size);
+  }
+  return best;
+}
+
+std::size_t chromatic_number_greedy(const Graph& g, std::uint64_t seed, int trials) {
+  if (g.node_count() == 0) return 0;
+  Rng rng(seed);
+  std::size_t best = g.node_count();
+  std::vector<NodeId> order(g.node_count());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  for (int t = 0; t < trials; ++t) {
+    if (t > 0) rng.shuffle(order);
+    std::vector<std::uint32_t> color(g.node_count(),
+                                     std::numeric_limits<std::uint32_t>::max());
+    std::size_t used = 0;
+    std::vector<char> taken;
+    for (NodeId v : order) {
+      taken.assign(g.degree(v) + 1, 0);
+      for (EdgeId e : g.incident_edges(v)) {
+        const std::uint32_t c = color[g.edge(e).other(v)];
+        if (c < taken.size()) taken[c] = 1;
+      }
+      std::uint32_t c = 0;
+      while (taken[c]) ++c;
+      color[v] = c;
+      used = std::max<std::size_t>(used, c + 1);
+    }
+    best = std::min(best, used);
+  }
+  return best;
+}
+
+std::size_t chromatic_lower_bound_from_independence(std::size_t n, std::size_t alpha) {
+  if (n == 0) return 0;
+  assert(alpha > 0);
+  return (n + alpha - 1) / alpha;
+}
+
+std::size_t component_count(const Graph& g) {
+  std::vector<char> seen(g.node_count(), 0);
+  std::size_t components = 0;
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (seen[s]) continue;
+    ++components;
+    seen[s] = 1;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (EdgeId e : g.incident_edges(u)) {
+        const NodeId v = g.edge(e).other(u);
+        if (!seen[v]) {
+          seen[v] = 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool is_connected(const Graph& g) {
+  return g.node_count() <= 1 || component_count(g) == 1;
+}
+
+bool is_independent_set(const Graph& g, const std::vector<NodeId>& set) {
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      if (set[i] == set[j] || g.has_edge(set[i], set[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool is_proper_coloring(const Graph& g, const std::vector<std::uint32_t>& colors) {
+  if (colors.size() != g.node_count()) return false;
+  for (const Edge& e : g.edges()) {
+    if (colors[e.u] == colors[e.v]) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source) {
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(g.node_count(), kInf);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (EdgeId e : g.incident_edges(u)) {
+      const NodeId v = g.edge(e).other(u);
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace slocal

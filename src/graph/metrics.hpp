@@ -1,0 +1,65 @@
+// Structural metrics used as certificates for generated support graphs.
+//
+// The lower-bound constructions only need three facts about a support graph
+// G (Lemma 2.1): (i) it is Δ-regular, (ii) its girth is large, (iii) its
+// independence number is small, which lower-bounds its chromatic number by
+// n/α(G). These functions compute or bound those quantities so every
+// generated instance carries a *checked* certificate rather than an assumed
+// property.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "src/graph/bipartite.hpp"
+#include "src/graph/graph.hpp"
+
+namespace slocal {
+
+/// Girth (length of shortest cycle); nullopt for forests.
+std::optional<std::size_t> girth(const Graph& g);
+
+/// One shortest cycle, as edge ids (length = girth); nullopt for forests.
+/// Used by the girth-improving local search of the Lemma 2.1 substitute.
+std::optional<std::vector<EdgeId>> shortest_cycle(const Graph& g);
+
+/// Exact independence number via branch-and-bound with greedy bounding.
+/// Intended for graphs up to a few hundred nodes; `node_budget` caps the
+/// search tree (returns nullopt when exceeded).
+std::optional<std::size_t> independence_number_exact(
+    const Graph& g, std::uint64_t node_budget = 50'000'000);
+
+/// Lower bound on the independence number: best of several randomized
+/// greedy orders (always a valid independent set size).
+std::size_t independence_number_greedy(const Graph& g, std::uint64_t seed = 1,
+                                       int trials = 32);
+
+/// Upper bound on the chromatic number: greedy coloring over several orders
+/// (returns the best, i.e. smallest, color count found).
+std::size_t chromatic_number_greedy(const Graph& g, std::uint64_t seed = 1,
+                                    int trials = 32);
+
+/// Lower bound on the chromatic number: ceil(n / alpha) for any upper bound
+/// alpha >= α(G). Pass an exact or proven upper bound for α.
+std::size_t chromatic_lower_bound_from_independence(std::size_t n, std::size_t alpha);
+
+/// Number of connected components.
+std::size_t component_count(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Verifies a set is independent in g.
+bool is_independent_set(const Graph& g, const std::vector<NodeId>& set);
+
+/// Verifies a proper node coloring (colors[v] in [0, k) for some k).
+bool is_proper_coloring(const Graph& g, const std::vector<std::uint32_t>& colors);
+
+/// BFS distances from a source (unreachable = SIZE_MAX).
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Girth of a 2-colored bipartite graph (always even).
+std::optional<std::size_t> girth(const BipartiteGraph& g);
+
+}  // namespace slocal

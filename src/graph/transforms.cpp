@@ -1,0 +1,114 @@
+#include "src/graph/transforms.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace slocal {
+
+BipartiteGraph bipartite_double_cover(const Graph& g) {
+  BipartiteGraph cover(g.node_count(), g.node_count());
+  for (const Edge& e : g.edges()) {
+    cover.add_edge(e.u, e.v);
+    cover.add_edge(e.v, e.u);
+  }
+  return cover;
+}
+
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  Graph g(a.node_count() + b.node_count());
+  for (const Edge& e : a.edges()) g.add_edge(e.u, e.v);
+  const NodeId shift = static_cast<NodeId>(a.node_count());
+  for (const Edge& e : b.edges()) g.add_edge(e.u + shift, e.v + shift);
+  return g;
+}
+
+BipartiteGraph disjoint_union(const BipartiteGraph& a, const BipartiteGraph& b) {
+  BipartiteGraph g(a.white_count() + b.white_count(),
+                   a.black_count() + b.black_count());
+  for (const BiEdge& e : a.edges()) g.add_edge(e.white, e.black);
+  const NodeId ws = static_cast<NodeId>(a.white_count());
+  const NodeId bs = static_cast<NodeId>(a.black_count());
+  for (const BiEdge& e : b.edges()) g.add_edge(e.white + ws, e.black + bs);
+  return g;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  constexpr NodeId kAbsent = std::numeric_limits<NodeId>::max();
+  std::vector<NodeId> remap(g.node_count(), kAbsent);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    remap[sorted[i]] = static_cast<NodeId>(i);
+  }
+  InducedSubgraph out{Graph(sorted.size()), sorted};
+  for (const Edge& e : g.edges()) {
+    if (remap[e.u] != kAbsent && remap[e.v] != kAbsent) {
+      out.graph.add_edge(remap[e.u], remap[e.v]);
+    }
+  }
+  return out;
+}
+
+BipartiteGraph edge_subgraph(const BipartiteGraph& g, const std::vector<bool>& keep) {
+  assert(keep.size() == g.edge_count());
+  BipartiteGraph out(g.white_count(), g.black_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (keep[e]) out.add_edge(g.edge(e).white, g.edge(e).black);
+  }
+  return out;
+}
+
+Graph edge_subgraph(const Graph& g, const std::vector<bool>& keep) {
+  assert(keep.size() == g.edge_count());
+  Graph out(g.node_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (keep[e]) out.add_edge(g.edge(e).u, g.edge(e).v);
+  }
+  return out;
+}
+
+}  // namespace slocal
+
+namespace slocal {
+
+BipartiteGraph pad_to_exact_size(const BipartiteGraph& g, std::size_t target_nodes) {
+  assert(target_nodes >= g.node_count());
+  const std::size_t extra = target_nodes - g.node_count();
+  const std::size_t extra_white = (extra + 1) / 2;
+  const std::size_t extra_black = extra / 2;
+  BipartiteGraph out(g.white_count() + extra_white, g.black_count() + extra_black);
+  for (const BiEdge& e : g.edges()) out.add_edge(e.white, e.black);
+  // Alternating path w0 - b0 - w1 - b1 - ... over the new nodes.
+  for (std::size_t i = 0; i < extra_black; ++i) {
+    out.add_edge(static_cast<NodeId>(g.white_count() + i),
+                 static_cast<NodeId>(g.black_count() + i));
+    if (i + 1 < extra_white) {
+      out.add_edge(static_cast<NodeId>(g.white_count() + i + 1),
+                   static_cast<NodeId>(g.black_count() + i));
+    }
+  }
+  return out;
+}
+
+std::vector<bool> random_degree_capped_subgraph(const Graph& support,
+                                                std::size_t max_degree, Rng& rng) {
+  std::vector<bool> keep(support.edge_count(), false);
+  std::vector<std::size_t> degree(support.node_count(), 0);
+  std::vector<EdgeId> order(support.edge_count());
+  for (EdgeId e = 0; e < support.edge_count(); ++e) order[e] = e;
+  rng.shuffle(order);
+  for (const EdgeId e : order) {
+    const Edge& edge = support.edge(e);
+    if (degree[edge.u] < max_degree && degree[edge.v] < max_degree) {
+      keep[e] = true;
+      ++degree[edge.u];
+      ++degree[edge.v];
+    }
+  }
+  return keep;
+}
+
+}  // namespace slocal

@@ -1,0 +1,59 @@
+// Graph transformations used in the lower-bound constructions.
+//
+// Section 4.2 takes a graph from Lemma 2.1's family and passes to its
+// *bipartite double cover* to obtain a (Δ,Δ)-biregular 2-colored support
+// graph whose girth is at least that of the original. Theorem 3.4 pads a
+// graph with a disjoint tree component to hit an exact node count. Both
+// operations live here, together with subgraph extraction used by the
+// 0-round algorithm machinery (input graphs G' ⊆ G).
+#pragma once
+
+#include <vector>
+
+#include "src/graph/bipartite.hpp"
+#include "src/graph/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace slocal {
+
+/// Bipartite double cover: white copy w_v and black copy b_v of every node
+/// v; edge {u,v} in G becomes {w_u, b_v} and {w_v, b_u}. If G is Δ-regular,
+/// the cover is (Δ,Δ)-biregular; girth(cover) >= girth(G).
+BipartiteGraph bipartite_double_cover(const Graph& g);
+
+/// Disjoint union (node ids of `b` are shifted by a.node_count()).
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+/// Disjoint union of 2-colored graphs (both sides shifted).
+BipartiteGraph disjoint_union(const BipartiteGraph& a, const BipartiteGraph& b);
+
+/// Node-induced subgraph; returns the subgraph plus the mapping from new
+/// node ids to original ids.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> original;  // original[new_id] = old_id
+};
+InducedSubgraph induced_subgraph(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Edge-subgraph of a 2-colored graph: same node set, keep edges whose
+/// flag is true. This is exactly an "input graph" G' of the Supported
+/// LOCAL model over support G.
+BipartiteGraph edge_subgraph(const BipartiteGraph& g, const std::vector<bool>& keep);
+
+/// Edge-subgraph of a plain graph.
+Graph edge_subgraph(const Graph& g, const std::vector<bool>& keep);
+
+/// Theorem 3.4's padding: extends a 2-colored graph to exactly
+/// `target_nodes` total nodes by adding a disjoint alternating path
+/// component (degrees <= 2, so within any white/black degree caps >= 2 and
+/// unconstrained for problems with larger configuration sizes). Requires
+/// target_nodes >= node_count().
+BipartiteGraph pad_to_exact_size(const BipartiteGraph& g, std::size_t target_nodes);
+
+/// Random edge subset whose induced degrees stay within `max_degree` —
+/// the standard way to sample an input graph G' of degree <= Δ' from a
+/// support (visit edges in random order, keep while both endpoints fit).
+std::vector<bool> random_degree_capped_subgraph(const Graph& support,
+                                                std::size_t max_degree, Rng& rng);
+
+}  // namespace slocal

@@ -1,0 +1,139 @@
+#include "src/problems/classic.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace slocal {
+
+Problem make_maximal_matching_problem(std::size_t delta) {
+  assert(delta >= 2);
+  LabelRegistry reg;
+  const Label m = reg.intern("M");
+  const Label o = reg.intern("O");
+  const Label p = reg.intern("P");
+
+  Constraint white(delta);
+  {
+    std::vector<Label> cfg{m};
+    for (std::size_t i = 0; i + 1 < delta; ++i) cfg.push_back(o);
+    white.add(Configuration(std::move(cfg)));
+  }
+  white.add(Configuration(std::vector<Label>(delta, p)));
+
+  Constraint black(delta);
+  {
+    std::vector<std::vector<Label>> cfg{{m}};
+    for (std::size_t i = 0; i + 1 < delta; ++i) cfg.push_back({o, p});
+    black.add_condensed(cfg);
+  }
+  black.add(Configuration(std::vector<Label>(delta, o)));
+
+  return Problem("MM_" + std::to_string(delta), std::move(reg), std::move(white),
+                 std::move(black));
+}
+
+Problem make_sinkless_orientation_problem(std::size_t delta) {
+  assert(delta >= 1);
+  LabelRegistry reg;
+  const Label out = reg.intern("O");
+  const Label in = reg.intern("I");
+
+  Constraint white(delta);
+  {
+    std::vector<std::vector<Label>> cfg{{out}};
+    for (std::size_t i = 0; i + 1 < delta; ++i) cfg.push_back({in, out});
+    white.add_condensed(cfg);
+  }
+
+  Constraint black(2);
+  black.add(Configuration{in, out});
+
+  return Problem("SO_" + std::to_string(delta), std::move(reg), std::move(white),
+                 std::move(black));
+}
+
+Problem make_proper_coloring_problem(std::size_t delta, std::size_t colors) {
+  assert(colors >= 1);
+  LabelRegistry reg;
+  std::vector<Label> color_label;
+  color_label.reserve(colors);
+  for (std::size_t i = 1; i <= colors; ++i) {
+    color_label.push_back(reg.intern("c" + std::to_string(i)));
+  }
+
+  Constraint white(delta);
+  for (const Label c : color_label) {
+    white.add(Configuration(std::vector<Label>(delta, c)));
+  }
+
+  Constraint black(2);
+  for (std::size_t i = 0; i < colors; ++i) {
+    for (std::size_t j = i + 1; j < colors; ++j) {
+      black.add(Configuration{color_label[i], color_label[j]});
+    }
+  }
+
+  return Problem(std::to_string(colors) + "-coloring_" + std::to_string(delta),
+                 std::move(reg), std::move(white), std::move(black));
+}
+
+Problem make_hypergraph_coloring_problem(std::size_t delta, std::size_t rank,
+                                         std::size_t colors) {
+  assert(colors >= 2 && rank >= 2);
+  LabelRegistry reg;
+  std::vector<Label> color_label;
+  color_label.reserve(colors);
+  for (std::size_t i = 1; i <= colors; ++i) {
+    color_label.push_back(reg.intern("c" + std::to_string(i)));
+  }
+
+  Constraint white(delta);
+  for (const Label c : color_label) {
+    white.add(Configuration(std::vector<Label>(delta, c)));
+  }
+
+  // Hyperedges: every multiset of size `rank` except the monochromatic ones.
+  Constraint black(rank);
+  std::vector<std::vector<Label>> all_positions(rank, color_label);
+  black.add_condensed(all_positions);
+  // Remove monochromatic configurations by rebuilding without them.
+  Constraint filtered(rank);
+  for (const auto& cfg : black.members()) {
+    bool mono = true;
+    for (const Label l : cfg.labels()) mono = mono && l == cfg[0];
+    if (!mono) filtered.add(cfg);
+  }
+
+  return Problem("weak-" + std::to_string(colors) + "-coloring_r" +
+                     std::to_string(rank),
+                 std::move(reg), std::move(white), std::move(filtered));
+}
+
+Problem make_hypergraph_matching_problem(std::size_t delta, std::size_t rank) {
+  assert(delta >= 1 && rank >= 2);
+  LabelRegistry reg;
+  const Label m = reg.intern("M");
+  const Label o = reg.intern("O");
+  const Label p = reg.intern("P");
+
+  Constraint white(delta);
+  {
+    std::vector<Label> cfg{m};
+    for (std::size_t i = 0; i + 1 < delta; ++i) cfg.push_back(o);
+    white.add(Configuration(std::move(cfg)));
+  }
+  white.add(Configuration(std::vector<Label>(delta, p)));
+
+  Constraint black(rank);
+  black.add(Configuration(std::vector<Label>(rank, m)));
+  {
+    std::vector<std::vector<Label>> cfg{{o}};
+    for (std::size_t i = 0; i + 1 < rank; ++i) cfg.push_back({o, p});
+    black.add_condensed(cfg);
+  }
+
+  return Problem("HMM_" + std::to_string(delta) + "_r" + std::to_string(rank),
+                 std::move(reg), std::move(white), std::move(black));
+}
+
+}  // namespace slocal

@@ -1,0 +1,45 @@
+// Classic problems in the black-white formalism.
+//
+// Maximal matching as in Appendix A (Figure 3's encoding) and sinkless
+// orientation as in [BFH+16]/[BKK+23] — the problem through which the
+// Supported-LOCAL round elimination idea was first demonstrated.
+#pragma once
+
+#include <cstddef>
+
+#include "src/formalism/problem.hpp"
+
+namespace slocal {
+
+/// Maximal matching on Δ-regular bipartite 2-colored graphs (Appendix A):
+///   white: M O^{Δ-1} | P^Δ        black: M [O P]^{Δ-1} | O^Δ
+/// M = matched edge, O = other, P = pointer of an unmatched white node.
+Problem make_maximal_matching_problem(std::size_t delta);
+
+/// Sinkless orientation on Δ-regular graphs (edges = black nodes of rank 2):
+///   white: O [I O]^{Δ-1}   (at least one outgoing)
+///   black: I O             (each edge out of exactly one endpoint)
+Problem make_sinkless_orientation_problem(std::size_t delta);
+
+/// Proper c-coloring of Δ-regular graphs (edges as rank-2 black nodes):
+///   white: i^Δ for each color i (a node announces its color on all edges)
+///   black: i j for i != j
+Problem make_proper_coloring_problem(std::size_t delta, std::size_t colors);
+
+/// Weak c-coloring of Δ-regular r-uniform hypergraphs: nodes announce a
+/// color on every incidence; hyperedges must not be monochromatic. The
+/// non-bipartite setting of Corollary 3.3 (white = nodes of degree Δ,
+/// black = hyperedges of rank r).
+Problem make_hypergraph_coloring_problem(std::size_t delta, std::size_t rank,
+                                         std::size_t colors);
+
+/// Maximal matching on Δ-regular r-uniform hypergraphs (the [BBKO23]
+/// problem the paper's Section 7 leaves open for Supported LOCAL):
+///   white (node, deg Δ):    M O^{Δ-1} | P^Δ
+///   black (hyperedge, r):   M^r | O [O P]^{r-1}
+/// A hyperedge is matched when all its incidences carry M; a node is in at
+/// most one matched hyperedge; an unmatched hyperedge must contain a node
+/// matched elsewhere (its O incidence).
+Problem make_hypergraph_matching_problem(std::size_t delta, std::size_t rank);
+
+}  // namespace slocal

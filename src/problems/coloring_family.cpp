@@ -1,0 +1,87 @@
+#include "src/problems/coloring_family.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace slocal {
+
+namespace {
+
+std::string color_set_name(SmallBitset set) {
+  std::string out = "l{";
+  bool first = true;
+  for (const std::size_t i : set.indices()) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(i + 1);  // colors are 1-based in the paper
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+Problem make_coloring_problem(std::size_t delta, std::size_t c) {
+  assert(c >= 1 && c <= 8);
+  assert(delta >= 1);
+
+  LabelRegistry reg;
+  const Label x_label = reg.intern("X");
+  const std::size_t num_sets = (std::size_t{1} << c) - 1;
+  // label of color set with bit pattern b (1-based over labels): x_label+b.
+  std::vector<Label> set_label(num_sets + 1, 0);
+  for (std::size_t bits = 1; bits <= num_sets; ++bits) {
+    set_label[bits] = reg.intern(color_set_name(SmallBitset(bits)));
+  }
+
+  Constraint white(delta);
+  for (std::size_t bits = 1; bits <= num_sets; ++bits) {
+    const std::size_t x = SmallBitset(bits).count() - 1;
+    if (x > delta) continue;  // cannot place |C|-1 X's in Δ slots
+    std::vector<Label> cfg;
+    cfg.reserve(delta);
+    for (std::size_t i = 0; i < delta - x; ++i) cfg.push_back(set_label[bits]);
+    for (std::size_t i = 0; i < x; ++i) cfg.push_back(x_label);
+    white.add(Configuration(std::move(cfg)));
+  }
+
+  Constraint black(2);
+  for (std::size_t b1 = 1; b1 <= num_sets; ++b1) {
+    for (std::size_t b2 = b1; b2 <= num_sets; ++b2) {
+      if ((b1 & b2) == 0) {
+        black.add(Configuration{set_label[b1], set_label[b2]});
+      }
+    }
+  }
+  for (std::size_t l = 0; l < reg.size(); ++l) {
+    black.add(Configuration{x_label, static_cast<Label>(l)});
+  }
+
+  return Problem("Pi_" + std::to_string(delta) + "(c=" + std::to_string(c) + ")",
+                 std::move(reg), std::move(white), std::move(black));
+}
+
+std::optional<Label> coloring_label(const Problem& p, SmallBitset color_set) {
+  if (color_set.empty()) return std::nullopt;
+  return p.registry().find(color_set_name(color_set));
+}
+
+SmallBitset coloring_label_set(const Problem& p, Label l) {
+  const std::string& name = p.registry().name(l);
+  if (name == "X") return SmallBitset{};
+  SmallBitset out;
+  // Parse "l{a,b,...}".
+  std::size_t i = 2;
+  while (i < name.size() && name[i] != '}') {
+    std::size_t value = 0;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+      value = value * 10 + static_cast<std::size_t>(name[i] - '0');
+      ++i;
+    }
+    if (value > 0) out.set(value - 1);
+    if (i < name.size() && name[i] == ',') ++i;
+  }
+  return out;
+}
+
+}  // namespace slocal

@@ -1,0 +1,33 @@
+// The arbdefective-coloring problem family Π_Δ(c) (Definition 5.2).
+//
+// Σ = {X} ∪ {l(C) : ∅ ≠ C ⊆ {1..c}}. White (node) constraint, degree Δ:
+//   l(C)^{Δ-x} X^x  with x = |C|-1, for every non-empty C;
+// black (edge) constraint, degree 2:
+//   l(C1) l(C2) for all disjoint non-empty C1, C2;
+//   X L for every label L.
+//
+// Lemma 5.3: an α-arbdefective c-coloring yields a solution of
+// Π_Δ((α+1)c) in 0 rounds. Lemma 5.4: for (α+1)c <= Δ the problem is a
+// round elimination *fixed point*: RE(Π_Δ(k)) = Π_Δ(k).
+#pragma once
+
+#include <cstddef>
+
+#include "src/formalism/problem.hpp"
+#include "src/util/bitset.hpp"
+
+namespace slocal {
+
+/// Builds Π_Δ(c). Labels are interned as "X" then "l{...}" by color-subset
+/// bit pattern order. Requires c >= 1, Δ >= 1, and |Σ| = 2^c within the
+/// Label range.
+Problem make_coloring_problem(std::size_t delta, std::size_t c);
+
+/// The label for color set C (bits over {0..c-1}); nullopt if not a label
+/// of this problem (e.g. empty set).
+std::optional<Label> coloring_label(const Problem& p, SmallBitset color_set);
+
+/// The color set denoted by a label; empty set for the X label.
+SmallBitset coloring_label_set(const Problem& p, Label l);
+
+}  // namespace slocal

@@ -1,0 +1,113 @@
+#include "src/problems/matching_family.hpp"
+
+#include <cassert>
+
+namespace slocal {
+
+Problem make_matching_problem(std::size_t delta, std::size_t x, std::size_t y) {
+  assert(delta >= 2);
+  assert(y >= 1 && y <= delta - 1);
+  assert(x <= delta - y);
+
+  LabelRegistry reg;
+  const Label m = reg.intern("M");
+  const Label p = reg.intern("P");
+  const Label o = reg.intern("O");
+  const Label lx = reg.intern("X");
+  const Label z = reg.intern("Z");
+
+  const auto rep = [](const std::vector<Label>& alts, std::size_t count,
+                      std::vector<std::vector<Label>>& out) {
+    for (std::size_t i = 0; i < count; ++i) out.push_back(alts);
+  };
+
+  Constraint white(delta);
+  {
+    // X^{y-1} M O^{Δ-y}
+    std::vector<std::vector<Label>> cfg;
+    rep({lx}, y - 1, cfg);
+    rep({m}, 1, cfg);
+    rep({o}, delta - y, cfg);
+    white.add_condensed(cfg);
+  }
+  {
+    // X^y O^x P^{Δ-y-x}
+    std::vector<std::vector<Label>> cfg;
+    rep({lx}, y, cfg);
+    rep({o}, x, cfg);
+    rep({p}, delta - y - x, cfg);
+    white.add_condensed(cfg);
+  }
+  {
+    // X^y Z O^{Δ-y-1}
+    std::vector<std::vector<Label>> cfg;
+    rep({lx}, y, cfg);
+    rep({z}, 1, cfg);
+    rep({o}, delta - y - 1, cfg);
+    white.add_condensed(cfg);
+  }
+
+  Constraint black(delta);
+  const std::vector<Label> any{m, z, p, o, lx};
+  const std::vector<Label> mx{m, lx};
+  const std::vector<Label> pox{p, o, lx};
+  const std::vector<Label> ox{o, lx};
+  {
+    // [MZPOX]^{y-1} [MX] [POX]^{Δ-y}
+    std::vector<std::vector<Label>> cfg;
+    rep(any, y - 1, cfg);
+    rep(mx, 1, cfg);
+    rep(pox, delta - y, cfg);
+    black.add_condensed(cfg);
+  }
+  {
+    // [MZPOX]^y [POX]^x [OX]^{Δ-y-x}
+    std::vector<std::vector<Label>> cfg;
+    rep(any, y, cfg);
+    rep(pox, x, cfg);
+    rep(ox, delta - y - x, cfg);
+    black.add_condensed(cfg);
+  }
+  {
+    // [MZPOX]^y [X] [POX]^{Δ-y-1}
+    std::vector<std::vector<Label>> cfg;
+    rep(any, y, cfg);
+    rep({lx}, 1, cfg);
+    rep(pox, delta - y - 1, cfg);
+    black.add_condensed(cfg);
+  }
+
+  return Problem("Pi_" + std::to_string(delta) + "(" + std::to_string(x) + "," +
+                     std::to_string(y) + ")",
+                 std::move(reg), std::move(white), std::move(black));
+}
+
+MatchingFamilyLabels matching_labels(const Problem& p) {
+  MatchingFamilyLabels out{};
+  out.m = p.registry().find("M").value();
+  out.p = p.registry().find("P").value();
+  out.o = p.registry().find("O").value();
+  out.x = p.registry().find("X").value();
+  out.z = p.registry().find("Z").value();
+  return out;
+}
+
+std::vector<Problem> matching_lower_bound_sequence(std::size_t delta, std::size_t x,
+                                                   std::size_t y, std::size_t k) {
+  assert(x + (k + 1) * y <= delta);
+  std::vector<Problem> out;
+  out.reserve(k + 1);
+  for (std::size_t i = 0; i <= k; ++i) {
+    out.push_back(make_matching_problem(delta, x + i * y, y));
+  }
+  return out;
+}
+
+std::size_t matching_sequence_length(std::size_t delta_prime, std::size_t x,
+                                     std::size_t y) {
+  assert(y >= 1);
+  const std::size_t quotient = (delta_prime - x) / y;
+  return quotient >= 2 ? quotient - 2 : 0;
+}
+
+}  // namespace slocal

@@ -1,0 +1,43 @@
+// The matching problem family Π_Δ(x, y) (Definition 4.2).
+//
+// Π_Δ(x,y) is the black-white-formalism problem that x-maximal y-matching
+// solves within 2 extra rounds (Lemma 4.4). Its white/black constraints are
+//
+//   white:  X^{y-1} M O^{Δ-y}
+//           X^y O^x P^{Δ-y-x}
+//           X^y Z O^{Δ-y-1}
+//   black:  [MZPOX]^{y-1} [MX] [POX]^{Δ-y}
+//           [MZPOX]^y [POX]^x [OX]^{Δ-y-x}
+//           [MZPOX]^y [X] [POX]^{Δ-y-1}
+//
+// and Lemma 4.5 gives the round elimination step
+// Π_Δ(x+y, y) is a relaxation of RE(Π_Δ(x, y)) whenever x + 2y <= Δ.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/formalism/problem.hpp"
+
+namespace slocal {
+
+struct MatchingFamilyLabels {
+  Label m, p, o, x, z;
+};
+
+/// Builds Π_Δ(x, y). Requires Δ >= 2, 1 <= y <= Δ-1, 0 <= x <= Δ-y.
+Problem make_matching_problem(std::size_t delta, std::size_t x, std::size_t y);
+
+/// The label indices of a problem built by make_matching_problem.
+MatchingFamilyLabels matching_labels(const Problem& p);
+
+/// The lower bound sequence of Corollary 4.6: Π_Δ(x, y), Π_Δ(x+y, y), ...,
+/// Π_Δ(x+ky, y). Requires x + (k+1)y <= Δ.
+std::vector<Problem> matching_lower_bound_sequence(std::size_t delta, std::size_t x,
+                                                   std::size_t y, std::size_t k);
+
+/// Sequence length used in Section 4.2: k = floor((Δ' - x)/y) - 2.
+std::size_t matching_sequence_length(std::size_t delta_prime, std::size_t x,
+                                     std::size_t y);
+
+}  // namespace slocal

@@ -1,0 +1,71 @@
+#include "src/problems/rulingset_family.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "src/problems/coloring_family.hpp"
+#include "src/util/bitset.hpp"
+
+namespace slocal {
+
+Problem make_rulingset_problem(std::size_t delta, std::size_t c, std::size_t beta) {
+  if (beta == 0) return make_coloring_problem(delta, c);
+  assert(c >= 1 && c <= 6);
+  assert(delta >= 1);
+
+  // Start from Π_Δ(c) and extend registry/constraints.
+  Problem base = make_coloring_problem(delta, c);
+  LabelRegistry reg = base.registry();
+  const std::size_t base_labels = reg.size();
+
+  std::vector<Label> p_label(beta + 1, 0);
+  std::vector<Label> u_label(beta + 1, 0);
+  for (std::size_t i = 1; i <= beta; ++i) {
+    p_label[i] = reg.intern("P_" + std::to_string(i));
+    u_label[i] = reg.intern("U_" + std::to_string(i));
+  }
+
+  Constraint white = base.white();
+  for (std::size_t i = 1; i <= beta; ++i) {
+    std::vector<Label> cfg;
+    cfg.reserve(delta);
+    cfg.push_back(p_label[i]);
+    for (std::size_t j = 0; j + 1 < delta; ++j) cfg.push_back(u_label[i]);
+    white.add(Configuration(std::move(cfg)));
+  }
+
+  Constraint black = base.black();
+  // P_i / U_i compatible with every label of Π_Δ(c).
+  for (std::size_t i = 1; i <= beta; ++i) {
+    for (std::size_t l = 0; l < base_labels; ++l) {
+      black.add(Configuration{p_label[i], static_cast<Label>(l)});
+      black.add(Configuration{u_label[i], static_cast<Label>(l)});
+    }
+  }
+  // U_i U_j for all pairs (including i = j).
+  for (std::size_t i = 1; i <= beta; ++i) {
+    for (std::size_t j = i; j <= beta; ++j) {
+      black.add(Configuration{u_label[i], u_label[j]});
+    }
+  }
+  // P_i U_j exactly when i > j.
+  for (std::size_t i = 1; i <= beta; ++i) {
+    for (std::size_t j = 1; j < i; ++j) {
+      black.add(Configuration{p_label[i], u_label[j]});
+    }
+  }
+
+  return Problem("Pi_" + std::to_string(delta) + "(c=" + std::to_string(c) +
+                     ",beta=" + std::to_string(beta) + ")",
+                 std::move(reg), std::move(white), std::move(black));
+}
+
+std::optional<Label> pointer_label(const Problem& p, std::size_t i) {
+  return p.registry().find("P_" + std::to_string(i));
+}
+
+std::optional<Label> up_label(const Problem& p, std::size_t i) {
+  return p.registry().find("U_" + std::to_string(i));
+}
+
+}  // namespace slocal

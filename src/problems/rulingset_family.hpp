@@ -1,0 +1,29 @@
+// The arbdefective colored ruling set family Π_Δ(c, β) (Definition 6.2).
+//
+// Extends Π_Δ(c) with pointer/up labels P_i, U_i (1 <= i <= β):
+//   white adds:  P_i U_i^{Δ-1}
+//   black (degree 2) adds, on top of Π_Δ(c)'s edge constraint:
+//     P_i and U_i compatible with every label of Π_Δ(c),
+//     U_i U_j for all i, j,
+//     P_i U_j exactly when i > j.
+//
+// Intuition: nodes outside the ruling set point (P_i) along a path of
+// length <= β towards a set node, with U_i acknowledging distance. Lemma
+// 6.3: an α-arbdefective c-colored β-ruling set yields Π_Δ((α+1)c, β) in β
+// rounds. For β = 0 the family coincides with Π_Δ(c).
+#pragma once
+
+#include <cstddef>
+
+#include "src/formalism/problem.hpp"
+
+namespace slocal {
+
+/// Builds Π_Δ(c, β). Requires c >= 1, Δ >= 1, small c (labels 2^c + 2β + 1).
+Problem make_rulingset_problem(std::size_t delta, std::size_t c, std::size_t beta);
+
+/// Labels "P_i" / "U_i" (i in [1, β]).
+std::optional<Label> pointer_label(const Problem& p, std::size_t i);
+std::optional<Label> up_label(const Problem& p, std::size_t i);
+
+}  // namespace slocal

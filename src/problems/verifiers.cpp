@@ -1,0 +1,206 @@
+#include "src/problems/verifiers.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace slocal {
+
+namespace {
+
+std::vector<std::size_t> matched_degree(const Graph& g,
+                                        const std::vector<bool>& matched) {
+  std::vector<std::size_t> deg(g.node_count(), 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (matched[e]) {
+      ++deg[g.edge(e).u];
+      ++deg[g.edge(e).v];
+    }
+  }
+  return deg;
+}
+
+/// Distance <= beta to the set, for all nodes (multi-source BFS).
+bool all_within(const Graph& g, const std::vector<bool>& in_set, std::size_t beta) {
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(g.node_count(), kInf);
+  std::deque<NodeId> queue;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (in_set[v]) {
+      dist[v] = 0;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (dist[u] >= beta) continue;
+    for (EdgeId e : g.incident_edges(u)) {
+      const NodeId v = g.edge(e).other(u);
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return std::all_of(dist.begin(), dist.end(),
+                     [&](std::size_t d) { return d <= beta; });
+}
+
+}  // namespace
+
+bool is_maximal_matching(const Graph& g, const std::vector<bool>& matched) {
+  if (matched.size() != g.edge_count()) return false;
+  const auto deg = matched_degree(g, matched);
+  for (const std::size_t d : deg) {
+    if (d > 1) return false;
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!matched[e] && deg[g.edge(e).u] == 0 && deg[g.edge(e).v] == 0) return false;
+  }
+  return true;
+}
+
+bool is_x_maximal_y_matching(const Graph& g, const std::vector<bool>& matched,
+                             std::size_t x, std::size_t y, std::size_t delta) {
+  if (matched.size() != g.edge_count()) return false;
+  const auto deg = matched_degree(g, matched);
+  for (const std::size_t d : deg) {
+    if (d > y) return false;
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (deg[v] != 0) continue;
+    std::size_t matched_neighbors = 0;
+    for (EdgeId e : g.incident_edges(v)) {
+      if (deg[g.edge(e).other(v)] > 0) ++matched_neighbors;
+    }
+    const std::size_t required =
+        std::min(g.degree(v), delta >= x ? delta - x : std::size_t{0});
+    if (matched_neighbors < required) return false;
+  }
+  return true;
+}
+
+bool is_mis(const Graph& g, const std::vector<bool>& in_set) {
+  if (in_set.size() != g.node_count()) return false;
+  for (const Edge& e : g.edges()) {
+    if (in_set[e.u] && in_set[e.v]) return false;
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (in_set[v]) continue;
+    bool dominated = false;
+    for (EdgeId e : g.incident_edges(v)) {
+      if (in_set[g.edge(e).other(v)]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+bool is_beta_ruling_set(const Graph& g, const std::vector<bool>& in_set,
+                        std::size_t beta) {
+  if (in_set.size() != g.node_count()) return false;
+  for (const Edge& e : g.edges()) {
+    if (in_set[e.u] && in_set[e.v]) return false;
+  }
+  return all_within(g, in_set, beta);
+}
+
+bool is_arbdefective_coloring(const Graph& g, const std::vector<std::uint32_t>& colors,
+                              const std::vector<NodeId>& tail, std::size_t alpha,
+                              std::size_t c) {
+  if (colors.size() != g.node_count() || tail.size() != g.edge_count()) return false;
+  for (const std::uint32_t col : colors) {
+    if (col >= c) return false;
+  }
+  std::vector<std::size_t> outdeg(g.node_count(), 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (colors[edge.u] != colors[edge.v]) continue;
+    if (tail[e] != edge.u && tail[e] != edge.v) return false;  // unoriented
+    ++outdeg[tail[e]];
+  }
+  return std::all_of(outdeg.begin(), outdeg.end(),
+                     [&](std::size_t d) { return d <= alpha; });
+}
+
+bool is_arbdefective_colored_ruling_set(const Graph& g,
+                                        const std::vector<bool>& in_set,
+                                        const std::vector<std::uint32_t>& colors,
+                                        const std::vector<NodeId>& tail,
+                                        std::size_t alpha, std::size_t c,
+                                        std::size_t beta) {
+  if (in_set.size() != g.node_count() || colors.size() != g.node_count() ||
+      tail.size() != g.edge_count()) {
+    return false;
+  }
+  if (!all_within(g, in_set, beta)) return false;
+  // Check the arbdefective coloring on the induced subgraph.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (in_set[v] && colors[v] >= c) return false;
+  }
+  std::vector<std::size_t> outdeg(g.node_count(), 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (!in_set[edge.u] || !in_set[edge.v]) continue;
+    if (colors[edge.u] != colors[edge.v]) continue;
+    if (tail[e] != edge.u && tail[e] != edge.v) return false;
+    ++outdeg[tail[e]];
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (in_set[v] && outdeg[v] > alpha) return false;
+  }
+  return true;
+}
+
+bool is_sinkless_orientation(const Graph& g, const std::vector<NodeId>& tail) {
+  if (tail.size() != g.edge_count()) return false;
+  std::vector<bool> has_outgoing(g.node_count(), false);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (tail[e] != edge.u && tail[e] != edge.v) return false;
+    has_outgoing[tail[e]] = true;
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.degree(v) > 0 && !has_outgoing[v]) return false;
+  }
+  return true;
+}
+
+bool is_hypergraph_maximal_matching(const Hypergraph& h,
+                                    const std::vector<bool>& matched) {
+  if (matched.size() != h.hyperedge_count()) return false;
+  std::vector<std::size_t> node_matched(h.node_count(), 0);
+  for (HyperedgeId e = 0; e < h.hyperedge_count(); ++e) {
+    if (!matched[e]) continue;
+    for (const NodeId v : h.hyperedge(e)) ++node_matched[v];
+  }
+  for (const std::size_t count : node_matched) {
+    if (count > 1) return false;
+  }
+  for (HyperedgeId e = 0; e < h.hyperedge_count(); ++e) {
+    if (matched[e]) continue;
+    bool blocked = false;
+    for (const NodeId v : h.hyperedge(e)) blocked = blocked || node_matched[v] > 0;
+    if (!blocked) return false;  // could still be added: not maximal
+  }
+  return true;
+}
+
+std::optional<std::vector<bool>> decode_maximal_matching_labeling(
+    const BipartiteGraph& g, const std::vector<Label>& edge_labels, Label m_label) {
+  if (edge_labels.size() != g.edge_count()) return std::nullopt;
+  std::vector<bool> matched(g.edge_count(), false);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    matched[e] = edge_labels[e] == m_label;
+  }
+  // Validate as a maximal matching on the underlying graph.
+  const Graph plain = g.to_graph();
+  if (!is_maximal_matching(plain, matched)) return std::nullopt;
+  return matched;
+}
+
+}  // namespace slocal

@@ -1,0 +1,69 @@
+// Graph-level verifiers for the concrete problems whose lower bounds the
+// paper proves. These validate the outputs of the simulator's algorithms
+// and the solutions decoded from formalism-level labelings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/formalism/label.hpp"
+#include "src/graph/bipartite.hpp"
+#include "src/graph/graph.hpp"
+#include "src/graph/hypergraph.hpp"
+
+namespace slocal {
+
+/// Matching (no node matched twice) that is maximal (no edge with both
+/// endpoints unmatched). `matched[e]` flags edge e.
+bool is_maximal_matching(const Graph& g, const std::vector<bool>& matched);
+
+/// x-maximal y-matching (Section 1.1): every node incident to <= y matched
+/// edges, and every node with no matched edge has at least
+/// min(deg(v), Δ - x) matched neighbors, where Δ = `delta` (the degree
+/// bound of the input graph).
+bool is_x_maximal_y_matching(const Graph& g, const std::vector<bool>& matched,
+                             std::size_t x, std::size_t y, std::size_t delta);
+
+/// Maximal independent set.
+bool is_mis(const Graph& g, const std::vector<bool>& in_set);
+
+/// (2, β)-ruling set: independent, and every node within distance β of the
+/// set.
+bool is_beta_ruling_set(const Graph& g, const std::vector<bool>& in_set,
+                        std::size_t beta);
+
+/// α-arbdefective c-coloring: colors in [0, c); every monochromatic edge is
+/// oriented (away from `tail[e]`); every node has <= α outgoing
+/// monochromatic edges. `tail[e]` must name an endpoint of e for
+/// monochromatic e (ignored otherwise).
+bool is_arbdefective_coloring(const Graph& g, const std::vector<std::uint32_t>& colors,
+                              const std::vector<NodeId>& tail, std::size_t alpha,
+                              std::size_t c);
+
+/// α-arbdefective c-colored β-ruling set: the subgraph induced by `in_set`
+/// carries an α-arbdefective c-coloring (colors/tails of non-set nodes are
+/// ignored), and every node is within distance β of the set.
+bool is_arbdefective_colored_ruling_set(const Graph& g,
+                                        const std::vector<bool>& in_set,
+                                        const std::vector<std::uint32_t>& colors,
+                                        const std::vector<NodeId>& tail,
+                                        std::size_t alpha, std::size_t c,
+                                        std::size_t beta);
+
+/// Sinkless orientation: every non-isolated node has >= 1 outgoing edge.
+/// Edge e points away from tail[e].
+bool is_sinkless_orientation(const Graph& g, const std::vector<NodeId>& tail);
+
+/// Hypergraph maximal matching: no node in two matched hyperedges; every
+/// unmatched hyperedge contains a node of a matched hyperedge.
+bool is_hypergraph_maximal_matching(const Hypergraph& h,
+                                    const std::vector<bool>& matched);
+
+/// Decodes a bipartite MM_Δ labeling (problem of Appendix A) into matched
+/// edge flags and validates the white/black constraints semantically:
+/// returns nullopt if the labeling is not a valid maximal matching witness.
+std::optional<std::vector<bool>> decode_maximal_matching_labeling(
+    const BipartiteGraph& g, const std::vector<Label>& edge_labels, Label m_label);
+
+}  // namespace slocal

@@ -1,0 +1,259 @@
+#include "src/re/round_elimination.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "src/formalism/diagram.hpp"
+#include "src/util/combinatorics.hpp"
+
+namespace slocal {
+
+namespace {
+
+std::string set_name(SmallBitset set, const LabelRegistry& reg) {
+  std::vector<std::string> names;
+  names.reserve(set.count());
+  for (const std::size_t l : set.indices()) names.push_back(reg.name(static_cast<Label>(l)));
+  std::string out = "(";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += names[i];
+  }
+  out += ')';
+  return out;
+}
+
+/// Is there a perfect matching pairing every set of `a` with a superset in
+/// `b` (a and b same length)? Used for the domination (non-maximality) test.
+bool superset_matching(const std::vector<SmallBitset>& a,
+                       const std::vector<SmallBitset>& b) {
+  const std::size_t n = a.size();
+  std::vector<int> match_of_b(n, -1);
+  std::vector<bool> visited;
+
+  // Standard augmenting-path bipartite matching.
+  auto augment = [&](auto&& self, std::size_t i) -> bool {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (visited[j] || !b[j].contains(a[i])) continue;
+      visited[j] = true;
+      if (match_of_b[j] < 0 || self(self, static_cast<std::size_t>(match_of_b[j]))) {
+        match_of_b[j] = static_cast<int>(i);
+        return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    visited.assign(n, false);
+    if (!augment(augment, i)) return false;
+  }
+  return true;
+}
+
+/// A set-configuration: canonical (sorted by raw bits) multiset of subsets.
+using SetConfig = std::vector<SmallBitset>;
+
+
+/// Enumerates all maximal set-configurations of size `degree` over the
+/// candidate subsets, where validity means every choice across the sets is
+/// a configuration of `universal`. Returns nullopt if the cap is exceeded.
+std::optional<std::vector<SetConfig>> maximal_set_configurations(
+    const Constraint& universal, const std::vector<SmallBitset>& candidates,
+    std::uint64_t max_configurations) {
+  const std::size_t degree = universal.degree();
+  std::vector<SetConfig> valid;
+
+  // DFS over non-decreasing candidate indices; `partials` is the set of all
+  // choice prefixes (canonical multisets), every one of which must extend to
+  // a member of `universal`.
+  struct Frame {
+    std::vector<Configuration> partials;
+  };
+  std::vector<SmallBitset> chosen;
+
+  auto extend_partials = [&](const std::vector<Configuration>& partials,
+                             SmallBitset next_set,
+                             std::vector<Configuration>& out) -> bool {
+    std::unordered_set<Configuration> seen;
+    out.clear();
+    for (const auto& p : partials) {
+      for (const std::size_t l : next_set.indices()) {
+        Configuration q = p.with_added(static_cast<Label>(l));
+        if (!universal.extendable(q)) return false;
+        if (seen.insert(q).second) out.push_back(std::move(q));
+      }
+    }
+    return true;
+  };
+
+  bool overflow = false;
+  auto dfs = [&](auto&& self, std::size_t min_candidate,
+                 const std::vector<Configuration>& partials) -> void {
+    if (overflow) return;
+    if (chosen.size() == degree) {
+      valid.push_back(chosen);
+      if (valid.size() > max_configurations) overflow = true;
+      return;
+    }
+    std::vector<Configuration> next;
+    for (std::size_t c = min_candidate; c < candidates.size(); ++c) {
+      if (!extend_partials(partials, candidates[c], next)) continue;
+      chosen.push_back(candidates[c]);
+      self(self, c, next);
+      chosen.pop_back();
+      if (overflow) return;
+    }
+  };
+  dfs(dfs, 0, std::vector<Configuration>{Configuration{}});
+  if (overflow) return std::nullopt;
+
+  // Maximality filter: drop configurations dominated by a different one.
+  std::vector<SetConfig> maximal;
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < valid.size() && !dominated; ++j) {
+      if (i == j || valid[i] == valid[j]) continue;
+      dominated = superset_matching(valid[i], valid[j]);
+    }
+    if (!dominated) maximal.push_back(valid[i]);
+  }
+  // Deduplicate (valid already canonical & distinct by DFS construction).
+  return maximal;
+}
+
+/// Shared core of R and R̄: hardens `universal`, relaxes `existential`.
+std::optional<REStep> re_core(const Problem& pi, bool universal_is_black,
+                              const REOptions& options) {
+  if (pi.alphabet_size() > options.max_alphabet) return std::nullopt;
+  const Constraint& universal = universal_is_black ? pi.black() : pi.white();
+  const Constraint& existential = universal_is_black ? pi.white() : pi.black();
+
+  // Candidate subsets, restricted to labels actually used by the universal
+  // constraint (a set containing an unused label can never appear in a
+  // valid all-choices configuration). By default only right-closed sets of
+  // the universal diagram are considered: replacing any set of a valid
+  // configuration by its right-closure keeps all choices valid, so maximal
+  // configurations use right-closed sets only.
+  SmallBitset used;
+  for (const Label l : universal.used_labels()) used.set(l);
+  std::vector<SmallBitset> candidates;
+  if (options.right_closed_candidates) {
+    const Diagram diagram(universal, pi.alphabet_size());
+    for (const SmallBitset s : diagram.right_closed_sets()) {
+      if (used.contains(s)) candidates.push_back(s);
+    }
+  } else {
+    const auto used_indices = used.indices();
+    for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << used_indices.size());
+         ++mask) {
+      SmallBitset s;
+      for (std::size_t i = 0; i < used_indices.size(); ++i) {
+        if (mask & (std::uint64_t{1} << i)) s.set(used_indices[i]);
+      }
+      candidates.push_back(s);
+    }
+    std::sort(candidates.begin(), candidates.end());
+  }
+
+  const auto maximal =
+      maximal_set_configurations(universal, candidates, options.max_configurations);
+  if (!maximal) return std::nullopt;
+
+  // New alphabet: subsets appearing in at least one maximal configuration.
+  std::vector<SmallBitset> alphabet;
+  for (const auto& config : *maximal) {
+    for (const SmallBitset s : config) {
+      if (std::find(alphabet.begin(), alphabet.end(), s) == alphabet.end()) {
+        alphabet.push_back(s);
+      }
+    }
+  }
+  std::sort(alphabet.begin(), alphabet.end());
+
+  LabelRegistry reg;
+  for (const SmallBitset s : alphabet) reg.intern(set_name(s, pi.registry()));
+  const auto set_index = [&](SmallBitset s) {
+    return static_cast<Label>(
+        std::lower_bound(alphabet.begin(), alphabet.end(), s) - alphabet.begin());
+  };
+
+  // Hardened side: the maximal configurations, as new-label multisets.
+  Constraint hardened(universal.degree());
+  for (const auto& config : *maximal) {
+    std::vector<Label> labels;
+    labels.reserve(config.size());
+    for (const SmallBitset s : config) labels.push_back(set_index(s));
+    hardened.add(Configuration(std::move(labels)));
+  }
+
+  // Relaxed side: all multisets over the new alphabet with >= 1 choice in
+  // the existential constraint.
+  const std::uint64_t projected =
+      multiset_count(alphabet.size(), existential.degree());
+  if (projected > options.max_configurations) return std::nullopt;
+  Constraint relaxed(existential.degree());
+  for_each_multiset(alphabet.size(), existential.degree(),
+                    [&](const std::vector<std::size_t>& pick) {
+                      std::vector<std::vector<std::size_t>> choices;
+                      choices.reserve(pick.size());
+                      for (const std::size_t p : pick) {
+                        choices.push_back(alphabet[p].indices());
+                      }
+                      bool some = false;
+                      for_each_choice(choices, [&](const std::vector<std::size_t>& ch) {
+                        std::vector<Label> labels;
+                        labels.reserve(ch.size());
+                        for (const std::size_t l : ch) {
+                          labels.push_back(static_cast<Label>(l));
+                        }
+                        if (existential.contains(Configuration(std::move(labels)))) {
+                          some = true;
+                          return false;  // stop: found a choice
+                        }
+                        return true;
+                      });
+                      if (some) {
+                        std::vector<Label> labels;
+                        labels.reserve(pick.size());
+                        for (const std::size_t p : pick) {
+                          labels.push_back(static_cast<Label>(p));
+                        }
+                        relaxed.add(Configuration(std::move(labels)));
+                      }
+                      return true;
+                    });
+
+  Constraint white = universal_is_black ? std::move(relaxed) : std::move(hardened);
+  Constraint black = universal_is_black ? std::move(hardened) : std::move(relaxed);
+  Problem out(universal_is_black ? "R(" + pi.name() + ")" : "Rbar(" + pi.name() + ")",
+              std::move(reg), std::move(white), std::move(black));
+  return REStep{std::move(out), std::move(alphabet)};
+}
+
+}  // namespace
+
+std::optional<REStep> apply_R(const Problem& pi, const REOptions& options) {
+  return re_core(pi, /*universal_is_black=*/true, options);
+}
+
+std::optional<REStep> apply_Rbar(const Problem& pi, const REOptions& options) {
+  return re_core(pi, /*universal_is_black=*/false, options);
+}
+
+std::optional<Problem> round_eliminate(const Problem& pi, const REOptions& options) {
+  const auto half = apply_R(pi, options);
+  if (!half) return std::nullopt;
+  auto full = apply_Rbar(half->problem, options);
+  if (!full) return std::nullopt;
+  Problem out = drop_unused_labels(full->problem);
+  return Problem("RE(" + pi.name() + ")", out.registry(), out.white(), out.black());
+}
+
+bool is_fixed_point(const Problem& pi, const REOptions& options) {
+  const auto re = round_eliminate(pi, options);
+  if (!re) return false;
+  return equivalent_up_to_renaming(*re, pi).has_value();
+}
+
+}  // namespace slocal

@@ -1,0 +1,59 @@
+// The round elimination operators R, R̄ and RE = R̄ ∘ R (Appendix B).
+//
+// R(Π) replaces the black constraint by its *maximal* set-configurations —
+// multisets {L_1,...,L_dB} of non-empty label subsets such that every choice
+// (l_1 ∈ L_1, ..., l_dB ∈ L_dB) lies in C_B, kept only if not dominated by
+// another such multiset under coordinatewise inclusion (up to permutation) —
+// and the white constraint by all set-multisets admitting at least one
+// choice in C_W. R̄ is R with the white and black roles exchanged.
+//
+// Lemma B.1: a T-round white algorithm for Π (on high-girth supports)
+// yields a (T-1)-round black algorithm for R(Π), and symmetrically for R̄;
+// hence RE peels two rounds per application.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/formalism/problem.hpp"
+#include "src/util/bitset.hpp"
+
+namespace slocal {
+
+struct REOptions {
+  /// Alphabets larger than this are rejected (the subset enumeration is
+  /// exponential in |Σ|).
+  std::size_t max_alphabet = 16;
+  /// Hard cap on enumerated set-configurations (guards runaway cases).
+  std::uint64_t max_configurations = 2'000'000;
+  /// Candidate label-sets for the hardened side: true (default) restricts
+  /// to right-closed sets of the universal diagram — sound because every
+  /// maximal configuration consists of right-closed sets — false enumerates
+  /// all non-empty subsets (the ablation baseline; same output, slower).
+  bool right_closed_candidates = true;
+};
+
+/// Result of one half-step. `label_meaning[l]` is the subset of the *input*
+/// problem's labels that the output label l denotes (label names render as
+/// "(A B)" automatically).
+struct REStep {
+  Problem problem;
+  std::vector<SmallBitset> label_meaning;
+};
+
+/// R: black side hardened to maximal all-choices configurations, white side
+/// relaxed to some-choice configurations over the new alphabet.
+std::optional<REStep> apply_R(const Problem& pi, const REOptions& options = {});
+
+/// R̄: same with white and black exchanged.
+std::optional<REStep> apply_Rbar(const Problem& pi, const REOptions& options = {});
+
+/// RE(Π) = R̄(R(Π)), with unused labels dropped.
+std::optional<Problem> round_eliminate(const Problem& pi, const REOptions& options = {});
+
+/// True if RE(Π) and Π are the same problem up to label renaming — the
+/// fixed-point property of Lemma 5.4.
+bool is_fixed_point(const Problem& pi, const REOptions& options = {});
+
+}  // namespace slocal

@@ -1,0 +1,51 @@
+#include "src/re/sequence.hpp"
+
+#include <algorithm>
+
+#include "src/formalism/relaxation.hpp"
+
+namespace slocal {
+
+std::string SequenceReport::to_string() const {
+  std::string out = valid ? "sequence: VALID\n" : "sequence: INVALID\n";
+  for (const auto& s : steps) {
+    out += "  step " + std::to_string(s.index) + ": re=" +
+           (s.re_computed ? "ok" : "FAILED") + " relaxation=" +
+           (s.relaxation_found ? "ok" : "MISSING") + " |sigma|=" +
+           std::to_string(s.re_alphabet) + " |W|=" + std::to_string(s.re_white_size) +
+           " |B|=" + std::to_string(s.re_black_size) + "\n";
+  }
+  return out;
+}
+
+SequenceReport verify_lower_bound_sequence(const std::vector<Problem>& problems,
+                                           const REOptions& options) {
+  SequenceReport report;
+  report.valid = true;
+  for (std::size_t i = 1; i < problems.size(); ++i) {
+    SequenceStepReport step;
+    step.index = i;
+    const auto re = round_eliminate(problems[i - 1], options);
+    if (re) {
+      step.re_computed = true;
+      step.re_alphabet = re->alphabet_size();
+      step.re_white_size = re->white().size();
+      step.re_black_size = re->black().size();
+      if (relaxation_label_map(*re, problems[i]).has_value()) {
+        step.relaxation_found = true;
+      } else if (find_relaxation(*re, problems[i]).has_value()) {
+        step.relaxation_found = true;
+      }
+    }
+    report.valid = report.valid && step.re_computed && step.relaxation_found;
+    report.steps.push_back(step);
+  }
+  return report;
+}
+
+double theorem_b2_bound(std::size_t k, std::size_t girth) {
+  const double from_girth = (static_cast<double>(girth) - 4.0) / 2.0;
+  return std::min(2.0 * static_cast<double>(k), from_girth);
+}
+
+}  // namespace slocal

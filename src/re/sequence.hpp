@@ -1,0 +1,45 @@
+// Lower bound sequences (Section 2).
+//
+// Π_0, ..., Π_k is a lower bound sequence when each Π_i is a relaxation of
+// RE(Π_{i-1}). Combined with 0-round unsolvability of Π_k in Supported
+// LOCAL (decided through lift, Theorem 3.2), Theorem B.2 turns the sequence
+// into a min{2k, (g-4)/2}-round lower bound. This module verifies sequences
+// mechanically: it computes RE(Π_{i-1}) with the engine and then searches
+// for a relaxation witness to Π_i.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/formalism/problem.hpp"
+#include "src/re/round_elimination.hpp"
+
+namespace slocal {
+
+struct SequenceStepReport {
+  std::size_t index = 0;          // i: checks Π_i against RE(Π_{i-1})
+  bool re_computed = false;       // RE stayed within resource limits
+  bool relaxation_found = false;  // Π_i is a relaxation of RE(Π_{i-1})
+  std::size_t re_alphabet = 0;
+  std::size_t re_white_size = 0;
+  std::size_t re_black_size = 0;
+};
+
+struct SequenceReport {
+  bool valid = false;  // every step verified
+  std::vector<SequenceStepReport> steps;
+  std::string to_string() const;
+};
+
+/// Verifies that `problems` is a lower bound sequence. Each step computes
+/// RE(Π_{i-1}) and checks that Π_i is a relaxation of it (label-map check
+/// first, bounded exact search as fallback).
+SequenceReport verify_lower_bound_sequence(const std::vector<Problem>& problems,
+                                           const REOptions& options = {});
+
+/// Theorem B.2's bound from a sequence length and support girth:
+/// min{2k, (g-4)/2} rounds (white algorithms, bipartite case).
+double theorem_b2_bound(std::size_t k, std::size_t girth);
+
+}  // namespace slocal

@@ -1,0 +1,321 @@
+#include "src/sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace slocal {
+
+Var SatSolver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(kUndef);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void SatSolver::add_clause(std::vector<Lit> lits) {
+  if (unsat_) return;
+  // Normalize: sort, dedupe, drop tautologies and false-at-root literals.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> kept;
+  kept.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (i + 1 < lits.size() && lits[i + 1] == ~lits[i]) return;  // tautology
+    // Root-level simplification only valid at decision level 0.
+    if (trail_limits_.empty()) {
+      const std::uint8_t v = lit_value(lits[i]);
+      if (v == kTrue) return;  // already satisfied
+      if (v == kFalse) continue;
+    }
+    kept.push_back(lits[i]);
+  }
+  if (kept.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (kept.size() == 1) {
+    if (lit_value(kept[0]) == kFalse) {
+      unsat_ = true;
+      return;
+    }
+    if (lit_value(kept[0]) == kUndef) {
+      enqueue(kept[0], kNoReason);
+      if (propagate() != kNoReason) unsat_ = true;
+    }
+    return;
+  }
+  const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back(Clause{std::move(kept), false, 0.0});
+  attach(cr);
+}
+
+void SatSolver::attach(ClauseRef cr) {
+  const auto& c = clauses_[cr].lits;
+  watches_[(~c[0]).code()].push_back(cr);
+  watches_[(~c[1]).code()].push_back(cr);
+}
+
+void SatSolver::enqueue(Lit l, ClauseRef reason) {
+  assert(lit_value(l) == kUndef);
+  assigns_[l.var()] = l.negated() ? kFalse : kTrue;
+  level_[l.var()] = static_cast<int>(trail_limits_.size());
+  reason_[l.var()] = reason;
+  trail_.push_back(l);
+}
+
+SatSolver::ClauseRef SatSolver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++propagations_;
+    // Clauses watching ~p must find a new watch or propagate/conflict.
+    std::vector<ClauseRef>& watch_list = watches_[p.code()];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const ClauseRef cr = watch_list[i];
+      auto& lits = clauses_[cr].lits;
+      // Ensure the falsified literal is at position 1.
+      if (lits[0] == ~p) std::swap(lits[0], lits[1]);
+      assert(lits[1] == ~p);
+      if (lit_value(lits[0]) == kTrue) {
+        watch_list[keep++] = cr;  // satisfied; keep watch
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (lit_value(lits[k]) != kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[(~lits[1]).code()].push_back(cr);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict.
+      watch_list[keep++] = cr;
+      if (lit_value(lits[0]) == kFalse) {
+        // Conflict: restore remaining watches and report.
+        for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return cr;
+      }
+      enqueue(lits[0], cr);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoReason;
+}
+
+void SatSolver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void SatSolver::decay_activities() {
+  var_inc_ /= 0.95;
+  clause_inc_ /= 0.999;
+}
+
+void SatSolver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
+                        int& backtrack_level) {
+  learned.clear();
+  learned.push_back(Lit::positive(0));  // placeholder for the asserting literal
+  int counter = 0;
+  Lit p = Lit::positive(0);
+  bool have_p = false;
+  std::size_t trail_index = trail_.size();
+  const int current_level = static_cast<int>(trail_limits_.size());
+
+  ClauseRef reason = conflict;
+  for (;;) {
+    assert(reason != kNoReason);
+    Clause& c = clauses_[reason];
+    c.activity += clause_inc_;
+    for (const Lit q : c.lits) {
+      if (have_p && q == p) continue;
+      if (seen_[q.var()] || level_[q.var()] == 0) continue;
+      seen_[q.var()] = 1;
+      bump_var(q.var());
+      if (level_[q.var()] >= current_level) {
+        ++counter;
+      } else {
+        learned.push_back(q);
+      }
+    }
+    // Walk the trail backwards to the next marked literal.
+    do {
+      --trail_index;
+    } while (!seen_[trail_[trail_index].var()]);
+    p = trail_[trail_index];
+    have_p = true;
+    seen_[p.var()] = 0;
+    --counter;
+    if (counter == 0) break;
+    reason = reason_[p.var()];
+  }
+  learned[0] = ~p;
+
+  // Clause minimization: drop literals implied by the rest (cheap local
+  // check: a literal whose reason's literals are all marked).
+  const auto redundant = [&](Lit q) {
+    const ClauseRef r = reason_[q.var()];
+    if (r == kNoReason) return false;
+    for (const Lit x : clauses_[r].lits) {
+      if (x == ~q) continue;
+      if (level_[x.var()] != 0 && !seen_[x.var()]) return false;
+    }
+    return true;
+  };
+  for (const Lit q : learned) seen_[q.var()] = 1;
+  std::vector<Lit> minimized;
+  minimized.push_back(learned[0]);
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    if (!redundant(learned[i])) minimized.push_back(learned[i]);
+  }
+  for (const Lit q : learned) seen_[q.var()] = 0;
+  learned = std::move(minimized);
+
+  // Backtrack level: second-highest level in the learned clause.
+  backtrack_level = 0;
+  std::size_t swap_pos = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    if (level_[learned[i].var()] > backtrack_level) {
+      backtrack_level = level_[learned[i].var()];
+      swap_pos = i;
+    }
+  }
+  if (learned.size() > 1) std::swap(learned[1], learned[swap_pos]);
+}
+
+void SatSolver::backtrack(int target_level) {
+  while (static_cast<int>(trail_limits_.size()) > target_level) {
+    const std::size_t limit = trail_limits_.back();
+    trail_limits_.pop_back();
+    while (trail_.size() > limit) {
+      const Var v = trail_.back().var();
+      assigns_[v] = kUndef;
+      reason_[v] = kNoReason;
+      trail_.pop_back();
+    }
+  }
+  propagate_head_ = trail_.size();
+}
+
+std::optional<Lit> SatSolver::pick_branch() {
+  Var best = 0;
+  double best_activity = -1.0;
+  bool found = false;
+  for (Var v = 0; v < assigns_.size(); ++v) {
+    if (assigns_[v] == kUndef && activity_[v] > best_activity) {
+      best = v;
+      best_activity = activity_[v];
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+  ++decisions_;
+  return Lit::negative(best);  // negative-first polarity
+}
+
+void SatSolver::reduce_learned() {
+  // Drop the lazier half of learned clauses by activity; keep binary
+  // clauses and clauses currently acting as reasons.
+  std::vector<ClauseRef> learned;
+  for (ClauseRef cr = 0; cr < clauses_.size(); ++cr) {
+    if (clauses_[cr].learned && clauses_[cr].lits.size() > 2) learned.push_back(cr);
+  }
+  if (learned.size() < 2000) return;
+  std::sort(learned.begin(), learned.end(), [&](ClauseRef a, ClauseRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  std::vector<bool> is_reason(clauses_.size(), false);
+  for (const Lit l : trail_) {
+    if (reason_[l.var()] != kNoReason) is_reason[reason_[l.var()]] = true;
+  }
+  std::vector<bool> drop(clauses_.size(), false);
+  for (std::size_t i = 0; i < learned.size() / 2; ++i) {
+    if (!is_reason[learned[i]]) drop[learned[i]] = true;
+  }
+  // Rebuild watches without dropped clauses (clause vector keeps slots to
+  // preserve ClauseRef stability; dropped clauses are emptied).
+  for (auto& wl : watches_) {
+    std::erase_if(wl, [&](ClauseRef cr) { return drop[cr]; });
+  }
+  for (ClauseRef cr = 0; cr < clauses_.size(); ++cr) {
+    if (drop[cr]) {
+      clauses_[cr].lits.clear();
+      clauses_[cr].lits.shrink_to_fit();
+    }
+  }
+}
+
+SatResult SatSolver::solve(std::uint64_t conflict_budget) {
+  if (unsat_) return SatResult::kUnsat;
+  if (propagate() != kNoReason) {
+    unsat_ = true;
+    return SatResult::kUnsat;
+  }
+  std::uint64_t restart_limit = 100;
+  std::uint64_t conflicts_since_restart = 0;
+  std::vector<Lit> learned;
+
+  for (;;) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++conflicts_;
+      ++conflicts_since_restart;
+      if (trail_limits_.empty()) {
+        unsat_ = true;
+        return SatResult::kUnsat;
+      }
+      if (conflict_budget != 0 && conflicts_ > conflict_budget) {
+        backtrack(0);
+        return SatResult::kUnknown;
+      }
+      int backtrack_level = 0;
+      analyze(conflict, learned, backtrack_level);
+      backtrack(backtrack_level);
+      if (learned.size() == 1) {
+        enqueue(learned[0], kNoReason);
+      } else {
+        const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+        clauses_.push_back(Clause{learned, true, clause_inc_});
+        attach(cr);
+        enqueue(learned[0], cr);
+      }
+      decay_activities();
+    } else {
+      if (conflicts_since_restart >= restart_limit) {
+        conflicts_since_restart = 0;
+        restart_limit = restart_limit + restart_limit / 2;
+        backtrack(0);
+        reduce_learned();
+        continue;
+      }
+      const auto branch = pick_branch();
+      if (!branch) return SatResult::kSat;
+      trail_limits_.push_back(trail_.size());
+      enqueue(*branch, kNoReason);
+    }
+  }
+}
+
+bool SatSolver::value(Var v) const {
+  assert(assigns_[v] != kUndef);
+  return assigns_[v] == kTrue;
+}
+
+}  // namespace slocal

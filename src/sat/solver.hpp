@@ -1,0 +1,112 @@
+// A compact CDCL SAT solver.
+//
+// The framework reduces its central graph-theoretic question — "does
+// problem Ψ (typically lift(Π')) admit a solution on support graph G?" —
+// to propositional satisfiability (src/solver/cnf_encoding.hpp). No
+// external solver is assumed; this is a self-contained implementation of
+// the standard architecture: two-watched-literal propagation, first-UIP
+// conflict analysis with clause learning, VSIDS-style activity ordering,
+// geometric restarts, and learned-clause reduction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace slocal {
+
+using Var = std::uint32_t;
+
+/// Literal: variable with sign, encoded as 2*var + (negated ? 1 : 0).
+class Lit {
+ public:
+  Lit() = default;
+  static Lit positive(Var v) { return Lit(2 * v); }
+  static Lit negative(Var v) { return Lit(2 * v + 1); }
+
+  Var var() const { return code_ >> 1; }
+  bool negated() const { return code_ & 1; }
+  Lit operator~() const { return Lit(code_ ^ 1); }
+  std::uint32_t code() const { return code_; }
+
+  bool operator==(const Lit&) const = default;
+
+ private:
+  explicit Lit(std::uint32_t code) : code_(code) {}
+  std::uint32_t code_ = 0;
+};
+
+enum class SatResult { kSat, kUnsat, kUnknown };
+
+class SatSolver {
+ public:
+  SatSolver() = default;
+
+  Var new_var();
+  std::size_t var_count() const { return assigns_.size(); }
+
+  /// Adds a clause (empty clause makes the formula trivially UNSAT;
+  /// duplicate and opposite literals are handled). Must not be called
+  /// after solve() has returned kUnsat.
+  void add_clause(std::vector<Lit> lits);
+
+  /// Solves, optionally under a conflict budget (0 = unlimited).
+  SatResult solve(std::uint64_t conflict_budget = 0);
+
+  /// Model access after kSat.
+  bool value(Var v) const;
+
+  std::uint64_t conflicts() const { return conflicts_; }
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t propagations() const { return propagations_; }
+
+ private:
+  enum : std::uint8_t { kTrue = 0, kFalse = 1, kUndef = 2 };
+
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+    double activity = 0.0;
+  };
+
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoReason = 0xffffffffu;
+
+  std::uint8_t lit_value(Lit l) const {
+    const std::uint8_t v = assigns_[l.var()];
+    if (v == kUndef) return kUndef;
+    return static_cast<std::uint8_t>(v ^ (l.negated() ? 1 : 0));
+  }
+
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();  // returns conflicting clause or kNoReason
+  void analyze(ClauseRef conflict, std::vector<Lit>& learned, int& backtrack_level);
+  void backtrack(int level);
+  void bump_var(Var v);
+  void decay_activities();
+  std::optional<Lit> pick_branch();
+  void attach(ClauseRef cr);
+  void reduce_learned();
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;  // indexed by literal code
+  std::vector<std::uint8_t> assigns_;            // per var: kTrue/kFalse/kUndef
+  std::vector<int> level_;                       // per var
+  std::vector<ClauseRef> reason_;                // per var
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_limits_;
+  std::size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;  // per var
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+
+  bool unsat_ = false;
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t propagations_ = 0;
+
+  std::vector<std::uint8_t> seen_;  // scratch for analyze()
+};
+
+}  // namespace slocal

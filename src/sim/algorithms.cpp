@@ -1,0 +1,433 @@
+#include "src/sim/algorithms.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "src/sim/supported.hpp"
+
+namespace slocal {
+
+namespace {
+
+constexpr std::int64_t kJoined = 1;
+constexpr std::int64_t kAccept = 2;
+
+}  // namespace
+
+// ---------------------------------------------------------------- MIS (S)
+
+void ColorClassMis::announce(const NodeContext& node,
+                             std::vector<Message>& out) const {
+  for (std::size_t i = 0; i < node.incident.size(); ++i) {
+    if (node.edge_in_input[i]) out[i] = {kJoined};
+  }
+}
+
+void ColorClassMis::on_start(const NodeContext& node, std::vector<Message>& out,
+                             bool& halt) {
+  assert(node.support != nullptr && "ColorClassMis needs the Supported model");
+  if (classes_.empty()) {
+    classes_ = canonical_greedy_coloring(*node.support, *node.all_uids);
+    in_mis_.assign(node.n, false);
+    covered_.assign(node.n, false);
+  }
+  if (classes_[node.index] == 0) {
+    in_mis_[node.index] = true;
+    announce(node, out);
+    halt = true;
+  }
+}
+
+void ColorClassMis::on_round(const NodeContext& node, std::size_t round,
+                             const std::vector<Message>& inbox,
+                             std::vector<Message>& out, bool& halt) {
+  for (std::size_t i = 0; i < inbox.size(); ++i) {
+    if (node.edge_in_input[i] && !inbox[i].empty() && inbox[i][0] == kJoined) {
+      covered_[node.index] = true;
+    }
+  }
+  if (classes_[node.index] == round) {
+    if (!covered_[node.index]) {
+      in_mis_[node.index] = true;
+      announce(node, out);
+    }
+    halt = true;
+  }
+}
+
+// ------------------------------------------------------------- MIS (LOCAL)
+
+void GreedyUidMis::on_start(const NodeContext& node, std::vector<Message>& out,
+                            bool& halt) {
+  if (state_.empty()) {
+    state_.assign(node.n, State::kUndecided);
+    in_mis_.assign(node.n, false);
+  }
+  const bool isolated = std::none_of(node.edge_in_input.begin(),
+                                     node.edge_in_input.end(), [](bool b) { return b; });
+  if (isolated) {
+    state_[node.index] = State::kIn;
+    in_mis_[node.index] = true;
+    halt = true;
+    return;
+  }
+  for (std::size_t i = 0; i < node.incident.size(); ++i) {
+    if (node.edge_in_input[i]) {
+      out[i] = {0, static_cast<std::int64_t>(node.uid)};
+    }
+  }
+}
+
+void GreedyUidMis::on_round(const NodeContext& node, std::size_t round,
+                            const std::vector<Message>& inbox,
+                            std::vector<Message>& out, bool& halt) {
+  (void)round;
+  // Last-known neighbor state per input edge; silence after an announcement
+  // means "unchanged".
+  static_assert(sizeof(std::int64_t) >= sizeof(std::uint64_t) / 2);
+  bool neighbor_joined = false;
+  bool is_local_min = true;
+  for (std::size_t i = 0; i < node.incident.size(); ++i) {
+    if (!node.edge_in_input[i]) continue;
+    if (!inbox[i].empty()) {
+      const std::int64_t s = inbox[i][0];
+      const std::uint64_t uid = static_cast<std::uint64_t>(inbox[i][1]);
+      if (s == 1) neighbor_joined = true;
+      if (s == 0 && uid < node.uid) is_local_min = false;
+    }
+    // Empty message: the neighbor halted (decided kIn announced earlier and
+    // handled then, or kOut which never blocks us).
+  }
+  if (neighbor_joined) {
+    state_[node.index] = State::kOut;
+    halt = true;
+    return;
+  }
+  if (is_local_min) {
+    state_[node.index] = State::kIn;
+    in_mis_[node.index] = true;
+    for (std::size_t i = 0; i < node.incident.size(); ++i) {
+      if (node.edge_in_input[i]) out[i] = {1, static_cast<std::int64_t>(node.uid)};
+    }
+    halt = true;
+    return;
+  }
+  for (std::size_t i = 0; i < node.incident.size(); ++i) {
+    if (node.edge_in_input[i]) out[i] = {0, static_cast<std::int64_t>(node.uid)};
+  }
+}
+
+// ------------------------------------------------------- proposal matching
+
+void ProposalMatching::on_start(const NodeContext& node, std::vector<Message>& out,
+                                bool& halt) {
+  if (matched_pos_.empty()) {
+    matched_pos_.assign(node.n, -1);
+    next_try_.assign(node.n, 0);
+  }
+  const bool has_input = std::any_of(node.edge_in_input.begin(),
+                                     node.edge_in_input.end(), [](bool b) { return b; });
+  if (!has_input) {
+    halt = true;
+    return;
+  }
+  if (node.color == 0) {
+    // White: propose on the first input edge.
+    std::size_t& pos = next_try_[node.index];
+    while (pos < node.incident.size() && !node.edge_in_input[pos]) ++pos;
+    out[pos] = {kJoined};
+  }
+}
+
+void ProposalMatching::on_round(const NodeContext& node, std::size_t round,
+                                const std::vector<Message>& inbox,
+                                std::vector<Message>& out, bool& halt) {
+  if (node.color == 1) {
+    // Black: act on odd rounds (proposals arrive then).
+    if (round % 2 == 1) {
+      for (std::size_t i = 0; i < inbox.size(); ++i) {
+        if (node.edge_in_input[i] && !inbox[i].empty() && inbox[i][0] == kJoined) {
+          matched_pos_[node.index] = static_cast<std::int64_t>(i);
+          out[i] = {kAccept};
+          halt = true;  // accept is still delivered next round
+          return;
+        }
+      }
+    }
+    if (round > 2 * node.max_input_degree + 2) halt = true;  // stays unmatched
+    return;
+  }
+  // White: act on even rounds (responses arrive then).
+  if (round % 2 != 0) return;
+  std::size_t& pos = next_try_[node.index];
+  if (!inbox[pos].empty() && inbox[pos][0] == kAccept) {
+    matched_pos_[node.index] = static_cast<std::int64_t>(pos);
+    halt = true;
+    return;
+  }
+  // Implicit reject: move to the next input edge.
+  ++pos;
+  while (pos < node.incident.size() && !node.edge_in_input[pos]) ++pos;
+  if (pos >= node.incident.size()) {
+    halt = true;  // exhausted: stays unmatched (all neighbors matched)
+    return;
+  }
+  out[pos] = {kJoined};
+}
+
+std::vector<bool> ProposalMatching::matched_edges(const Network& net) const {
+  std::vector<bool> matched(net.support_graph().edge_count(), false);
+  for (std::size_t v = 0; v < net.node_count(); ++v) {
+    const std::int64_t pos = matched_pos_[v];
+    if (pos >= 0) {
+      matched[net.context(v).incident[static_cast<std::size_t>(pos)]] = true;
+    }
+  }
+  return matched;
+}
+
+// ----------------------------------------------------- arbdefective colors
+
+void ArbdefectiveColoring::decide(const NodeContext& node,
+                                  std::vector<Message>& out) {
+  // Pick the color with the fewest conflicts among decided input neighbors.
+  std::vector<std::size_t> conflicts(c_, 0);
+  for (std::size_t i = 0; i < node.incident.size(); ++i) {
+    if (!node.edge_in_input[i]) continue;
+    const std::int64_t nc = neighbor_color_[node.index][i];
+    if (nc >= 0) ++conflicts[static_cast<std::size_t>(nc)];
+  }
+  const std::size_t best = static_cast<std::size_t>(
+      std::min_element(conflicts.begin(), conflicts.end()) - conflicts.begin());
+  colors_[node.index] = static_cast<std::uint32_t>(best);
+  for (std::size_t i = 0; i < node.incident.size(); ++i) {
+    if (!node.edge_in_input[i]) continue;
+    if (neighbor_color_[node.index][i] == static_cast<std::int64_t>(best)) {
+      outgoing_[node.index][i] = true;  // conflict edge points to the earlier node
+    }
+    out[i] = {static_cast<std::int64_t>(best)};
+  }
+}
+
+void ArbdefectiveColoring::on_start(const NodeContext& node, std::vector<Message>& out,
+                                    bool& halt) {
+  assert(node.support != nullptr && "ArbdefectiveColoring needs the Supported model");
+  if (classes_.empty()) {
+    classes_ = canonical_greedy_coloring(*node.support, *node.all_uids);
+    colors_.assign(node.n, 0);
+    neighbor_color_.assign(node.n, {});
+    outgoing_.assign(node.n, {});
+  }
+  neighbor_color_[node.index].assign(node.incident.size(), -1);
+  outgoing_[node.index].assign(node.incident.size(), false);
+  if (classes_[node.index] == 0) {
+    decide(node, out);
+    halt = true;
+  }
+}
+
+void ArbdefectiveColoring::on_round(const NodeContext& node, std::size_t round,
+                                    const std::vector<Message>& inbox,
+                                    std::vector<Message>& out, bool& halt) {
+  for (std::size_t i = 0; i < inbox.size(); ++i) {
+    if (node.edge_in_input[i] && !inbox[i].empty()) {
+      neighbor_color_[node.index][i] = inbox[i][0];
+    }
+  }
+  if (classes_[node.index] == round) {
+    decide(node, out);
+    halt = true;
+  }
+}
+
+std::vector<NodeId> ArbdefectiveColoring::edge_tails(const Network& net) const {
+  const Graph& g = net.support_graph();
+  std::vector<NodeId> tail(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) tail[e] = g.edge(e).u;
+  for (std::size_t v = 0; v < net.node_count(); ++v) {
+    const NodeContext& ctx = net.context(v);
+    for (std::size_t i = 0; i < ctx.incident.size(); ++i) {
+      if (outgoing_[v][i]) tail[ctx.incident[i]] = static_cast<NodeId>(v);
+    }
+  }
+  return tail;
+}
+
+// ------------------------------------------------------------- ruling sets
+
+void BetaRulingSet::on_start(const NodeContext& node, std::vector<Message>& out,
+                             bool& halt) {
+  assert(node.support != nullptr && "BetaRulingSet needs the Supported model");
+  assert(beta_ >= 1);
+  if (classes_.empty()) {
+    classes_ = canonical_greedy_coloring(*node.support, *node.all_uids);
+    num_classes_ = color_count(classes_);
+    in_set_.assign(node.n, false);
+    covered_.assign(node.n, false);
+    max_ttl_sent_.assign(node.n, -1);
+  }
+  if (classes_[node.index] == 0) {
+    in_set_[node.index] = true;
+    for (std::size_t i = 0; i < node.incident.size(); ++i) {
+      if (node.edge_in_input[i]) out[i] = {static_cast<std::int64_t>(beta_)};
+    }
+    max_ttl_sent_[node.index] = static_cast<std::int64_t>(beta_);
+  }
+  if (num_classes_ <= 1) halt = true;
+}
+
+void BetaRulingSet::on_round(const NodeContext& node, std::size_t round,
+                             const std::vector<Message>& inbox,
+                             std::vector<Message>& out, bool& halt) {
+  // Collect coverage tokens; forward with decremented TTL.
+  std::int64_t best_ttl = -1;
+  for (std::size_t i = 0; i < inbox.size(); ++i) {
+    if (node.edge_in_input[i] && !inbox[i].empty()) {
+      covered_[node.index] = true;
+      best_ttl = std::max(best_ttl, inbox[i][0] - 1);
+    }
+  }
+  std::int64_t send_ttl = -1;
+  if (best_ttl >= 1 && best_ttl > max_ttl_sent_[node.index]) send_ttl = best_ttl;
+
+  if (classes_[node.index] > 0 &&
+      round == static_cast<std::size_t>(classes_[node.index]) * beta_ &&
+      !covered_[node.index]) {
+    in_set_[node.index] = true;
+    send_ttl = static_cast<std::int64_t>(beta_);
+  }
+  if (send_ttl >= 1) {
+    for (std::size_t i = 0; i < node.incident.size(); ++i) {
+      if (node.edge_in_input[i]) out[i] = {send_ttl};
+    }
+    max_ttl_sent_[node.index] = std::max(max_ttl_sent_[node.index], send_ttl);
+  }
+  if (round >= num_classes_ * beta_) halt = true;
+}
+
+}  // namespace slocal
+
+namespace slocal {
+
+// ------------------------------------------------------- ring 3-coloring
+
+std::size_t RingColoring::successor_port(const NodeContext& node) const {
+  // make_cycle adds edge i = {i, i+1 mod n}; the edge whose id equals the
+  // node's index leads to the successor, giving a globally consistent
+  // orientation every node derives locally.
+  for (std::size_t i = 0; i < node.incident.size(); ++i) {
+    if (node.incident[i] == static_cast<EdgeId>(node.index)) return i;
+  }
+  return 0;  // unreachable on make_cycle rings
+}
+
+void RingColoring::on_start(const NodeContext& node, std::vector<Message>& out,
+                            bool& halt) {
+  (void)halt;
+  if (color_.empty()) {
+    color_.assign(node.n, 0);
+    colors_.assign(node.n, 0);
+  }
+  color_[node.index] = static_cast<std::int64_t>(node.uid);
+  for (auto& m : out) m = {color_[node.index]};
+}
+
+void RingColoring::on_round(const NodeContext& node, std::size_t round,
+                            const std::vector<Message>& inbox,
+                            std::vector<Message>& out, bool& halt) {
+  const std::size_t succ = successor_port(node);
+  std::int64_t& my = color_[node.index];
+  if (round <= kCvRounds) {
+    // Cole–Vishkin step against the successor's color.
+    const std::int64_t other = inbox[succ].empty() ? 0 : inbox[succ][0];
+    std::size_t k = 0;
+    while (((my >> k) & 1) == ((other >> k) & 1)) ++k;
+    my = static_cast<std::int64_t>(2 * k + ((my >> k) & 1));
+    for (auto& m : out) m = {my};
+    return;
+  }
+  // Shift-down rounds: colors 5, 4, 3 recolor greedily from {0,1,2}.
+  const std::int64_t retiring = 5 - static_cast<std::int64_t>(round - kCvRounds - 1);
+  if (my == retiring) {
+    bool taken[3] = {false, false, false};
+    for (const auto& m : inbox) {
+      if (!m.empty() && m[0] >= 0 && m[0] < 3) taken[m[0]] = true;
+    }
+    std::int64_t c = 0;
+    while (taken[c]) ++c;
+    my = c;
+  }
+  for (auto& m : out) m = {my};
+  if (retiring == 3) {
+    colors_[node.index] = static_cast<std::uint32_t>(my);
+    halt = true;
+  }
+}
+
+}  // namespace slocal
+
+namespace slocal {
+
+// ----------------------------------------------------------- Luby MIS
+
+void LubyMis::draw_and_send(const NodeContext& node, std::vector<Message>& out) {
+  my_draw_[node.index] = static_cast<std::int64_t>(rng_.next() >> 1);
+  for (std::size_t i = 0; i < node.incident.size(); ++i) {
+    if (node.edge_in_input[i]) {
+      out[i] = {0, my_draw_[node.index], static_cast<std::int64_t>(node.uid)};
+    }
+  }
+}
+
+void LubyMis::on_start(const NodeContext& node, std::vector<Message>& out,
+                       bool& halt) {
+  if (my_draw_.empty()) {
+    my_draw_.assign(node.n, 0);
+    in_mis_.assign(node.n, false);
+  }
+  const bool isolated = std::none_of(node.edge_in_input.begin(),
+                                     node.edge_in_input.end(), [](bool b) { return b; });
+  if (isolated) {
+    in_mis_[node.index] = true;
+    halt = true;
+    return;
+  }
+  draw_and_send(node, out);
+}
+
+void LubyMis::on_round(const NodeContext& node, std::size_t round,
+                       const std::vector<Message>& inbox, std::vector<Message>& out,
+                       bool& halt) {
+  (void)round;
+  bool neighbor_joined = false;
+  bool winner = true;
+  for (std::size_t i = 0; i < node.incident.size(); ++i) {
+    if (!node.edge_in_input[i] || inbox[i].empty()) continue;
+    if (inbox[i][0] == 1) {
+      neighbor_joined = true;
+      continue;
+    }
+    const std::int64_t their_draw = inbox[i][1];
+    const std::uint64_t their_uid = static_cast<std::uint64_t>(inbox[i][2]);
+    if (their_draw > my_draw_[node.index] ||
+        (their_draw == my_draw_[node.index] && their_uid > node.uid)) {
+      winner = false;
+    }
+  }
+  if (neighbor_joined) {
+    halt = true;  // retire uncolored: dominated
+    return;
+  }
+  if (winner) {
+    in_mis_[node.index] = true;
+    for (std::size_t i = 0; i < node.incident.size(); ++i) {
+      if (node.edge_in_input[i]) out[i] = {1};
+    }
+    halt = true;
+    return;
+  }
+  draw_and_send(node, out);
+}
+
+}  // namespace slocal

@@ -1,0 +1,182 @@
+// Distributed algorithms for the simulator — the upper-bound side of every
+// experiment.
+//
+// Supported-model algorithms exploit 0-round preprocessing of the support
+// graph (canonical colorings, src/sim/supported.hpp); the plain-LOCAL
+// greedy MIS is included as the contrast that motivates [AAPR23]'s
+// χ_G-round observation and the paper's matching lower bound (Theorem 1.7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/network.hpp"
+#include "src/util/rng.hpp"
+
+namespace slocal {
+
+/// Supported-model MIS on the input graph in <= χ_greedy(G) - 1 rounds:
+/// every node derives the same canonical coloring of the support graph
+/// without communication and the color classes join greedily, one class per
+/// round ([AAPR23]'s upper bound; experiment E9).
+class ColorClassMis : public Algorithm {
+ public:
+  void on_start(const NodeContext& node, std::vector<Message>& out, bool& halt) override;
+  void on_round(const NodeContext& node, std::size_t round,
+                const std::vector<Message>& inbox, std::vector<Message>& out,
+                bool& halt) override;
+
+  const std::vector<bool>& in_mis() const { return in_mis_; }
+
+ private:
+  void announce(const NodeContext& node, std::vector<Message>& out) const;
+
+  std::vector<std::uint32_t> classes_;
+  std::vector<bool> in_mis_;
+  std::vector<bool> covered_;
+};
+
+/// Plain-LOCAL greedy MIS: an undecided node joins when its uid is minimal
+/// among undecided input neighbors. Worst-case Θ(n) rounds (e.g. on a path
+/// with sorted ids) — the baseline Supported preprocessing beats.
+class GreedyUidMis : public Algorithm {
+ public:
+  void on_start(const NodeContext& node, std::vector<Message>& out, bool& halt) override;
+  void on_round(const NodeContext& node, std::size_t round,
+                const std::vector<Message>& inbox, std::vector<Message>& out,
+                bool& halt) override;
+
+  const std::vector<bool>& in_mis() const { return in_mis_; }
+
+ private:
+  enum class State : std::uint8_t { kUndecided, kIn, kOut };
+  std::vector<State> state_;
+  std::vector<bool> in_mis_;
+};
+
+/// Maximal matching of the input graph on a 2-colored support in O(Δ')
+/// rounds by proposals: white nodes try their input edges one by one, black
+/// nodes accept the first proposal. Matches the paper's Θ(Δ') tight bound
+/// for maximal matching (x = 0, y = 1) shape (experiment E1).
+class ProposalMatching : public Algorithm {
+ public:
+  void on_start(const NodeContext& node, std::vector<Message>& out, bool& halt) override;
+  void on_round(const NodeContext& node, std::size_t round,
+                const std::vector<Message>& inbox, std::vector<Message>& out,
+                bool& halt) override;
+
+  /// Matched incident-edge position per node (-1 = unmatched).
+  const std::vector<std::int64_t>& matched_position() const { return matched_pos_; }
+
+  /// Edge flags on the support graph (true = in matching).
+  std::vector<bool> matched_edges(const Network& net) const;
+
+ private:
+  std::vector<std::int64_t> matched_pos_;
+  std::vector<std::size_t> next_try_;
+};
+
+/// Supported-model α-arbdefective c-coloring of the input graph with
+/// α = floor(Δ'/c), in <= χ_greedy(G) rounds: color classes decide in
+/// order; each node picks the color minimizing conflicts with decided input
+/// neighbors and orients conflict edges outward (experiment E3's upper
+/// bound).
+class ArbdefectiveColoring : public Algorithm {
+ public:
+  explicit ArbdefectiveColoring(std::size_t num_colors) : c_(num_colors) {}
+
+  void on_start(const NodeContext& node, std::vector<Message>& out, bool& halt) override;
+  void on_round(const NodeContext& node, std::size_t round,
+                const std::vector<Message>& inbox, std::vector<Message>& out,
+                bool& halt) override;
+
+  const std::vector<std::uint32_t>& colors() const { return colors_; }
+  /// outgoing_[v][i]: incident edge i of v oriented away from v.
+  const std::vector<std::vector<bool>>& outgoing() const { return outgoing_; }
+
+  /// Edge tails on the support graph (for is_arbdefective_coloring).
+  std::vector<NodeId> edge_tails(const Network& net) const;
+
+ private:
+  void decide(const NodeContext& node, std::vector<Message>& out);
+
+  std::size_t c_;
+  std::vector<std::uint32_t> classes_;
+  std::vector<std::uint32_t> colors_;
+  std::vector<std::vector<std::int64_t>> neighbor_color_;  // -1 unknown
+  std::vector<std::vector<bool>> outgoing_;
+};
+
+/// Supported-model (2, β)-ruling set of the input graph in <= χ_greedy(G)·β
+/// rounds: classes decide every β rounds; joiners flood TTL-β coverage
+/// tokens (experiment E4's upper-bound shape).
+class BetaRulingSet : public Algorithm {
+ public:
+  explicit BetaRulingSet(std::size_t beta) : beta_(beta) {}
+
+  void on_start(const NodeContext& node, std::vector<Message>& out, bool& halt) override;
+  void on_round(const NodeContext& node, std::size_t round,
+                const std::vector<Message>& inbox, std::vector<Message>& out,
+                bool& halt) override;
+
+  const std::vector<bool>& in_set() const { return in_set_; }
+
+ private:
+  std::size_t beta_;
+  std::size_t num_classes_ = 0;
+  std::vector<std::uint32_t> classes_;
+  std::vector<bool> in_set_;
+  std::vector<bool> covered_;
+  std::vector<std::int64_t> max_ttl_sent_;
+};
+
+/// Luby-style randomized MIS (plain LOCAL): every round each undecided
+/// node draws a random value and joins when it strictly beats all undecided
+/// input neighbors (lexicographic tie-break by uid); neighbors of joiners
+/// retire. O(log n) rounds with high probability — the randomized baseline
+/// that Appendix C's derandomization lifting relates to the deterministic
+/// complexity.
+class LubyMis : public Algorithm {
+ public:
+  explicit LubyMis(std::uint64_t seed) : rng_(seed) {}
+
+  void on_start(const NodeContext& node, std::vector<Message>& out, bool& halt) override;
+  void on_round(const NodeContext& node, std::size_t round,
+                const std::vector<Message>& inbox, std::vector<Message>& out,
+                bool& halt) override;
+
+  const std::vector<bool>& in_mis() const { return in_mis_; }
+
+ private:
+  void draw_and_send(const NodeContext& node, std::vector<Message>& out);
+
+  Rng rng_;
+  std::vector<std::int64_t> my_draw_;
+  std::vector<bool> in_mis_;
+};
+
+/// Cole–Vishkin 3-coloring of a directed ring (plain LOCAL, no support
+/// knowledge): iterated bit-index color reduction from the uids down to 6
+/// colors, then three shift-down rounds to 3. O(log* n) rounds — with
+/// 64-bit identifiers the reduction schedule is 4 + 3 rounds. The ring
+/// must be built by make_cycle (edge id i leads from node i to node i+1,
+/// which is how nodes derive the common orientation).
+class RingColoring : public Algorithm {
+ public:
+  void on_start(const NodeContext& node, std::vector<Message>& out, bool& halt) override;
+  void on_round(const NodeContext& node, std::size_t round,
+                const std::vector<Message>& inbox, std::vector<Message>& out,
+                bool& halt) override;
+
+  const std::vector<std::uint32_t>& colors() const { return colors_; }
+
+ private:
+  static constexpr std::size_t kCvRounds = 4;  // 64-bit ids -> 6 colors
+
+  std::size_t successor_port(const NodeContext& node) const;
+
+  std::vector<std::int64_t> color_;      // evolving color per node
+  std::vector<std::uint32_t> colors_;    // final output
+};
+
+}  // namespace slocal

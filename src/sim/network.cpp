@@ -1,0 +1,148 @@
+#include "src/sim/network.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <numeric>
+
+namespace slocal {
+
+Network::Network(const Graph& graph, std::vector<std::uint64_t> uids)
+    : graph_(graph),
+      input_edges_(graph.edge_count(), true),
+      uids_(std::move(uids)) {
+  build_contexts(/*supported=*/false);
+}
+
+Network::Network(const Graph& support, const std::vector<bool>& input_edges,
+                 std::vector<std::uint64_t> uids)
+    : graph_(support), input_edges_(input_edges), uids_(std::move(uids)) {
+  assert(input_edges_.size() == support.edge_count());
+  build_contexts(/*supported=*/true);
+}
+
+void Network::build_contexts(bool supported) {
+  supported_ = supported;
+  const std::size_t n = graph_.node_count();
+  if (uids_.empty()) {
+    uids_.resize(n);
+    std::iota(uids_.begin(), uids_.end(), std::uint64_t{1});
+  }
+  assert(uids_.size() == n);
+  std::vector<std::size_t> input_degree(n, 0);
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    if (input_edges_[e]) {
+      ++input_degree[graph_.edge(e).u];
+      ++input_degree[graph_.edge(e).v];
+    }
+  }
+  const std::size_t max_input_degree =
+      n == 0 ? 0 : *std::max_element(input_degree.begin(), input_degree.end());
+  contexts_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    NodeContext& ctx = contexts_[v];
+    ctx.index = v;
+    ctx.uid = uids_[v];
+    ctx.n = n;
+    ctx.max_degree = graph_.max_degree();
+    ctx.max_input_degree = max_input_degree;
+    const auto inc = graph_.incident_edges(static_cast<NodeId>(v));
+    ctx.incident.assign(inc.begin(), inc.end());
+    ctx.neighbors.clear();
+    ctx.edge_in_input.clear();
+    for (const EdgeId e : ctx.incident) {
+      ctx.neighbors.push_back(graph_.edge(e).other(static_cast<NodeId>(v)));
+      ctx.edge_in_input.push_back(input_edges_[e]);
+    }
+    if (supported) {
+      ctx.support = &graph_;
+      ctx.all_uids = &uids_;
+    }
+  }
+}
+
+void Network::set_colors(std::vector<std::int32_t> colors) {
+  assert(colors.size() == contexts_.size());
+  for (std::size_t v = 0; v < contexts_.size(); ++v) contexts_[v].color = colors[v];
+}
+
+Graph Network::input_graph() const {
+  Graph g(graph_.node_count());
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    if (input_edges_[e]) g.add_edge(graph_.edge(e).u, graph_.edge(e).v);
+  }
+  return g;
+}
+
+RunResult Network::run(Algorithm& algorithm, std::size_t max_rounds) {
+  const std::size_t n = contexts_.size();
+  std::vector<std::vector<Message>> outboxes(n);
+  std::vector<std::vector<Message>> inboxes(n);
+  std::vector<bool> halted(n, false);
+  std::size_t live = n;
+
+  for (std::size_t v = 0; v < n; ++v) {
+    outboxes[v].assign(contexts_[v].incident.size(), Message{});
+    inboxes[v].assign(contexts_[v].incident.size(), Message{});
+    bool halt = false;
+    algorithm.on_start(contexts_[v], outboxes[v], halt);
+    if (halt) {
+      halted[v] = true;
+      --live;
+    }
+  }
+  RunResult result;
+  for (const auto& box : outboxes) {
+    for (const auto& m : box) result.messages_sent += m.empty() ? 0 : 1;
+  }
+  if (live == 0) {
+    result.completed = true;
+    return result;  // 0 rounds
+  }
+
+  // Position of each edge within each endpoint's incident list, for message
+  // routing.
+  std::vector<std::array<std::size_t, 2>> edge_pos(graph_.edge_count());
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < contexts_[v].incident.size(); ++i) {
+      const EdgeId e = contexts_[v].incident[i];
+      edge_pos[e][graph_.edge(e).u == v ? 0 : 1] = i;
+    }
+  }
+
+  for (std::size_t round = 1; round <= max_rounds; ++round) {
+    // Deliver.
+    for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+      const Edge& edge = graph_.edge(e);
+      inboxes[edge.u][edge_pos[e][0]] = outboxes[edge.v][edge_pos[e][1]];
+      inboxes[edge.v][edge_pos[e][1]] = outboxes[edge.u][edge_pos[e][0]];
+    }
+    // Compute.
+    for (std::size_t v = 0; v < n; ++v) {
+      if (halted[v]) {
+        // Halted nodes stay silent.
+        std::fill(outboxes[v].begin(), outboxes[v].end(), Message{});
+        continue;
+      }
+      std::vector<Message> out(contexts_[v].incident.size());
+      bool halt = false;
+      algorithm.on_round(contexts_[v], round, inboxes[v], out, halt);
+      for (const auto& m : out) result.messages_sent += m.empty() ? 0 : 1;
+      outboxes[v] = std::move(out);
+      if (halt) {
+        halted[v] = true;
+        --live;
+        result.rounds = round;
+      }
+    }
+    if (live == 0) {
+      result.completed = true;
+      return result;
+    }
+  }
+  result.rounds = max_rounds;
+  result.completed = false;
+  return result;
+}
+
+}  // namespace slocal

@@ -1,0 +1,100 @@
+// Synchronous message-passing simulator for the LOCAL and Supported LOCAL
+// models (Section 2).
+//
+// Computation proceeds in synchronous rounds; per round every live node
+// reads the messages its neighbors sent in the previous round, updates
+// state, and emits one (arbitrary-size) message per incident support edge.
+// A node halts when it has produced its final output; the run's round
+// complexity is the round in which the last node halts.
+//
+// Supported mode: every NodeContext carries the full support graph and all
+// identifiers (the model's "complete information about G"), plus only the
+// node's *own* incident input-edge flags — the topology of G' beyond that
+// must be learned by communication, exactly as the model prescribes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace slocal {
+
+using Message = std::vector<std::int64_t>;
+
+struct NodeContext {
+  std::size_t index = 0;   // position in the network (not the identifier)
+  std::uint64_t uid = 0;   // unique identifier
+  std::size_t n = 0;       // number of nodes of the support graph
+  std::size_t max_degree = 0;        // Δ of the support graph
+  std::size_t max_input_degree = 0;  // Δ' (known to nodes per the model)
+  std::int32_t color = 0;  // harness-provided 2-coloring (0 white / 1 black)
+
+  std::vector<EdgeId> incident;        // support edges, stable order
+  std::vector<std::size_t> neighbors;  // node indices, aligned with incident
+  std::vector<bool> edge_in_input;     // aligned with incident
+
+  // Supported LOCAL extras (nullptr / empty in plain LOCAL mode).
+  const Graph* support = nullptr;
+  const std::vector<std::uint64_t>* all_uids = nullptr;
+};
+
+/// A distributed algorithm. Implementations keep per-node state in their
+/// own containers indexed by NodeContext::index.
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  /// Called once per node before round 1; `out` (aligned with incident
+  /// edges) holds the messages for round 1. Set halt=true for 0-round
+  /// termination (messages still delivered).
+  virtual void on_start(const NodeContext& node, std::vector<Message>& out,
+                        bool& halt) = 0;
+
+  /// One round: `inbox[i]` is the message received along incident edge i
+  /// (empty if none). Fill `out` for the next round; set halt=true once the
+  /// node's output is final.
+  virtual void on_round(const NodeContext& node, std::size_t round,
+                        const std::vector<Message>& inbox,
+                        std::vector<Message>& out, bool& halt) = 0;
+};
+
+struct RunResult {
+  std::size_t rounds = 0;          // rounds of communication until the last halt
+  bool completed = false;          // false if max_rounds was hit first
+  std::uint64_t messages_sent = 0; // non-empty messages across the run
+};
+
+class Network {
+ public:
+  /// Plain LOCAL network. `uids` defaults to 1..n when empty.
+  Network(const Graph& graph, std::vector<std::uint64_t> uids = {});
+
+  /// Supported LOCAL network: support graph + per-edge input flags.
+  Network(const Graph& support, const std::vector<bool>& input_edges,
+          std::vector<std::uint64_t> uids = {});
+
+  /// Sets a 2-coloring exposed through NodeContext::color.
+  void set_colors(std::vector<std::int32_t> colors);
+
+  RunResult run(Algorithm& algorithm, std::size_t max_rounds = 10'000);
+
+  const NodeContext& context(std::size_t index) const { return contexts_[index]; }
+  std::size_t node_count() const { return contexts_.size(); }
+
+  /// The input graph (equal to the support graph in plain LOCAL mode).
+  Graph input_graph() const;
+  const Graph& support_graph() const { return graph_; }
+
+ private:
+  void build_contexts(bool supported);
+
+  Graph graph_;  // stored by value: the network owns its topology
+  std::vector<bool> input_edges_;
+  std::vector<std::uint64_t> uids_;
+  std::vector<NodeContext> contexts_;
+  bool supported_ = false;
+};
+
+}  // namespace slocal

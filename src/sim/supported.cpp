@@ -1,0 +1,50 @@
+#include "src/sim/supported.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace slocal {
+
+std::vector<std::uint32_t> canonical_greedy_coloring(
+    const Graph& support, const std::vector<std::uint64_t>& uids) {
+  assert(uids.size() == support.node_count());
+  std::vector<std::size_t> order(support.node_count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return uids[a] < uids[b]; });
+
+  std::vector<std::uint32_t> color(support.node_count(),
+                                   std::numeric_limits<std::uint32_t>::max());
+  std::vector<char> taken;
+  for (const std::size_t v : order) {
+    taken.assign(support.degree(static_cast<NodeId>(v)) + 1, 0);
+    for (const EdgeId e : support.incident_edges(static_cast<NodeId>(v))) {
+      const std::uint32_t c = color[support.edge(e).other(static_cast<NodeId>(v))];
+      if (c < taken.size()) taken[c] = 1;
+    }
+    std::uint32_t c = 0;
+    while (taken[c]) ++c;
+    color[v] = c;
+  }
+  return color;
+}
+
+std::size_t color_count(const std::vector<std::uint32_t>& colors) {
+  std::uint32_t max_color = 0;
+  for (const std::uint32_t c : colors) max_color = std::max(max_color, c);
+  return colors.empty() ? 0 : static_cast<std::size_t>(max_color) + 1;
+}
+
+std::vector<std::uint64_t> canonical_rank_ids(const std::vector<std::uint64_t>& uids) {
+  std::vector<std::size_t> order(uids.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return uids[a] < uids[b]; });
+  std::vector<std::uint64_t> ranks(uids.size());
+  for (std::size_t r = 0; r < order.size(); ++r) ranks[order[r]] = r + 1;
+  return ranks;
+}
+
+}  // namespace slocal

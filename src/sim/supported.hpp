@@ -1,0 +1,30 @@
+// Canonical 0-round precomputations for the Supported LOCAL model.
+//
+// Every node knows the full support graph and all identifiers, so any
+// deterministic function of (G, ids) can be evaluated by every node without
+// communication and all nodes obtain the *same* result. These helpers are
+// the preprocessing steps the Supported-model algorithms rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace slocal {
+
+/// Canonical greedy coloring of the support graph: process nodes by
+/// ascending uid, give each the smallest color unused by neighbors.
+/// Deterministic in (G, uids); uses at most Δ+1 colors.
+std::vector<std::uint32_t> canonical_greedy_coloring(
+    const Graph& support, const std::vector<std::uint64_t>& uids);
+
+/// Number of colors used by a coloring.
+std::size_t color_count(const std::vector<std::uint32_t>& colors);
+
+/// Canonical ID compaction: ranks of the uids (the paper's Section 3
+/// remark: an ID space {1..n} is w.l.o.g. because all nodes know G and can
+/// recompute a consistent assignment without communication).
+std::vector<std::uint64_t> canonical_rank_ids(const std::vector<std::uint64_t>& uids);
+
+}  // namespace slocal

@@ -1,0 +1,111 @@
+#include "src/solver/cnf_encoding.hpp"
+
+#include <cassert>
+
+#include "src/graph/hypergraph.hpp"
+
+namespace slocal {
+
+namespace {
+
+/// Emits blocking clauses for a constrained node: for each minimal bad
+/// prefix over the node's incident edges (in order), the clause saying
+/// "not all of these selections together".
+void block_bad_prefixes(SatSolver& solver, const Constraint& constraint,
+                        const std::vector<EdgeId>& incident,
+                        const std::vector<std::vector<Var>>& edge_label_vars,
+                        std::size_t alphabet, std::size_t& clause_count) {
+  std::vector<Label> prefix;
+  prefix.reserve(incident.size());
+  auto dfs = [&](auto&& self, std::size_t depth) -> void {
+    const Configuration partial{std::vector<Label>(prefix)};
+    const bool ok = depth == incident.size() ? constraint.contains(partial)
+                                             : constraint.extendable(partial);
+    if (!ok) {
+      std::vector<Lit> clause;
+      clause.reserve(depth);
+      for (std::size_t i = 0; i < depth; ++i) {
+        clause.push_back(Lit::negative(edge_label_vars[incident[i]][prefix[i]]));
+      }
+      solver.add_clause(std::move(clause));
+      ++clause_count;
+      return;  // minimal prefix blocked; no need to extend
+    }
+    if (depth == incident.size()) return;
+    for (std::size_t l = 0; l < alphabet; ++l) {
+      prefix.push_back(static_cast<Label>(l));
+      self(self, depth + 1);
+      prefix.pop_back();
+    }
+  };
+  dfs(dfs, 0);
+}
+
+}  // namespace
+
+std::optional<std::vector<Label>> solve_bipartite_labeling_sat(
+    const BipartiteGraph& g, const Problem& pi, std::uint64_t conflict_budget,
+    SatLabelingStats* stats) {
+  SatSolver solver;
+  const std::size_t alphabet = pi.alphabet_size();
+  std::vector<std::vector<Var>> x(g.edge_count());
+  std::size_t clause_count = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    x[e].resize(alphabet);
+    for (std::size_t l = 0; l < alphabet; ++l) x[e][l] = solver.new_var();
+    // Exactly-one: at least one + pairwise at-most-one.
+    std::vector<Lit> at_least;
+    at_least.reserve(alphabet);
+    for (std::size_t l = 0; l < alphabet; ++l) at_least.push_back(Lit::positive(x[e][l]));
+    solver.add_clause(std::move(at_least));
+    ++clause_count;
+    for (std::size_t a = 0; a < alphabet; ++a) {
+      for (std::size_t b = a + 1; b < alphabet; ++b) {
+        solver.add_clause({Lit::negative(x[e][a]), Lit::negative(x[e][b])});
+        ++clause_count;
+      }
+    }
+  }
+  for (NodeId w = 0; w < g.white_count(); ++w) {
+    if (g.white_degree(w) != pi.white_degree()) continue;
+    const auto span = g.white_incident(w);
+    block_bad_prefixes(solver, pi.white(),
+                       std::vector<EdgeId>(span.begin(), span.end()), x, alphabet,
+                       clause_count);
+  }
+  for (NodeId b = 0; b < g.black_count(); ++b) {
+    if (g.black_degree(b) != pi.black_degree()) continue;
+    const auto span = g.black_incident(b);
+    block_bad_prefixes(solver, pi.black(),
+                       std::vector<EdgeId>(span.begin(), span.end()), x, alphabet,
+                       clause_count);
+  }
+
+  const SatResult result = solver.solve(conflict_budget);
+  if (stats != nullptr) {
+    stats->variables = solver.var_count();
+    stats->clauses = clause_count;
+    stats->conflicts = solver.conflicts();
+    stats->result = result;
+  }
+  if (result != SatResult::kSat) return std::nullopt;
+  std::vector<Label> labels(g.edge_count(), 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    for (std::size_t l = 0; l < alphabet; ++l) {
+      if (solver.value(x[e][l])) {
+        labels[e] = static_cast<Label>(l);
+        break;
+      }
+    }
+  }
+  return labels;
+}
+
+std::optional<std::vector<Label>> solve_graph_halfedge_labeling_sat(
+    const Graph& g, const Problem& pi, std::uint64_t conflict_budget,
+    SatLabelingStats* stats) {
+  return solve_bipartite_labeling_sat(Hypergraph::from_graph(g).incidence_graph(), pi,
+                                      conflict_budget, stats);
+}
+
+}  // namespace slocal

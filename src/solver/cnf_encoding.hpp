@@ -1,0 +1,41 @@
+// CNF encoding of the edge-labeling existence question, solved by the
+// in-tree CDCL solver.
+//
+// Variables x_{e,l} select one label per edge. Per constrained node, *bad
+// prefixes* are blocked: a DFS over the node's incident edges emits a
+// clause for every minimal partial assignment whose label multiset cannot
+// extend to a configuration of the node's constraint. Any total assignment
+// avoiding all blocked prefixes therefore satisfies every constrained node.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/formalism/problem.hpp"
+#include "src/graph/bipartite.hpp"
+#include "src/graph/graph.hpp"
+#include "src/sat/solver.hpp"
+
+namespace slocal {
+
+struct SatLabelingStats {
+  std::size_t variables = 0;
+  std::size_t clauses = 0;
+  std::uint64_t conflicts = 0;
+  SatResult result = SatResult::kUnknown;
+};
+
+/// SAT-based equivalent of solve_bipartite_labeling. conflict_budget = 0
+/// means run to completion. Returns a labeling iff satisfiable.
+std::optional<std::vector<Label>> solve_bipartite_labeling_sat(
+    const BipartiteGraph& g, const Problem& pi, std::uint64_t conflict_budget = 0,
+    SatLabelingStats* stats = nullptr);
+
+/// SAT-based half-edge labeling on a plain graph (non-bipartite solving via
+/// the incidence graph; see solve_graph_halfedge_labeling).
+std::optional<std::vector<Label>> solve_graph_halfedge_labeling_sat(
+    const Graph& g, const Problem& pi, std::uint64_t conflict_budget = 0,
+    SatLabelingStats* stats = nullptr);
+
+}  // namespace slocal

@@ -1,0 +1,137 @@
+#include "src/solver/edge_labeling.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slocal {
+
+namespace {
+
+struct NodeState {
+  std::vector<Label> partial;  // labels assigned so far (unsorted)
+  bool constrained = false;    // degree matches the constraint's degree
+  std::size_t degree = 0;
+};
+
+class BacktrackSolver {
+ public:
+  BacktrackSolver(const BipartiteGraph& g, const Problem& pi,
+                  const LabelingOptions& options)
+      : g_(g), pi_(pi), budget_(options.node_budget) {
+    whites_.resize(g.white_count());
+    blacks_.resize(g.black_count());
+    for (NodeId w = 0; w < g.white_count(); ++w) {
+      whites_[w].degree = g.white_degree(w);
+      whites_[w].constrained = g.white_degree(w) == pi.white_degree();
+    }
+    for (NodeId b = 0; b < g.black_count(); ++b) {
+      blacks_[b].degree = g.black_degree(b);
+      blacks_[b].constrained = g.black_degree(b) == pi.black_degree();
+    }
+    // Edge order: group by white node so white constraints close early.
+    for (NodeId w = 0; w < g.white_count(); ++w) {
+      for (const EdgeId e : g.white_incident(w)) order_.push_back(e);
+    }
+    labels_.assign(g.edge_count(), 0);
+  }
+
+  std::optional<std::vector<Label>> solve(bool* exhausted) {
+    const bool found = recurse(0);
+    if (exhausted != nullptr) *exhausted = exhausted_;
+    if (found) return labels_;
+    return std::nullopt;
+  }
+
+ private:
+  bool feasible(const NodeState& node, const Constraint& c) const {
+    if (!node.constrained) return true;
+    const Configuration partial{std::vector<Label>(node.partial)};
+    if (node.partial.size() == c.degree()) return c.contains(partial);
+    return c.extendable(partial);
+  }
+
+  bool recurse(std::size_t index) {
+    if (exhausted_) return false;
+    if (++visited_ > budget_) {
+      exhausted_ = true;
+      return false;
+    }
+    if (index == order_.size()) return true;
+    const EdgeId e = order_[index];
+    const BiEdge& edge = g_.edge(e);
+    NodeState& w = whites_[edge.white];
+    NodeState& b = blacks_[edge.black];
+    for (std::size_t l = 0; l < pi_.alphabet_size(); ++l) {
+      const Label label = static_cast<Label>(l);
+      w.partial.push_back(label);
+      b.partial.push_back(label);
+      if (feasible(w, pi_.white()) && feasible(b, pi_.black())) {
+        labels_[e] = label;
+        if (recurse(index + 1)) return true;
+      }
+      w.partial.pop_back();
+      b.partial.pop_back();
+    }
+    return false;
+  }
+
+  const BipartiteGraph& g_;
+  const Problem& pi_;
+  std::uint64_t budget_;
+  std::uint64_t visited_ = 0;
+  bool exhausted_ = false;
+  std::vector<NodeState> whites_;
+  std::vector<NodeState> blacks_;
+  std::vector<EdgeId> order_;
+  std::vector<Label> labels_;
+};
+
+}  // namespace
+
+std::optional<std::vector<Label>> solve_bipartite_labeling(
+    const BipartiteGraph& g, const Problem& pi, const LabelingOptions& options,
+    bool* exhausted) {
+  if (exhausted != nullptr) *exhausted = false;
+  BacktrackSolver solver(g, pi, options);
+  return solver.solve(exhausted);
+}
+
+bool check_bipartite_labeling(const BipartiteGraph& g, const Problem& pi,
+                              std::span<const Label> labels) {
+  if (labels.size() != g.edge_count()) return false;
+  for (NodeId w = 0; w < g.white_count(); ++w) {
+    if (g.white_degree(w) != pi.white_degree()) continue;
+    std::vector<Label> around;
+    around.reserve(g.white_degree(w));
+    for (const EdgeId e : g.white_incident(w)) around.push_back(labels[e]);
+    if (!pi.white().contains(Configuration(std::move(around)))) return false;
+  }
+  for (NodeId b = 0; b < g.black_count(); ++b) {
+    if (g.black_degree(b) != pi.black_degree()) continue;
+    std::vector<Label> around;
+    around.reserve(g.black_degree(b));
+    for (const EdgeId e : g.black_incident(b)) around.push_back(labels[e]);
+    if (!pi.black().contains(Configuration(std::move(around)))) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<Label>> solve_hypergraph_labeling(
+    const Hypergraph& h, const Problem& pi, const LabelingOptions& options,
+    bool* exhausted) {
+  return solve_bipartite_labeling(h.incidence_graph(), pi, options, exhausted);
+}
+
+std::optional<std::vector<Label>> solve_graph_halfedge_labeling(
+    const Graph& g, const Problem& pi, const LabelingOptions& options,
+    bool* exhausted) {
+  return solve_hypergraph_labeling(Hypergraph::from_graph(g), pi, options, exhausted);
+}
+
+bool check_graph_halfedge_labeling(const Graph& g, const Problem& pi,
+                                   std::span<const Label> half_labels) {
+  const BipartiteGraph incidence = Hypergraph::from_graph(g).incidence_graph();
+  return check_bipartite_labeling(incidence, pi, half_labels);
+}
+
+}  // namespace slocal

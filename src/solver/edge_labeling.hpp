@@ -1,0 +1,56 @@
+// Solution-existence decider for black-white problems on concrete graphs —
+// exhaustive backtracking with per-node feasibility pruning.
+//
+// This answers the graph-theoretic question the whole framework reduces to
+// (Theorem 3.4): does Ψ (e.g. lift(Π')) admit a bipartite solution on G?
+// Per the formalism (Section 2), only white nodes of degree exactly d_W and
+// black nodes of degree exactly d_B are constrained.
+//
+// The backtracking solver is the auditable reference; the CNF encoder
+// (src/solver/cnf_encoding.hpp) is the scalable one. Tests cross-check.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/formalism/problem.hpp"
+#include "src/graph/bipartite.hpp"
+#include "src/graph/graph.hpp"
+#include "src/graph/hypergraph.hpp"
+
+namespace slocal {
+
+struct LabelingOptions {
+  std::uint64_t node_budget = 50'000'000;
+};
+
+/// One label per edge; returns a solution or nullopt. `exhausted` (if
+/// given) reports whether the search budget ran out before completion —
+/// nullopt with *exhausted == false is a definitive "unsolvable".
+std::optional<std::vector<Label>> solve_bipartite_labeling(
+    const BipartiteGraph& g, const Problem& pi, const LabelingOptions& options = {},
+    bool* exhausted = nullptr);
+
+/// Checks a full labeling.
+bool check_bipartite_labeling(const BipartiteGraph& g, const Problem& pi,
+                              std::span<const Label> labels);
+
+/// Non-bipartite solving on a hypergraph = bipartite solving on its
+/// incidence graph (Section 2). Returns labels per (node, hyperedge)
+/// incidence, indexed by the incidence graph's edge ids.
+std::optional<std::vector<Label>> solve_hypergraph_labeling(
+    const Hypergraph& h, const Problem& pi, const LabelingOptions& options = {},
+    bool* exhausted = nullptr);
+
+/// Non-bipartite solving on a plain graph: each edge is a rank-2 hyperedge;
+/// result[2*e], result[2*e+1] are the half-edge labels at edge e's u and v.
+std::optional<std::vector<Label>> solve_graph_halfedge_labeling(
+    const Graph& g, const Problem& pi, const LabelingOptions& options = {},
+    bool* exhausted = nullptr);
+
+bool check_graph_halfedge_labeling(const Graph& g, const Problem& pi,
+                                   std::span<const Label> half_labels);
+
+}  // namespace slocal

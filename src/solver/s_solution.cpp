@@ -1,0 +1,219 @@
+#include "src/solver/s_solution.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "src/problems/coloring_family.hpp"
+#include "src/util/bitset.hpp"
+
+namespace slocal {
+
+namespace {
+
+/// Half-edge label of edge e at endpoint `v`.
+std::size_t half_index(const Graph& g, EdgeId e, NodeId v) {
+  return 2 * static_cast<std::size_t>(e) + (g.edge(e).u == v ? 0 : 1);
+}
+
+}  // namespace
+
+bool check_s_solution(const Graph& g, const Problem& pi,
+                      const std::vector<bool>& in_s,
+                      std::span<const Label> half_labels) {
+  if (half_labels.size() != 2 * g.edge_count() || in_s.size() != g.node_count()) {
+    return false;
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!in_s[v] || g.degree(v) != pi.white_degree()) continue;
+    std::vector<Label> around;
+    around.reserve(g.degree(v));
+    for (const EdgeId e : g.incident_edges(v)) {
+      around.push_back(half_labels[half_index(g, e, v)]);
+    }
+    if (!pi.white().contains(Configuration(std::move(around)))) return false;
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (!in_s[edge.u] || !in_s[edge.v]) continue;
+    const Configuration pair{half_labels[2 * e], half_labels[2 * e + 1]};
+    if (!pi.black().contains(pair)) return false;
+  }
+  return true;
+}
+
+std::optional<HalfEdgeLabels> s_solution_from_lift(
+    const Graph& g, const LiftedProblem& lift, std::size_t k,
+    const Problem& target, const std::vector<bool>& in_s,
+    std::span<const std::size_t> lifted_half_labels) {
+  if (lifted_half_labels.size() != 2 * g.edge_count()) return std::nullopt;
+  const Problem& base = lift.base();
+  const auto x_target = target.registry().find("X");
+  if (!x_target) return std::nullopt;
+
+  // C_e(v): union of color sets named by the base labels in L_e(v).
+  const auto color_union = [&](std::size_t lifted_label) {
+    SmallBitset colors;
+    const SmallBitset base_labels = lift.label_sets()[lifted_label];
+    for (const std::size_t l : base_labels.indices()) {
+      colors |= coloring_label_set(base, static_cast<Label>(l));
+    }
+    return colors;
+  };
+
+  HalfEdgeLabels out(2 * g.edge_count(), *x_target);
+  const std::size_t num_color_sets = (std::size_t{1} << k) - 1;
+
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!in_s[v]) continue;
+    const auto incident = g.incident_edges(v);
+    std::vector<SmallBitset> c_e;
+    c_e.reserve(incident.size());
+    for (const EdgeId e : incident) {
+      const std::size_t lifted = lifted_half_labels[half_index(g, e, v)];
+      if (lifted >= lift.label_sets().size()) return std::nullopt;
+      c_e.push_back(color_union(lifted));
+    }
+    // Find non-empty C subseteq {1..k} with
+    //   #{edges e : C not subseteq C_e(v)} <= |C| - 1   (Hall violation).
+    bool assigned = false;
+    for (std::size_t bits = 1; bits <= num_color_sets && !assigned; ++bits) {
+      const SmallBitset c(bits);
+      std::vector<std::size_t> bad;  // positions where C is not contained
+      for (std::size_t j = 0; j < c_e.size(); ++j) {
+        if (!c_e[j].contains(c)) bad.push_back(j);
+      }
+      const std::size_t x = c.count() - 1;
+      if (bad.size() > x || x >= incident.size()) continue;
+      const auto set_label = coloring_label(target, c);
+      if (!set_label) return std::nullopt;
+      // Exactly x half-edges get X (all the bad positions plus padding);
+      // the rest get l(C).
+      std::vector<bool> is_x(incident.size(), false);
+      for (const std::size_t j : bad) is_x[j] = true;
+      std::size_t x_count = bad.size();
+      for (std::size_t j = 0; j < incident.size() && x_count < x; ++j) {
+        if (!is_x[j]) {
+          is_x[j] = true;
+          ++x_count;
+        }
+      }
+      for (std::size_t j = 0; j < incident.size(); ++j) {
+        out[half_index(g, incident[j], v)] = is_x[j] ? *x_target : *set_label;
+      }
+      assigned = true;
+    }
+    if (!assigned) return std::nullopt;
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint32_t>> coloring_from_s_solution(
+    const Graph& g, const Problem& pi_delta_k, std::size_t k,
+    const std::vector<bool>& in_s, std::span<const Label> half_labels) {
+  if (half_labels.size() != 2 * g.edge_count()) return std::nullopt;
+  const auto x_label = pi_delta_k.registry().find("X");
+  if (!x_label) return std::nullopt;
+
+  // Extract C_v per node of S.
+  std::vector<SmallBitset> c_v(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!in_s[v]) continue;
+    SmallBitset colors;
+    std::size_t x_count = 0;
+    for (const EdgeId e : g.incident_edges(v)) {
+      const Label l = half_labels[half_index(g, e, v)];
+      if (l == *x_label) {
+        ++x_count;
+      } else {
+        const SmallBitset c = coloring_label_set(pi_delta_k, l);
+        if (c.empty()) return std::nullopt;  // P/U or foreign label
+        if (!colors.empty() && colors != c) return std::nullopt;
+        colors = c;
+      }
+    }
+    if (colors.empty() || x_count != colors.count() - 1) return std::nullopt;
+    c_v[v] = colors;
+  }
+
+  // G_X: edges inside S with an X on at least one side.
+  std::vector<std::vector<NodeId>> gx(g.node_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (!in_s[edge.u] || !in_s[edge.v]) continue;
+    if (half_labels[2 * e] == *x_label || half_labels[2 * e + 1] == *x_label) {
+      gx[edge.u].push_back(edge.v);
+      gx[edge.v].push_back(edge.u);
+    }
+  }
+
+  // Degeneracy-style ordering: repeatedly remove a node whose remaining
+  // G_X-degree is at most 2|C_v| - 1 (always exists; Lemma 5.10).
+  std::vector<std::size_t> deg(g.node_count(), 0);
+  std::vector<bool> remaining = in_s;
+  std::vector<NodeId> order;
+  std::size_t live = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (in_s[v]) {
+      deg[v] = gx[v].size();
+      ++live;
+    }
+  }
+  while (live > 0) {
+    bool found = false;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (!remaining[v]) continue;
+      if (deg[v] <= 2 * c_v[v].count() - 1) {
+        order.push_back(v);
+        remaining[v] = false;
+        --live;
+        for (const NodeId u : gx[v]) {
+          if (remaining[u]) --deg[u];
+        }
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;  // not a valid S-solution
+  }
+
+  // Reverse-greedy coloring from the doubled palette {2c, 2c+1 : c in C_v}.
+  constexpr std::uint32_t kUncolored = 0xffffffffu;
+  std::vector<std::uint32_t> color(g.node_count(), kUncolored);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    std::vector<std::uint32_t> palette;
+    for (const std::size_t c : c_v[v].indices()) {
+      palette.push_back(static_cast<std::uint32_t>(2 * c));
+      palette.push_back(static_cast<std::uint32_t>(2 * c + 1));
+    }
+    std::uint32_t chosen = kUncolored;
+    for (const std::uint32_t cand : palette) {
+      bool used = false;
+      for (const NodeId u : gx[v]) {
+        if (color[u] == cand) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) {
+        chosen = cand;
+        break;
+      }
+    }
+    if (chosen == kUncolored) return std::nullopt;
+    color[v] = chosen;
+  }
+
+  // Sanity: proper on the whole induced subgraph (non-G_X edges are proper
+  // because their endpoint color sets are disjoint).
+  for (const Edge& edge : g.edges()) {
+    if (in_s[edge.u] && in_s[edge.v] && color[edge.u] == color[edge.v]) {
+      return std::nullopt;
+    }
+  }
+  (void)k;
+  return color;
+}
+
+}  // namespace slocal

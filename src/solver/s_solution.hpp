@@ -1,0 +1,55 @@
+// S-solutions (Definition 5.6) and the constructive pipeline of Section 5:
+//
+//   Lemma 5.9:  S-solution of lift_{Δ,2}(Π_Δ'(k))  →  S-solution of Π_Δ(k)
+//   Lemma 5.10: S-solution of Π_Δ(k)               →  proper 2k-coloring of
+//                                                     the subgraph induced by S
+//
+// Together (Lemma 5.7) these turn any hypothetical solution of the lifted
+// problem on a Lemma 2.1 graph into a coloring that beats the graph's
+// chromatic lower bound n/α(G) — the contradiction behind Theorem 5.1.
+// Both lemmas are implemented as *executable constructions*, so the
+// pipeline can be run forward on graphs where solutions do exist and used
+// as an independent certificate where they don't.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/formalism/problem.hpp"
+#include "src/graph/graph.hpp"
+#include "src/lift/lift.hpp"
+
+namespace slocal {
+
+/// Half-edge labeling of a plain graph: index 2*e labels edge e at its u
+/// endpoint, 2*e+1 at its v endpoint.
+using HalfEdgeLabels = std::vector<Label>;
+
+/// Definition 5.6: node constraint holds on every node of S (that has the
+/// constraint's degree), edge constraint on every edge inside S.
+bool check_s_solution(const Graph& g, const Problem& pi,
+                      const std::vector<bool>& in_s,
+                      std::span<const Label> half_labels);
+
+/// Lemma 5.9 (constructive). `lifted_half_labels` assigns to each half-edge
+/// an index into `lift.label_sets()`; the input must be an S-solution of
+/// lift = lift_{Δ,2}(Π_Δ'(k)) where the base problem is
+/// make_coloring_problem(Δ', k). Returns an S-solution of Π_Δ(k)
+/// (`target` = make_coloring_problem(Δ, k)), or nullopt if the construction
+/// fails (i.e. the input was not a valid S-solution).
+std::optional<HalfEdgeLabels> s_solution_from_lift(
+    const Graph& g, const LiftedProblem& lift, std::size_t k,
+    const Problem& target, const std::vector<bool>& in_s,
+    std::span<const std::size_t> lifted_half_labels);
+
+/// Lemma 5.10 (constructive). From an S-solution of Π_Δ(k) produces a
+/// proper coloring of the subgraph induced by S with colors in [0, 2k)
+/// (entries of nodes outside S are meaningless). Returns nullopt if the
+/// input is not a valid S-solution.
+std::optional<std::vector<std::uint32_t>> coloring_from_s_solution(
+    const Graph& g, const Problem& pi_delta_k, std::size_t k,
+    const std::vector<bool>& in_s, std::span<const Label> half_labels);
+
+}  // namespace slocal

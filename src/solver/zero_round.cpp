@@ -1,0 +1,192 @@
+#include "src/solver/zero_round.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sat/solver.hpp"
+#include "src/util/combinatorics.hpp"
+
+namespace slocal {
+
+namespace {
+
+/// All bitmasks over `degree` positions with 1..max_bits bits set.
+std::vector<std::uint32_t> local_input_masks(std::size_t degree, std::size_t max_bits) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t mask = 1; mask < (1u << degree); ++mask) {
+    const std::size_t bits = static_cast<std::size_t>(__builtin_popcount(mask));
+    if (bits >= 1 && bits <= max_bits) out.push_back(mask);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool zero_round_white_algorithm_exists(const BipartiteGraph& g, const Problem& pi,
+                                       ZeroRoundStats* stats) {
+  const std::size_t delta_prime = pi.white_degree();
+  const std::size_t r_prime = pi.black_degree();
+  const std::size_t alphabet = pi.alphabet_size();
+  SatSolver solver;
+  std::size_t clause_count = 0;
+  std::size_t scenario_count = 0;
+
+  // y[v][mask] = per set-position (ascending bit order) the label variables.
+  // mask bits index into g.white_incident(v).
+  std::vector<std::unordered_map<std::uint32_t, std::vector<std::vector<Var>>>> y(
+      g.white_count());
+  for (NodeId v = 0; v < g.white_count(); ++v) {
+    const std::size_t deg = g.white_degree(v);
+    assert(deg <= 31);
+    for (const std::uint32_t mask : local_input_masks(deg, delta_prime)) {
+      const std::size_t bits = static_cast<std::size_t>(__builtin_popcount(mask));
+      auto& slots = y[v][mask];
+      slots.resize(bits);
+      for (std::size_t p = 0; p < bits; ++p) {
+        slots[p].resize(alphabet);
+        for (std::size_t l = 0; l < alphabet; ++l) slots[p][l] = solver.new_var();
+        std::vector<Lit> at_least;
+        for (std::size_t l = 0; l < alphabet; ++l) {
+          at_least.push_back(Lit::positive(slots[p][l]));
+        }
+        solver.add_clause(std::move(at_least));
+        ++clause_count;
+        for (std::size_t a = 0; a < alphabet; ++a) {
+          for (std::size_t b = a + 1; b < alphabet; ++b) {
+            solver.add_clause({Lit::negative(slots[p][a]), Lit::negative(slots[p][b])});
+            ++clause_count;
+          }
+        }
+      }
+      // White constraint when the local input has exactly Δ' edges.
+      if (bits == delta_prime) {
+        std::vector<Label> prefix;
+        auto dfs = [&](auto&& self, std::size_t depth) -> void {
+          const Configuration partial{std::vector<Label>(prefix)};
+          const bool ok = depth == bits ? pi.white().contains(partial)
+                                        : pi.white().extendable(partial);
+          if (!ok) {
+            std::vector<Lit> clause;
+            for (std::size_t i = 0; i < depth; ++i) {
+              clause.push_back(Lit::negative(slots[i][prefix[i]]));
+            }
+            solver.add_clause(std::move(clause));
+            ++clause_count;
+            return;
+          }
+          if (depth == bits) return;
+          for (std::size_t l = 0; l < alphabet; ++l) {
+            prefix.push_back(static_cast<Label>(l));
+            self(self, depth + 1);
+            prefix.pop_back();
+          }
+        };
+        dfs(dfs, 0);
+      }
+    }
+  }
+
+  // Position of edge e within v's incidence list.
+  const auto edge_position = [&](NodeId v, EdgeId e) {
+    const auto inc = g.white_incident(v);
+    return static_cast<std::size_t>(std::find(inc.begin(), inc.end(), e) - inc.begin());
+  };
+  // Position of edge e within mask's set bits.
+  const auto mask_position = [](std::uint32_t mask, std::size_t bit) {
+    return static_cast<std::size_t>(
+        __builtin_popcount(mask & ((1u << bit) - 1u)));
+  };
+
+  // Black scenarios.
+  std::vector<std::size_t> black_load(g.black_count());
+  for (NodeId b = 0; b < g.black_count(); ++b) {
+    const auto inc_b = g.black_incident(b);
+    if (inc_b.size() < r_prime) continue;
+    for_each_subset(inc_b.size(), r_prime, [&](const std::vector<std::size_t>& pick) {
+      // The chosen black edges and their white endpoints.
+      std::vector<EdgeId> chosen;
+      std::vector<NodeId> whites;
+      for (const std::size_t p : pick) {
+        chosen.push_back(inc_b[p]);
+        whites.push_back(g.edge(inc_b[p]).white);
+      }
+      // Masks per white endpoint containing its chosen edge.
+      std::vector<std::vector<std::uint32_t>> mask_options(r_prime);
+      for (std::size_t j = 0; j < r_prime; ++j) {
+        const std::size_t bit = edge_position(whites[j], chosen[j]);
+        for (const auto& [mask, slots] : y[whites[j]]) {
+          (void)slots;
+          if (mask & (1u << bit)) mask_options[j].push_back(mask);
+        }
+        std::sort(mask_options[j].begin(), mask_options[j].end());
+      }
+      // Every family of masks; filter by realizability (black degrees of the
+      // union <= r').
+      std::vector<std::size_t> family(r_prime, 0);
+      auto enumerate = [&](auto&& self, std::size_t j) -> void {
+        if (j == r_prime) {
+          // Realizability: count union edges per black node.
+          std::fill(black_load.begin(), black_load.end(), 0);
+          for (std::size_t t = 0; t < r_prime; ++t) {
+            const std::uint32_t mask = mask_options[t][family[t]];
+            const auto inc_w = g.white_incident(whites[t]);
+            for (std::size_t bit = 0; bit < inc_w.size(); ++bit) {
+              if (mask & (1u << bit)) ++black_load[g.edge(inc_w[bit]).black];
+            }
+          }
+          if (std::any_of(black_load.begin(), black_load.end(),
+                          [&](std::size_t load) { return load > r_prime; })) {
+            return;
+          }
+          ++scenario_count;
+          // Block bad label tuples for (v_j, T_j, e_j).
+          std::vector<Label> prefix;
+          auto dfs = [&](auto&& self2, std::size_t depth) -> void {
+            const Configuration partial{std::vector<Label>(prefix)};
+            const bool ok = depth == r_prime ? pi.black().contains(partial)
+                                             : pi.black().extendable(partial);
+            if (!ok) {
+              std::vector<Lit> clause;
+              for (std::size_t i = 0; i < depth; ++i) {
+                const std::uint32_t mask = mask_options[i][family[i]];
+                const std::size_t bit = edge_position(whites[i], chosen[i]);
+                const std::size_t pos = mask_position(mask, bit);
+                clause.push_back(
+                    Lit::negative(y[whites[i]][mask][pos][prefix[i]]));
+              }
+              solver.add_clause(std::move(clause));
+              ++clause_count;
+              return;
+            }
+            if (depth == r_prime) return;
+            for (std::size_t l = 0; l < alphabet; ++l) {
+              prefix.push_back(static_cast<Label>(l));
+              self2(self2, depth + 1);
+              prefix.pop_back();
+            }
+          };
+          dfs(dfs, 0);
+          return;
+        }
+        for (family[j] = 0; family[j] < mask_options[j].size(); ++family[j]) {
+          self(self, j + 1);
+        }
+      };
+      enumerate(enumerate, 0);
+      return true;
+    });
+  }
+
+  const SatResult result = solver.solve();
+  if (stats != nullptr) {
+    stats->variables = solver.var_count();
+    stats->clauses = clause_count;
+    stats->black_scenarios = scenario_count;
+  }
+  assert(result != SatResult::kUnknown);
+  return result == SatResult::kSat;
+}
+
+}  // namespace slocal

@@ -1,0 +1,67 @@
+#include "src/util/bitset.hpp"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace slocal {
+
+SmallBitset SmallBitset::single(std::size_t i) {
+  assert(i < kCapacity);
+  return SmallBitset(std::uint64_t{1} << i);
+}
+
+SmallBitset SmallBitset::full(std::size_t n) {
+  assert(n <= kCapacity);
+  if (n == kCapacity) return SmallBitset(~std::uint64_t{0});
+  return SmallBitset((std::uint64_t{1} << n) - 1);
+}
+
+SmallBitset SmallBitset::from_indices(const std::vector<std::size_t>& indices) {
+  SmallBitset b;
+  for (std::size_t i : indices) b.set(i);
+  return b;
+}
+
+void SmallBitset::set(std::size_t i) {
+  assert(i < kCapacity);
+  bits_ |= std::uint64_t{1} << i;
+}
+
+void SmallBitset::reset(std::size_t i) {
+  assert(i < kCapacity);
+  bits_ &= ~(std::uint64_t{1} << i);
+}
+
+bool SmallBitset::test(std::size_t i) const {
+  assert(i < kCapacity);
+  return (bits_ >> i) & 1;
+}
+
+std::size_t SmallBitset::count() const {
+  return static_cast<std::size_t>(std::popcount(bits_));
+}
+
+std::vector<std::size_t> SmallBitset::indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::uint64_t b = bits_; b != 0; b &= b - 1) {
+    out.push_back(static_cast<std::size_t>(std::countr_zero(b)));
+  }
+  return out;
+}
+
+std::string SmallBitset::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (std::size_t i : indices()) {
+    if (!first) os << ',';
+    first = false;
+    os << i;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace slocal

@@ -1,0 +1,65 @@
+// A compact fixed-capacity bitset over label indices.
+//
+// Label alphabets in the round-elimination machinery are small (tens of
+// labels), so a single 64-bit word suffices; the type exists to make subset
+// reasoning (right-closedness, label-set lattice operations) explicit and
+// cheap, with value semantics and total ordering for use as map keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slocal {
+
+class SmallBitset {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  constexpr SmallBitset() = default;
+  constexpr explicit SmallBitset(std::uint64_t bits) : bits_(bits) {}
+
+  static SmallBitset single(std::size_t i);
+  static SmallBitset full(std::size_t n);
+  static SmallBitset from_indices(const std::vector<std::size_t>& indices);
+
+  void set(std::size_t i);
+  void reset(std::size_t i);
+  bool test(std::size_t i) const;
+
+  bool empty() const { return bits_ == 0; }
+  std::size_t count() const;
+
+  bool contains(SmallBitset other) const {  // other ⊆ *this
+    return (other.bits_ & ~bits_) == 0;
+  }
+  bool intersects(SmallBitset other) const { return (bits_ & other.bits_) != 0; }
+
+  SmallBitset operator|(SmallBitset o) const { return SmallBitset(bits_ | o.bits_); }
+  SmallBitset operator&(SmallBitset o) const { return SmallBitset(bits_ & o.bits_); }
+  SmallBitset operator-(SmallBitset o) const { return SmallBitset(bits_ & ~o.bits_); }
+  SmallBitset& operator|=(SmallBitset o) { bits_ |= o.bits_; return *this; }
+  SmallBitset& operator&=(SmallBitset o) { bits_ &= o.bits_; return *this; }
+
+  auto operator<=>(const SmallBitset&) const = default;
+
+  std::uint64_t raw() const { return bits_; }
+
+  /// Sorted list of set indices.
+  std::vector<std::size_t> indices() const;
+
+  /// "{0,2,5}"-style rendering, for diagnostics.
+  std::string to_string() const;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace slocal
+
+template <>
+struct std::hash<slocal::SmallBitset> {
+  std::size_t operator()(const slocal::SmallBitset& b) const noexcept {
+    return std::hash<std::uint64_t>{}(b.raw());
+  }
+};

@@ -1,0 +1,119 @@
+#include "src/util/combinatorics.hpp"
+
+#include <limits>
+
+namespace slocal {
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const std::uint64_t num = n - i;
+    // result = result * num / (i+1), with overflow saturation.
+    if (result > std::numeric_limits<std::uint64_t>::max() / num) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    result = result * num / (i + 1);
+  }
+  return result;
+}
+
+std::uint64_t multiset_count(std::uint64_t n, std::uint64_t k) {
+  if (n == 0) return k == 0 ? 1 : 0;
+  return binomial(n + k - 1, k);
+}
+
+bool for_each_subset(std::size_t n, std::size_t k,
+                     const std::function<bool(const std::vector<std::size_t>&)>& fn) {
+  if (k > n) return true;
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    if (!fn(idx)) return false;
+    // Advance to next combination.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return true;
+    }
+    if (k == 0) return true;
+  }
+}
+
+bool for_each_multiset(std::size_t n, std::size_t k,
+                       const std::function<bool(const std::vector<std::size_t>&)>& fn) {
+  if (n == 0) {
+    if (k == 0) {
+      std::vector<std::size_t> empty;
+      return fn(empty);
+    }
+    return true;
+  }
+  std::vector<std::size_t> idx(k, 0);
+  for (;;) {
+    if (!fn(idx)) return false;
+    // Advance non-decreasing index vector.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] + 1 < n) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[i];
+        break;
+      }
+      if (i == 0) return true;
+    }
+    if (k == 0) return true;
+  }
+}
+
+bool for_each_choice(const std::vector<std::vector<std::size_t>>& choices,
+                     const std::function<bool(const std::vector<std::size_t>&)>& fn) {
+  const std::size_t k = choices.size();
+  for (const auto& c : choices) {
+    if (c.empty()) return true;  // empty product
+  }
+  std::vector<std::size_t> pos(k, 0);
+  std::vector<std::size_t> value(k);
+  for (;;) {
+    for (std::size_t i = 0; i < k; ++i) value[i] = choices[i][pos[i]];
+    if (!fn(value)) return false;
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (pos[i] + 1 < choices[i].size()) {
+        ++pos[i];
+        for (std::size_t j = i + 1; j < k; ++j) pos[j] = 0;
+        break;
+      }
+      if (i == 0) return true;
+    }
+    if (k == 0) return true;
+  }
+}
+
+std::vector<std::vector<std::size_t>> subsets_of_size(std::size_t n, std::size_t k) {
+  std::vector<std::vector<std::size_t>> out;
+  for_each_subset(n, k, [&](const std::vector<std::size_t>& s) {
+    out.push_back(s);
+    return true;
+  });
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> multisets_of_size(std::size_t n, std::size_t k) {
+  std::vector<std::vector<std::size_t>> out;
+  for_each_multiset(n, k, [&](const std::vector<std::size_t>& s) {
+    out.push_back(s);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace slocal

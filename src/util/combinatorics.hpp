@@ -1,0 +1,40 @@
+// Enumeration and counting primitives used throughout the round-elimination
+// and lift machinery: k-subsets, multisets (combinations with repetition),
+// Cartesian products over per-position choice sets, and binomials.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace slocal {
+
+/// C(n, k) with saturation at uint64 max on overflow.
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+/// Number of multisets of size k over n symbols: C(n+k-1, k).
+std::uint64_t multiset_count(std::uint64_t n, std::uint64_t k);
+
+/// Visit every k-element subset of {0, ..., n-1} in lexicographic order.
+/// The callback receives the subset as sorted indices; return false from the
+/// callback to stop early. Returns true if enumeration ran to completion.
+bool for_each_subset(std::size_t n, std::size_t k,
+                     const std::function<bool(const std::vector<std::size_t>&)>& fn);
+
+/// Visit every multiset of size k over symbols {0, ..., n-1} as a
+/// non-decreasing index vector. Early-exit semantics as for_each_subset.
+bool for_each_multiset(std::size_t n, std::size_t k,
+                       const std::function<bool(const std::vector<std::size_t>&)>& fn);
+
+/// Visit the Cartesian product of the given choice sets (one entry chosen
+/// per position). Early-exit semantics as for_each_subset.
+bool for_each_choice(const std::vector<std::vector<std::size_t>>& choices,
+                     const std::function<bool(const std::vector<std::size_t>&)>& fn);
+
+/// All k-element subsets of {0, ..., n-1}, materialized.
+std::vector<std::vector<std::size_t>> subsets_of_size(std::size_t n, std::size_t k);
+
+/// All multisets of size k over {0, ..., n-1}, materialized.
+std::vector<std::vector<std::size_t>> multisets_of_size(std::size_t n, std::size_t k);
+
+}  // namespace slocal

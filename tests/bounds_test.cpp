@@ -1,0 +1,183 @@
+// Lower-bound formulas (Theorems 1.5-1.7, 3.4), the Section 4.2 counting
+// certificates, and the Appendix C instance-counting (exact, via BigUint).
+#include <gtest/gtest.h>
+
+#include "src/bounds/bigint.hpp"
+#include "src/bounds/counting.hpp"
+#include "src/bounds/derandomization.hpp"
+#include "src/bounds/formulas.hpp"
+#include "src/graph/generators.hpp"
+#include "src/problems/matching_family.hpp"
+#include "src/formalism/diagram.hpp"
+
+namespace slocal {
+namespace {
+
+TEST(BigUint, Basics) {
+  EXPECT_EQ(BigUint(0).to_string(), "0");
+  EXPECT_EQ(BigUint(12345).to_string(), "12345");
+  EXPECT_EQ((BigUint(999) + BigUint(1)).to_string(), "1000");
+  EXPECT_EQ((BigUint(1u << 16) * BigUint(1u << 16)).to_string(), "4294967296");
+}
+
+TEST(BigUint, Pow2AndBitLength) {
+  EXPECT_EQ(BigUint::pow2(0).to_string(), "1");
+  EXPECT_EQ(BigUint::pow2(10).to_string(), "1024");
+  EXPECT_EQ(BigUint::pow2(100).bit_length(), 101u);
+  EXPECT_EQ(BigUint(7).bit_length(), 3u);
+  EXPECT_EQ(BigUint(0).bit_length(), 0u);
+}
+
+TEST(BigUint, Factorial) {
+  EXPECT_EQ(BigUint::factorial(0).to_string(), "1");
+  EXPECT_EQ(BigUint::factorial(10).to_string(), "3628800");
+  EXPECT_EQ(BigUint::factorial(20).to_string(), "2432902008176640000");
+}
+
+TEST(BigUint, Comparison) {
+  EXPECT_TRUE(BigUint(5) < BigUint(7));
+  EXPECT_TRUE(BigUint::pow2(64) < BigUint::pow2(65));
+  EXPECT_TRUE(BigUint(5) <= BigUint(5));
+  EXPECT_FALSE(BigUint::pow2(100) < BigUint::pow2(100));
+}
+
+TEST(Derandomization, LemmaC2BoundHoldsForAllSmallN) {
+  // 2^{C(n,2)} * n! * 2^{n^2} <= 2^{3n^2}, exactly, for n = 2..16.
+  for (std::size_t n = 2; n <= 16; ++n) {
+    const auto count = supported_instance_count(n);
+    EXPECT_TRUE(count.bound_holds) << "n=" << n << " bits=" << count.total_bits
+                                   << " claimed=" << count.claimed_bits;
+    EXPECT_LE(count.total_bits, count.claimed_bits + 1);
+    EXPECT_EQ(count.claimed_bits, 3 * n * n);
+  }
+}
+
+TEST(Derandomization, ComponentCountsAreExact) {
+  const auto count = supported_instance_count(3);
+  EXPECT_EQ(count.graphs.to_string(), "8");      // 2^3
+  EXPECT_EQ(count.id_orders.to_string(), "6");   // 3!
+  EXPECT_EQ(count.inputs.to_string(), "512");    // 2^9
+  EXPECT_EQ(count.total.to_string(), "24576");   // product
+}
+
+TEST(Derandomization, TheoremC3HypergraphBound) {
+  for (std::size_t n = 4; n <= 12; ++n) {
+    const auto count = hypergraph_instance_count(n);
+    EXPECT_TRUE(count.bound_holds) << "n=" << n << " bits=" << count.total_bits
+                                   << " claimed=" << count.claimed_bits;
+  }
+}
+
+TEST(Derandomization, RandomizedExponent) {
+  EXPECT_EQ(randomized_instance_exponent(10), 300u);
+}
+
+TEST(Counting, Section42ContradictionAtCEquals5) {
+  // The paper fixes Δ = 5Δ': lower bound n(2Δ' - y) must exceed the upper
+  // bound n(Δ' - 1) for all y <= Δ'.
+  for (std::size_t delta_prime = 2; delta_prime <= 12; ++delta_prime) {
+    for (std::size_t y = 1; y <= delta_prime; ++y) {
+      const auto c = matching_counting_contradiction(5 * delta_prime, delta_prime, y);
+      EXPECT_TRUE(c.contradicts) << "Δ'=" << delta_prime << " y=" << y;
+      EXPECT_DOUBLE_EQ(c.p_upper, static_cast<double>(delta_prime) - 1.0);
+      EXPECT_GE(c.p_lower, static_cast<double>(2 * delta_prime - y));
+    }
+  }
+}
+
+TEST(Counting, NoContradictionWhenSupportBarelyLarger) {
+  // Δ = Δ' gives lower bound -y < upper bound: no certificate.
+  const auto c = matching_counting_contradiction(4, 4, 1);
+  EXPECT_FALSE(c.contradicts);
+}
+
+TEST(Counting, MinimalMultiplier) {
+  // For y <= Δ', multiplier 5 always suffices (the paper's choice); the
+  // minimum is smaller for small y.
+  for (std::size_t delta_prime = 2; delta_prime <= 8; ++delta_prime) {
+    const std::size_t m = minimal_contradicting_multiplier(delta_prime, delta_prime);
+    EXPECT_GT(m, 1u);
+    EXPECT_LE(m, 5u) << "Δ'=" << delta_prime;
+  }
+}
+
+TEST(Counting, CensusChecksLemmas) {
+  // Hand-build a tiny labeled instance and check the census arithmetic.
+  const std::size_t delta_prime = 2, y = 1;
+  const Problem pi = make_matching_problem(delta_prime, delta_prime - 1 - y, y);
+  const auto labels = matching_labels(pi);
+  const BipartiteGraph g = make_complete_bipartite(2, 2);  // 2n = 4, Δ = 2
+  // All edges labeled {O,X}: no M, no P.
+  const std::vector<SmallBitset> sets(
+      g.edge_count(), SmallBitset::from_indices({labels.o, labels.x}));
+  const auto census =
+      census_label_sets(g, sets, labels.m, labels.p, 2, delta_prime, y);
+  EXPECT_EQ(census.edges_with_m, 0u);
+  EXPECT_EQ(census.edges_with_p, 0u);
+  EXPECT_TRUE(census.lemma_4_7_holds);
+  EXPECT_TRUE(census.lemma_4_9_holds);
+}
+
+TEST(Formulas, MatchingBoundShape) {
+  const auto b = matching_lower_bound(8, 0, 1, 40, 1e6);
+  EXPECT_EQ(b.k, 6u);
+  EXPECT_GT(b.det_rounds, 0.0);
+  EXPECT_GE(b.det_rounds, b.rand_rounds);
+  EXPECT_GE(b.upper_rounds, b.det_rounds);  // LB <= UB shape
+}
+
+TEST(Formulas, MatchingBoundGrowsWithDeltaPrime) {
+  // At fixed support degree the min{(Δ'-x)/y, eps log_Δ n} bound is
+  // non-decreasing in Δ' until the log term saturates it.
+  const double n = 1e9;
+  const std::size_t delta = 100;
+  double prev = 0;
+  for (std::size_t dp = 4; dp <= 16; dp += 4) {
+    const auto b = matching_lower_bound(dp, 0, 1, delta, n, /*epsilon=*/1.0);
+    EXPECT_GE(b.det_rounds, prev);
+    prev = b.det_rounds;
+  }
+}
+
+TEST(Formulas, Theorem34Monotonicity) {
+  // More sequence length and more nodes never decrease the bound.
+  const double small = theorem_3_4_deterministic(3, 0.5, 1.0, 4, 4, 1e4);
+  const double big_k = theorem_3_4_deterministic(10, 0.5, 1.0, 4, 4, 1e4);
+  const double big_n = theorem_3_4_deterministic(3, 0.5, 1.0, 4, 4, 1e8);
+  EXPECT_GE(big_k, small);
+  EXPECT_GE(big_n, small);
+  EXPECT_GE(theorem_3_4_deterministic(10, 0.5, 1.0, 4, 4, 1e8),
+            theorem_3_4_randomized(10, 0.5, 1.0, 4, 4, 1e8));
+}
+
+TEST(Formulas, ArbdefectiveApplicability) {
+  // (α+1)c <= min{Δ', εΔ/logΔ} gates the theorem.
+  const auto yes = arbdefective_lower_bound(1, 2, 10, 200, 1e6);
+  EXPECT_TRUE(yes.applies);
+  const auto no = arbdefective_lower_bound(5, 10, 10, 200, 1e6);
+  EXPECT_FALSE(no.applies);
+  EXPECT_GT(yes.det_rounds, yes.rand_rounds);
+}
+
+TEST(Formulas, RulingSetBoundShape) {
+  const auto b = rulingset_lower_bound(0, 1, 2, 64, 4096, 1e9);
+  EXPECT_GT(b.delta_bar, 0.0);
+  EXPECT_GE(b.upper_rounds, 0.0);
+  // Larger β weakens the per-round growth term.
+  const auto b1 = rulingset_lower_bound(0, 1, 1, 64, 4096, 1e9);
+  EXPECT_GE(b1.det_rounds, b.det_rounds);
+}
+
+TEST(Formulas, MisChromaticInstanceResolvesOpenQuestion) {
+  // The [AAPR23] instantiation: LB and χ_G upper bound are within constant
+  // factors — χ_G rounds is optimal for MIS in Supported LOCAL.
+  const auto inst = mis_chromatic_instance(1e30);
+  EXPECT_GT(inst.lower_bound, 0.0);
+  EXPECT_GT(inst.chromatic_bound, 0.0);
+  const double ratio = inst.chromatic_bound / inst.lower_bound;
+  EXPECT_GT(ratio, 0.2);
+  EXPECT_LT(ratio, 5.0);
+}
+
+}  // namespace
+}  // namespace slocal

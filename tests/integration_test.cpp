@@ -1,0 +1,176 @@
+// End-to-end integrations across modules: the Theorem 3.4 pipeline at
+// miniature scale, the Theorem 5.1 contradiction mechanism, the hypergraph
+// route (Corollary 3.3), and supported-vs-LOCAL algorithm contrasts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/bounds/counting.hpp"
+#include "src/bounds/formulas.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/hypergraph.hpp"
+#include "src/graph/metrics.hpp"
+#include "src/graph/transforms.hpp"
+#include "src/lift/lift.hpp"
+#include "src/problems/classic.hpp"
+#include "src/problems/coloring_family.hpp"
+#include "src/problems/matching_family.hpp"
+#include "src/re/round_elimination.hpp"
+#include "src/re/sequence.hpp"
+#include "src/solver/cnf_encoding.hpp"
+#include "src/solver/edge_labeling.hpp"
+#include "src/solver/zero_round.hpp"
+#include "src/util/rng.hpp"
+
+namespace slocal {
+namespace {
+
+TEST(Integration, Theorem51MechanismOnK5) {
+  // If lift_{4,2}(Π_2(2)) were solvable on K5, Lemma 5.7 would 4-color K5
+  // (χ = 5): the solver must report unsolvable. On the 4-chromatic-
+  // exceeding side, the same lift IS solvable on the 2-chromatic C4.
+  const Problem base = make_coloring_problem(2, 2);
+  const LiftedProblem lift(base, 4, 2);
+  const auto lifted = lift.materialize();
+  ASSERT_TRUE(lifted.has_value());
+
+  const Graph k5 = make_complete(5);
+  EXPECT_FALSE(solve_graph_halfedge_labeling_sat(k5, *lifted).has_value());
+
+  // 4-regular bipartite graph: lift solvable (color by bipartition).
+  Rng rng(7);
+  const auto base_graph = random_regular(8, 4, rng);
+  ASSERT_TRUE(base_graph.has_value());
+  const Graph bip = bipartite_double_cover(*base_graph).to_graph();
+  EXPECT_TRUE(solve_graph_halfedge_labeling_sat(bip, *lifted).has_value());
+}
+
+TEST(Integration, ChromaticThresholdForColoringLift) {
+  // lift_{Δ,2}(Π_Δ'(k)) solvability on K_{m}: Lemma 5.7 says solvable =>
+  // 2k-colorable; conversely k >= χ makes it 0-round solvable. Sweep m.
+  const std::size_t k = 2;
+  const Problem base = make_coloring_problem(2, k);
+  for (const std::size_t m : {3u, 5u}) {
+    const Graph complete = make_complete(m);
+    const LiftedProblem lift(base, m - 1, 2);
+    const auto lifted = lift.materialize();
+    ASSERT_TRUE(lifted.has_value());
+    const bool solvable = solve_graph_halfedge_labeling_sat(complete, *lifted).has_value();
+    if (m <= 2 * k) {
+      // χ(K_m) = m <= 2k: no contradiction available; C3 with k=2: the
+      // direct construction (distinct singleton colors fail for m=3 > k=2,
+      // but pairs allow it) — just assert consistency with Lemma 5.7:
+      // solvable implies 2k-colorable, which holds.
+      SUCCEED();
+    } else {
+      // χ(K_m) = m > 2k: Lemma 5.7 forbids a solution.
+      EXPECT_FALSE(solvable) << "m=" << m;
+    }
+  }
+}
+
+TEST(Integration, MatchingPipelineMiniature) {
+  // The Section 4.2 pipeline at the smallest contradicting scale:
+  //   Δ' = 2, y = 1, x = 0, x' = Δ'-1-y = 0, support Δ = 7 > (2Δ'-2+2y):
+  // counting certifies lift_{Δ,Δ}(Π_Δ'(x',y)) unsolvable; the SAT solver
+  // confirms on K_{7,7} (a (7,7)-biregular support).
+  const std::size_t delta_prime = 2, y = 1;
+  const std::size_t x_prime = delta_prime - 1 - y;
+  const std::size_t delta = 7;
+  const auto certificate = matching_counting_contradiction(delta, delta_prime, y);
+  EXPECT_TRUE(certificate.contradicts);
+
+  const Problem pi = make_matching_problem(delta_prime, x_prime, y);
+  const LiftedProblem lift(pi, delta, delta);
+  const auto lifted = lift.materialize();
+  ASSERT_TRUE(lifted.has_value());
+  const BipartiteGraph support = make_complete_bipartite(7, 7);
+  SatLabelingStats stats;
+  const auto solution = solve_bipartite_labeling_sat(support, *lifted, 0, &stats);
+  EXPECT_FALSE(solution.has_value());
+  EXPECT_EQ(stats.result, SatResult::kUnsat);
+}
+
+TEST(Integration, MatchingLiftSolvableWhenSupportSmall) {
+  // With Δ = Δ' the counting argument gives no contradiction, and indeed
+  // the lift is solvable (0-round: solve Π on the known support directly).
+  const std::size_t delta_prime = 2, y = 1;
+  const Problem pi = make_matching_problem(delta_prime, 0, y);
+  const LiftedProblem lift(pi, 2, 2);
+  const auto lifted = lift.materialize();
+  ASSERT_TRUE(lifted.has_value());
+  const BipartiteGraph support = make_bipartite_cycle(4);
+  EXPECT_TRUE(solve_bipartite_labeling_sat(support, *lifted).has_value());
+}
+
+TEST(Integration, SinklessOrientationHypergraphRoute) {
+  // Corollary 3.3: SO' (the RE fixed point) on a 3-regular support with
+  // Δ = Δ': 0-round solvable in Supported LOCAL (orient the known support),
+  // so the lift has a non-bipartite solution; both deciders agree.
+  const Problem so = make_sinkless_orientation_problem(3);
+  const auto so_prime_opt = round_eliminate(so);
+  ASSERT_TRUE(so_prime_opt.has_value());
+  const Problem& so_prime = *so_prime_opt;
+
+  Rng rng(11);
+  const auto g = random_regular(10, 3, rng);
+  ASSERT_TRUE(g.has_value());
+  const BipartiteGraph incidence = Hypergraph::from_graph(*g).incidence_graph();
+
+  const LiftedProblem lift(so_prime, 3, 2);
+  const auto lifted = lift.materialize();
+  ASSERT_TRUE(lifted.has_value());
+  const bool via_lift = solve_bipartite_labeling_sat(incidence, *lifted).has_value();
+  const bool via_algorithm = zero_round_white_algorithm_exists(incidence, so_prime);
+  EXPECT_EQ(via_lift, via_algorithm);
+  EXPECT_TRUE(via_lift);
+}
+
+TEST(Integration, SequencePlusGirthGivesTheoremB2Bound) {
+  // Assemble Theorem 3.4's ingredients numerically: the counting
+  // certificate needs dense supports (Δ = 5Δ'), while a *positive* girth
+  // bound needs sparse ones — exactly the asymptotic tension the theorem
+  // resolves with large n. Check each ingredient where it is measurable.
+  const std::size_t delta_prime = 4, y = 1, x = 0;
+  const std::size_t k = matching_sequence_length(delta_prime, x, y);
+  EXPECT_EQ(k, 2u);
+
+  // (a) the counting certificate at Δ = 5Δ'.
+  const auto cert = matching_counting_contradiction(5 * delta_prime, delta_prime, y);
+  EXPECT_TRUE(cert.contradicts);
+
+  // (b) a sparse support where the girth term of Theorem B.2 is positive.
+  Rng rng(13);
+  const auto sparse = random_regular_high_girth(120, 3, rng, 6);
+  ASSERT_TRUE(sparse.has_value());
+  const auto gg = girth(*sparse);
+  ASSERT_TRUE(gg.has_value());
+  EXPECT_GE(*gg, 5u);
+  const double bound = theorem_b2_bound(k, *gg);
+  EXPECT_GT(bound, 0.0);
+  EXPECT_LE(bound, 2.0 * static_cast<double>(k));
+}
+
+TEST(Integration, DoubleCoverSupportsAreBiregularHighGirth) {
+  // The exact construction of Section 4.2: sample from the Lemma 2.1
+  // substitute, double-cover, verify (Δ,Δ)-biregularity and girth carry.
+  Rng rng(17);
+  const std::size_t delta = 4;
+  const auto base = random_regular_high_girth(60, delta, rng, 6);
+  ASSERT_TRUE(base.has_value());
+  const BipartiteGraph cover = bipartite_double_cover(*base);
+  EXPECT_TRUE(cover.is_biregular(delta, delta));
+  const auto base_girth = girth(*base);
+  const auto cover_girth = girth(cover);
+  ASSERT_TRUE(base_girth && cover_girth);
+  EXPECT_GE(*cover_girth, *base_girth);
+  // Independence of the base bounds the chromatic number from below.
+  const auto alpha = independence_number_exact(*base);
+  ASSERT_TRUE(alpha.has_value());
+  const std::size_t chi_lb =
+      chromatic_lower_bound_from_independence(base->node_count(), *alpha);
+  EXPECT_GE(chi_lb, 2u);
+}
+
+}  // namespace
+}  // namespace slocal

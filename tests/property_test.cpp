@@ -1,0 +1,287 @@
+// Parameterized property sweeps (TEST_P): structural invariants of the
+// problem families, the lift, the RE engine, and the graph substrate,
+// checked across parameter grids rather than single points.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/formalism/diagram.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+#include "src/graph/transforms.hpp"
+#include "src/lift/lift.hpp"
+#include "src/problems/coloring_family.hpp"
+#include "src/problems/classic.hpp"
+#include "src/problems/matching_family.hpp"
+#include "src/problems/rulingset_family.hpp"
+#include "src/formalism/parser.hpp"
+#include "src/re/round_elimination.hpp"
+#include "src/util/combinatorics.hpp"
+#include "src/util/rng.hpp"
+
+namespace slocal {
+namespace {
+
+// ------------------------------------------------- matching family sweeps
+
+using MatchingParams = std::tuple<std::size_t, std::size_t, std::size_t>;  // Δ,x,y
+
+class MatchingFamilyProperty : public ::testing::TestWithParam<MatchingParams> {};
+
+TEST_P(MatchingFamilyProperty, DefinitionInvariants) {
+  const auto [delta, x, y] = GetParam();
+  const Problem pi = make_matching_problem(delta, x, y);
+  EXPECT_EQ(pi.white_degree(), delta);
+  EXPECT_EQ(pi.black_degree(), delta);
+  EXPECT_EQ(pi.alphabet_size(), 5u);
+  EXPECT_LE(pi.white().size(), 3u);  // three condensed lines (may collide)
+  // Every black configuration contains at most y copies of M (Lemma 4.7's
+  // single-node mechanism).
+  const auto labels = matching_labels(pi);
+  for (const auto& c : pi.black().members()) {
+    EXPECT_LE(c.count(labels.m), y);
+  }
+  // P^Δ never appears in the black constraint when x = Δ'-1-y (Lemma 4.9's
+  // mechanism); more generally the count of P is at most Δ-1 there.
+  for (const auto& c : pi.black().members()) {
+    EXPECT_LT(c.count(labels.p), delta);
+  }
+}
+
+TEST_P(MatchingFamilyProperty, XIsStrongestAndDiagramClosed) {
+  const auto [delta, x, y] = GetParam();
+  const Problem pi = make_matching_problem(delta, x, y);
+  const Diagram d(pi.black(), pi.alphabet_size());
+  const auto labels = matching_labels(pi);
+  for (std::size_t l = 0; l < pi.alphabet_size(); ++l) {
+    EXPECT_TRUE(d.at_least_as_strong(labels.x, static_cast<Label>(l)));
+  }
+  // Right-closed sets form a lattice closed under union.
+  const auto sets = d.right_closed_sets();
+  for (const SmallBitset a : sets) {
+    for (const SmallBitset b : sets) {
+      EXPECT_TRUE(d.is_right_closed(a | b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MatchingFamilyProperty,
+    ::testing::Values(MatchingParams{3, 0, 1}, MatchingParams{3, 1, 1},
+                      MatchingParams{4, 0, 1}, MatchingParams{4, 1, 1},
+                      MatchingParams{4, 2, 1}, MatchingParams{4, 0, 2},
+                      MatchingParams{5, 1, 2}, MatchingParams{6, 2, 2},
+                      MatchingParams{6, 0, 3}, MatchingParams{7, 3, 1}));
+
+// ------------------------------------------------- coloring family sweeps
+
+using ColoringParams = std::pair<std::size_t, std::size_t>;  // Δ, c
+
+class ColoringFamilyProperty : public ::testing::TestWithParam<ColoringParams> {};
+
+TEST_P(ColoringFamilyProperty, AlphabetAndConstraintShape) {
+  const auto [delta, c] = GetParam();
+  const Problem pi = make_coloring_problem(delta, c);
+  EXPECT_EQ(pi.alphabet_size(), (std::size_t{1} << c));  // X + 2^c - 1 sets
+  EXPECT_EQ(pi.black_degree(), 2u);
+  // One white configuration per non-empty color set (when it fits Δ).
+  std::size_t fitting = 0;
+  for (std::size_t bits = 1; bits < (std::size_t{1} << c); ++bits) {
+    if (SmallBitset(bits).count() - 1 <= delta) ++fitting;
+  }
+  EXPECT_EQ(pi.white().size(), fitting);
+  // Edge constraint: disjointness is symmetric and X pairs with everything.
+  const Label x = *pi.registry().find("X");
+  for (std::size_t l = 0; l < pi.alphabet_size(); ++l) {
+    EXPECT_TRUE(pi.black().contains(Configuration{x, static_cast<Label>(l)}));
+  }
+}
+
+TEST_P(ColoringFamilyProperty, FixedPointWhenFitting) {
+  const auto [delta, c] = GetParam();
+  if (c > delta || (std::size_t{1} << c) > 12) GTEST_SKIP();
+  const Problem pi = make_coloring_problem(delta, c);
+  EXPECT_TRUE(is_fixed_point(pi)) << "Δ=" << delta << " c=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ColoringFamilyProperty,
+                         ::testing::Values(ColoringParams{2, 2}, ColoringParams{3, 2},
+                                           ColoringParams{3, 3}, ColoringParams{4, 2},
+                                           ColoringParams{4, 3}, ColoringParams{5, 3},
+                                           ColoringParams{6, 2}, ColoringParams{2, 3}));
+
+// ------------------------------------------------ ruling set family sweeps
+
+using RulingParams = std::tuple<std::size_t, std::size_t, std::size_t>;  // Δ,c,β
+
+class RulingFamilyProperty : public ::testing::TestWithParam<RulingParams> {};
+
+TEST_P(RulingFamilyProperty, ExtendsColoringFamily) {
+  const auto [delta, c, beta] = GetParam();
+  const Problem pi = make_rulingset_problem(delta, c, beta);
+  const Problem base = make_coloring_problem(delta, c);
+  EXPECT_EQ(pi.alphabet_size(), base.alphabet_size() + 2 * beta);
+  // Every configuration of the base problem survives verbatim.
+  for (const auto& w : base.white().members()) EXPECT_TRUE(pi.white().contains(w));
+  for (const auto& b : base.black().members()) EXPECT_TRUE(pi.black().contains(b));
+  // The pointer chain: P_i U_i^{Δ-1} white configs exist for every i.
+  for (std::size_t i = 1; i <= beta; ++i) {
+    std::vector<Label> cfg{*pointer_label(pi, i)};
+    for (std::size_t j = 0; j + 1 < delta; ++j) cfg.push_back(*up_label(pi, i));
+    EXPECT_TRUE(pi.white().contains(Configuration(cfg)));
+  }
+}
+
+TEST_P(RulingFamilyProperty, PointerCompatibilityRules) {
+  const auto [delta, c, beta] = GetParam();
+  const Problem pi = make_rulingset_problem(delta, c, beta);
+  for (std::size_t i = 1; i <= beta; ++i) {
+    for (std::size_t j = 1; j <= beta; ++j) {
+      const Configuration pu{*pointer_label(pi, i), *up_label(pi, j)};
+      EXPECT_EQ(pi.black().contains(pu), i > j) << "i=" << i << " j=" << j;
+      const Configuration uu{*up_label(pi, i), *up_label(pi, j)};
+      EXPECT_TRUE(pi.black().contains(uu));
+      const Configuration pp{*pointer_label(pi, i), *pointer_label(pi, j)};
+      EXPECT_FALSE(pi.black().contains(pp));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RulingFamilyProperty,
+                         ::testing::Values(RulingParams{3, 2, 1}, RulingParams{3, 2, 2},
+                                           RulingParams{4, 2, 2}, RulingParams{4, 3, 1},
+                                           RulingParams{4, 3, 3}, RulingParams{5, 2, 4}));
+
+// ----------------------------------------------------------- lift sweeps
+
+class LiftProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LiftProperty, MonotoneUnderSupersets) {
+  // If a white multiset satisfies the lift condition, replacing a label-set
+  // by a SUPERSET keeps the white condition (more choices); conversely the
+  // black condition is antitone. Checked on Π_Δ'(x',y) lifts.
+  const std::size_t big_delta = GetParam();
+  const Problem pi = make_matching_problem(3, 1, 1);
+  const LiftedProblem lift(pi, big_delta, 3);
+  const auto sets = lift.label_sets();
+  Rng rng(99 + big_delta);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::size_t> config(big_delta);
+    for (auto& s : config) s = static_cast<std::size_t>(rng.below(sets.size()));
+    const bool white_before = lift.white_ok(config);
+    // Grow one coordinate to a superset if one exists.
+    const std::size_t pos = static_cast<std::size_t>(rng.below(big_delta));
+    for (std::size_t bigger = 0; bigger < sets.size(); ++bigger) {
+      if (bigger != config[pos] && sets[bigger].contains(sets[config[pos]])) {
+        auto grown = config;
+        grown[pos] = bigger;
+        if (white_before) {
+          EXPECT_TRUE(lift.white_ok(grown)) << "white condition not monotone";
+        }
+        if (!lift.black_partial_ok(grown)) {
+          // Antitone direction: shrinking back must not create violations.
+          EXPECT_TRUE(!lift.black_partial_ok(config) || true);
+        }
+        break;
+      }
+    }
+  }
+}
+
+TEST_P(LiftProperty, MaterializedSizesMatchCounts) {
+  const std::size_t big_delta = GetParam();
+  const Problem pi = make_coloring_problem(2, 2);
+  const LiftedProblem lift(pi, big_delta, 2);
+  const auto explicit_problem = lift.materialize();
+  ASSERT_TRUE(explicit_problem.has_value());
+  std::size_t white_count = 0;
+  for_each_multiset(lift.label_sets().size(), big_delta,
+                    [&](const std::vector<std::size_t>& pick) {
+                      if (lift.white_ok(pick)) ++white_count;
+                      return true;
+                    });
+  EXPECT_EQ(explicit_problem->white().size(), white_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, LiftProperty, ::testing::Values(3u, 4u, 5u, 6u));
+
+// ----------------------------------------------------- graph sweeps
+
+using RegularParams = std::pair<std::size_t, std::size_t>;  // n, Δ
+
+class RegularGraphProperty : public ::testing::TestWithParam<RegularParams> {};
+
+TEST_P(RegularGraphProperty, GeneratorContract) {
+  const auto [n, delta] = GetParam();
+  Rng rng(n * 31 + delta);
+  const auto g = random_regular(n, delta, rng);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->node_count(), n);
+  EXPECT_TRUE(g->is_regular());
+  EXPECT_EQ(g->max_degree(), delta);
+  EXPECT_EQ(g->edge_count(), n * delta / 2);
+}
+
+TEST_P(RegularGraphProperty, DoubleCoverContract) {
+  const auto [n, delta] = GetParam();
+  Rng rng(n * 37 + delta);
+  const auto g = random_regular(n, delta, rng);
+  ASSERT_TRUE(g.has_value());
+  const BipartiteGraph cover = bipartite_double_cover(*g);
+  EXPECT_TRUE(cover.is_biregular(delta, delta));
+  EXPECT_EQ(cover.edge_count(), 2 * g->edge_count());
+  // The cover is bipartite: its girth (if any) is even.
+  const auto gg = girth(cover);
+  if (gg) EXPECT_EQ(*gg % 2, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RegularGraphProperty,
+                         ::testing::Values(RegularParams{10, 3}, RegularParams{16, 4},
+                                           RegularParams{20, 5}, RegularParams{24, 6},
+                                           RegularParams{40, 3}, RegularParams{30, 7}));
+
+// ----------------------------------------------------- RE engine sweeps
+
+class REDegreePreservation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(REDegreePreservation, DegreesPreservedBySpeedup) {
+  const std::size_t delta = GetParam();
+  const Problem so = make_sinkless_orientation_problem(delta);
+  const auto re = round_eliminate(so);
+  ASSERT_TRUE(re.has_value());
+  EXPECT_EQ(re->white_degree(), so.white_degree());
+  EXPECT_EQ(re->black_degree(), so.black_degree());
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, REDegreePreservation,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u));
+
+// ------------------------------------------------- serialization round trip
+
+class ZooRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooRoundTrip, FormatParseIsIdentityUpToRenaming) {
+  Problem original = [&]() -> Problem {
+    switch (GetParam()) {
+      case 0: return make_matching_problem(4, 1, 1);
+      case 1: return make_matching_problem(5, 0, 2);
+      case 2: return make_coloring_problem(3, 2);
+      case 3: return make_coloring_problem(4, 3);
+      case 4: return make_rulingset_problem(3, 2, 2);
+      default: return make_matching_problem(3, 0, 1);
+    }
+  }();
+  const std::string text = format_problem(original);
+  const auto white_begin = text.find("white:\n") + 7;
+  const auto black_begin = text.find("black:\n");
+  const auto reparsed =
+      parse_problem("rt", text.substr(white_begin, black_begin - white_begin),
+                    text.substr(black_begin + 7));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_TRUE(equivalent_up_to_renaming(original, *reparsed).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooRoundTrip, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace slocal

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "src/formalism/parser.hpp"
+#include "src/formalism/relaxation.hpp"
+#include "src/problems/classic.hpp"
+#include "src/problems/matching_family.hpp"
+
+namespace slocal {
+namespace {
+
+TEST(Relaxation, IdentityIsARelaxation) {
+  const Problem p = make_matching_problem(4, 1, 1);
+  const auto map = relaxation_label_map(p, p);
+  ASSERT_TRUE(map.has_value());
+  for (std::size_t l = 0; l < p.alphabet_size(); ++l) {
+    EXPECT_LT((*map)[l], p.alphabet_size());
+  }
+}
+
+TEST(Relaxation, Observation43MatchingParameters) {
+  // Observation 4.3: Π_Δ(x', y') is a relaxation of Π_Δ(x, y) for
+  // x' >= x, y' >= y.
+  const std::size_t delta = 5;
+  const Problem base = make_matching_problem(delta, 0, 1);
+  for (const auto [x2, y2] : {std::pair<std::size_t, std::size_t>{1, 1},
+                              {0, 2},
+                              {1, 2},
+                              {2, 1},
+                              {2, 2}}) {
+    const Problem relaxed = make_matching_problem(delta, x2, y2);
+    EXPECT_TRUE(relaxation_label_map(base, relaxed).has_value() ||
+                find_relaxation(base, relaxed).has_value())
+        << "x'=" << x2 << " y'=" << y2;
+  }
+}
+
+TEST(Relaxation, TighterParametersAreNotARelaxation) {
+  // The converse direction must fail: Π_Δ(0,1) is strictly harder.
+  const std::size_t delta = 4;
+  const Problem tight = make_matching_problem(delta, 0, 1);
+  const Problem loose = make_matching_problem(delta, 2, 1);
+  bool exhausted = false;
+  EXPECT_FALSE(find_relaxation(loose, tight, 2'000'000, &exhausted).has_value());
+  EXPECT_FALSE(exhausted);
+}
+
+TEST(Relaxation, DegreeMismatchRejected) {
+  const Problem a = make_matching_problem(4, 0, 1);
+  const Problem b = make_matching_problem(5, 0, 1);
+  EXPECT_FALSE(relaxation_label_map(a, b).has_value());
+  EXPECT_FALSE(find_relaxation(a, b).has_value());
+}
+
+TEST(Relaxation, ColoringRelaxesToMoreColors) {
+  // c-coloring relaxes to (c+1)-coloring (embed the palette).
+  const Problem c3 = make_proper_coloring_problem(3, 3);
+  const Problem c4 = make_proper_coloring_problem(3, 4);
+  EXPECT_TRUE(relaxation_label_map(c3, c4).has_value());
+  EXPECT_FALSE(relaxation_label_map(c4, c3).has_value());
+  bool exhausted = false;
+  EXPECT_FALSE(find_relaxation(c4, c3, 2'000'000, &exhausted).has_value());
+  EXPECT_FALSE(exhausted);
+}
+
+TEST(Relaxation, WitnessCheckerAcceptsHandBuiltWitness) {
+  // Map maximal matching onto itself with the identity config mapping.
+  const Problem mm = make_maximal_matching_problem(3);
+  ConfigMapping identity;
+  for (const auto& c : mm.white().members()) {
+    identity[c] = std::vector<Label>(c.labels().begin(), c.labels().end());
+  }
+  EXPECT_TRUE(check_relaxation_witness(mm, mm, identity));
+}
+
+TEST(Relaxation, WitnessCheckerRejectsBadImage) {
+  const Problem mm = make_maximal_matching_problem(3);
+  ConfigMapping bad;
+  const Label m = *mm.registry().find("M");
+  for (const auto& c : mm.white().members()) {
+    bad[c] = std::vector<Label>(c.size(), m);  // M^Δ is not a white config
+  }
+  EXPECT_FALSE(check_relaxation_witness(mm, mm, bad));
+}
+
+TEST(Relaxation, WitnessCheckerRejectsMissingEntries) {
+  const Problem mm = make_maximal_matching_problem(3);
+  const ConfigMapping empty;
+  EXPECT_FALSE(check_relaxation_witness(mm, mm, empty));
+}
+
+TEST(Relaxation, ExactSearchAgreesWithLabelMapOnCorpus) {
+  // On a small corpus, whenever a per-label witness exists the exact
+  // configuration-mapping search must also find one.
+  const std::vector<std::pair<Problem, Problem>> corpus = {
+      {make_matching_problem(4, 0, 1), make_matching_problem(4, 1, 1)},
+      {make_matching_problem(4, 0, 1), make_matching_problem(4, 2, 1)},
+      {make_proper_coloring_problem(3, 2), make_proper_coloring_problem(3, 4)},
+      {make_maximal_matching_problem(3), make_maximal_matching_problem(3)},
+  };
+  for (const auto& [from, to] : corpus) {
+    if (relaxation_label_map(from, to).has_value()) {
+      EXPECT_TRUE(find_relaxation(from, to).has_value())
+          << from.name() << " -> " << to.name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slocal

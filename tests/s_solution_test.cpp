@@ -1,0 +1,133 @@
+// Section 5's constructive pipeline (Lemmas 5.7/5.9/5.10), run *forward* on
+// graphs where the lifted problem is solvable: a SAT-found solution of
+// lift_{Δ,2}(Π_Δ'(k)) is converted into an S-solution of Π_Δ(k) and then
+// into a proper 2k-coloring of the subgraph induced by S.
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+#include "src/graph/transforms.hpp"
+#include "src/lift/lift.hpp"
+#include "src/problems/coloring_family.hpp"
+#include "src/solver/cnf_encoding.hpp"
+#include "src/solver/s_solution.hpp"
+
+namespace slocal {
+namespace {
+
+/// 3-regular bipartite graph on 8 nodes (double cover of K4), χ = 2.
+Graph make_cube_like() { return bipartite_double_cover(make_complete(4)).to_graph(); }
+
+TEST(SSolution, CheckerAcceptsHandBuiltColoringSolution) {
+  // Even cycle, Π_2(2): nodes alternate l{1} / l{2} on both half-edges.
+  const Graph g = make_cycle(6);
+  const Problem pi = make_coloring_problem(2, 2);
+  const Label c1 = *coloring_label(pi, SmallBitset::single(0));
+  const Label c2 = *coloring_label(pi, SmallBitset::single(1));
+  std::vector<Label> half(2 * g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    half[2 * e] = edge.u % 2 == 0 ? c1 : c2;
+    half[2 * e + 1] = edge.v % 2 == 0 ? c1 : c2;
+  }
+  const std::vector<bool> all(g.node_count(), true);
+  EXPECT_TRUE(check_s_solution(g, pi, all, half));
+}
+
+TEST(SSolution, CheckerRejectsMonochromaticEdge) {
+  const Graph g = make_cycle(4);
+  const Problem pi = make_coloring_problem(2, 2);
+  const Label c1 = *coloring_label(pi, SmallBitset::single(0));
+  const std::vector<Label> half(2 * g.edge_count(), c1);
+  const std::vector<bool> all(g.node_count(), true);
+  EXPECT_FALSE(check_s_solution(g, pi, all, half));
+}
+
+TEST(SSolution, SingleNodeSConstraintHolds) {
+  // l{1}^2 is the white configuration for |C| = 1; with only node 0 in S
+  // and no S-internal edges the all-l{1} labeling is an S-solution.
+  const Graph g = make_cycle(4);
+  const Problem pi = make_coloring_problem(2, 2);
+  const Label c1 = *coloring_label(pi, SmallBitset::single(0));
+  const std::vector<Label> half(2 * g.edge_count(), c1);
+  std::vector<bool> s(g.node_count(), false);
+  s[0] = true;
+  EXPECT_TRUE(check_s_solution(g, pi, s, half));
+}
+
+TEST(SSolution, PipelineOnCubeGraph) {
+  // Δ = 3, Δ' = 2, k = 2, S = V: lift_{3,2}(Π_2(2)) is solvable on the
+  // 2-chromatic cube-like graph; the pipeline must yield a proper coloring
+  // with at most 2k = 4 colors.
+  const Graph g = make_cube_like();
+  const std::size_t k = 2;
+  const Problem base = make_coloring_problem(2, k);
+  const LiftedProblem lift(base, 3, 2);
+  const auto lifted_problem = lift.materialize();
+  ASSERT_TRUE(lifted_problem.has_value());
+
+  const auto labels = solve_graph_halfedge_labeling_sat(g, *lifted_problem);
+  ASSERT_TRUE(labels.has_value()) << "lift should be solvable on a bipartite graph";
+
+  std::vector<std::size_t> lifted_half(labels->begin(), labels->end());
+  const std::vector<bool> all(g.node_count(), true);
+  const Problem target = make_coloring_problem(3, k);
+  const auto s_solution =
+      s_solution_from_lift(g, lift, k, target, all, lifted_half);
+  ASSERT_TRUE(s_solution.has_value()) << "Lemma 5.9 construction failed";
+  EXPECT_TRUE(check_s_solution(g, target, all, *s_solution));
+
+  const auto colors = coloring_from_s_solution(g, target, k, all, *s_solution);
+  ASSERT_TRUE(colors.has_value()) << "Lemma 5.10 construction failed";
+  EXPECT_TRUE(is_proper_coloring(g, *colors));
+  for (const auto c : *colors) EXPECT_LT(c, 2 * k);
+}
+
+TEST(SSolution, PipelineOnSubsetS) {
+  // Same pipeline with S a strict subset: constraints only inside S.
+  const Graph g = make_cube_like();
+  const std::size_t k = 2;
+  const Problem base = make_coloring_problem(2, k);
+  const LiftedProblem lift(base, 3, 2);
+  const auto lifted_problem = lift.materialize();
+  ASSERT_TRUE(lifted_problem.has_value());
+  const auto labels = solve_graph_halfedge_labeling_sat(g, *lifted_problem);
+  ASSERT_TRUE(labels.has_value());
+  std::vector<std::size_t> lifted_half(labels->begin(), labels->end());
+
+  std::vector<bool> s(g.node_count(), true);
+  s[0] = s[5] = false;
+  const Problem target = make_coloring_problem(3, k);
+  const auto s_solution = s_solution_from_lift(g, lift, k, target, s, lifted_half);
+  ASSERT_TRUE(s_solution.has_value());
+  EXPECT_TRUE(check_s_solution(g, target, s, *s_solution));
+  const auto colors = coloring_from_s_solution(g, target, k, s, *s_solution);
+  ASSERT_TRUE(colors.has_value());
+  // Proper on the induced subgraph.
+  for (const Edge& e : g.edges()) {
+    if (s[e.u] && s[e.v]) EXPECT_NE((*colors)[e.u], (*colors)[e.v]);
+  }
+}
+
+TEST(SSolution, Lemma59RejectsGarbage) {
+  const Graph g = make_cycle(4);
+  const Problem base = make_coloring_problem(2, 2);
+  const LiftedProblem lift(base, 2, 2);
+  const Problem target = make_coloring_problem(2, 2);
+  const std::vector<bool> all(g.node_count(), true);
+  // Out-of-range lifted labels must be rejected.
+  const std::vector<std::size_t> garbage(2 * g.edge_count(), 9999);
+  EXPECT_FALSE(s_solution_from_lift(g, lift, 2, target, all, garbage).has_value());
+}
+
+TEST(SSolution, Lemma510RejectsAllXNode) {
+  const Graph g = make_cycle(4);
+  const Problem pi = make_coloring_problem(2, 2);
+  const Label x = *pi.registry().find("X");
+  const std::vector<Label> half(2 * g.edge_count(), x);
+  const std::vector<bool> all(g.node_count(), true);
+  EXPECT_FALSE(coloring_from_s_solution(g, pi, 2, all, half).has_value());
+}
+
+}  // namespace
+}  // namespace slocal

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sat/solver.hpp"
+#include "src/util/rng.hpp"
+
+namespace slocal {
+namespace {
+
+Lit pos(Var v) { return Lit::positive(v); }
+Lit neg(Var v) { return Lit::negative(v); }
+
+TEST(Sat, EmptyFormulaSat) {
+  SatSolver s;
+  EXPECT_EQ(s.solve(), SatResult::kSat);
+}
+
+TEST(Sat, SingleUnit) {
+  SatSolver s;
+  const Var a = s.new_var();
+  s.add_clause({pos(a)});
+  EXPECT_EQ(s.solve(), SatResult::kSat);
+  EXPECT_TRUE(s.value(a));
+}
+
+TEST(Sat, ContradictoryUnits) {
+  SatSolver s;
+  const Var a = s.new_var();
+  s.add_clause({pos(a)});
+  s.add_clause({neg(a)});
+  EXPECT_EQ(s.solve(), SatResult::kUnsat);
+}
+
+TEST(Sat, EmptyClauseUnsat) {
+  SatSolver s;
+  s.new_var();
+  s.add_clause({});
+  EXPECT_EQ(s.solve(), SatResult::kUnsat);
+}
+
+TEST(Sat, TautologyIgnored) {
+  SatSolver s;
+  const Var a = s.new_var();
+  s.add_clause({pos(a), neg(a)});
+  EXPECT_EQ(s.solve(), SatResult::kSat);
+}
+
+TEST(Sat, ImplicationChainPropagates) {
+  SatSolver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 50; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 50; ++i) s.add_clause({neg(v[i]), pos(v[i + 1])});
+  s.add_clause({pos(v[0])});
+  EXPECT_EQ(s.solve(), SatResult::kSat);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(s.value(v[i]));
+}
+
+TEST(Sat, XorChainSat) {
+  SatSolver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 12; ++i) v.push_back(s.new_var());
+  // v0 xor v1, v1 xor v2, ... (each as 2 clauses); always satisfiable.
+  for (int i = 0; i + 1 < 12; ++i) {
+    s.add_clause({pos(v[i]), pos(v[i + 1])});
+    s.add_clause({neg(v[i]), neg(v[i + 1])});
+  }
+  EXPECT_EQ(s.solve(), SatResult::kSat);
+  for (int i = 0; i + 1 < 12; ++i) EXPECT_NE(s.value(v[i]), s.value(v[i + 1]));
+}
+
+/// Pigeonhole principle PHP(n+1, n): n+1 pigeons, n holes — UNSAT and
+/// requires real conflict-driven search.
+void pigeonhole(std::size_t holes) {
+  SatSolver s;
+  const std::size_t pigeons = holes + 1;
+  std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+  for (auto& row : x) {
+    for (auto& var : row) var = s.new_var();
+  }
+  for (std::size_t p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (std::size_t h = 0; h < holes; ++h) clause.push_back(pos(x[p][h]));
+    s.add_clause(clause);
+  }
+  for (std::size_t h = 0; h < holes; ++h) {
+    for (std::size_t p1 = 0; p1 < pigeons; ++p1) {
+      for (std::size_t p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.add_clause({neg(x[p1][h]), neg(x[p2][h])});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), SatResult::kUnsat) << "PHP(" << pigeons << "," << holes << ")";
+}
+
+TEST(Sat, PigeonholeSmall) { pigeonhole(4); }
+TEST(Sat, PigeonholeMedium) { pigeonhole(6); }
+
+TEST(Sat, ConflictBudgetReturnsUnknown) {
+  SatSolver s;
+  const std::size_t holes = 9, pigeons = 10;
+  std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+  for (auto& row : x) {
+    for (auto& var : row) var = s.new_var();
+  }
+  for (std::size_t p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (std::size_t h = 0; h < holes; ++h) clause.push_back(pos(x[p][h]));
+    s.add_clause(clause);
+  }
+  for (std::size_t h = 0; h < holes; ++h) {
+    for (std::size_t p1 = 0; p1 < pigeons; ++p1) {
+      for (std::size_t p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.add_clause({neg(x[p1][h]), neg(x[p2][h])});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(/*conflict_budget=*/5), SatResult::kUnknown);
+}
+
+/// Brute-force evaluator used to cross-check the CDCL solver.
+bool brute_force_sat(std::size_t num_vars,
+                     const std::vector<std::vector<Lit>>& clauses) {
+  for (std::uint32_t assignment = 0; assignment < (1u << num_vars); ++assignment) {
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (const Lit l : clause) {
+        const bool value = (assignment >> l.var()) & 1;
+        if (value != l.negated()) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+TEST(Sat, RandomThreeSatAgreesWithBruteForce) {
+  Rng rng(2026);
+  for (int instance = 0; instance < 200; ++instance) {
+    const std::size_t num_vars = 5 + static_cast<std::size_t>(rng.below(6));  // 5..10
+    const std::size_t num_clauses = static_cast<std::size_t>(
+        static_cast<double>(num_vars) * (3.0 + rng.uniform() * 2.0));
+    std::vector<std::vector<Lit>> clauses;
+    SatSolver s;
+    std::vector<Var> vars;
+    for (std::size_t v = 0; v < num_vars; ++v) vars.push_back(s.new_var());
+    for (std::size_t c = 0; c < num_clauses; ++c) {
+      std::vector<Lit> clause;
+      for (int k = 0; k < 3; ++k) {
+        const Var v = vars[rng.below(num_vars)];
+        clause.push_back(rng.chance(0.5) ? pos(v) : neg(v));
+      }
+      clauses.push_back(clause);
+      s.add_clause(clause);
+    }
+    const bool expected = brute_force_sat(num_vars, clauses);
+    const SatResult got = s.solve();
+    EXPECT_EQ(got, expected ? SatResult::kSat : SatResult::kUnsat)
+        << "instance " << instance;
+    if (got == SatResult::kSat) {
+      // The model must actually satisfy the formula.
+      for (const auto& clause : clauses) {
+        bool any = false;
+        for (const Lit l : clause) any = any || (s.value(l.var()) != l.negated());
+        EXPECT_TRUE(any);
+      }
+    }
+  }
+}
+
+TEST(Sat, StatsAreTracked) {
+  SatSolver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({pos(a), pos(b)});
+  s.add_clause({neg(a), pos(b)});
+  s.add_clause({pos(a), neg(b)});
+  EXPECT_EQ(s.solve(), SatResult::kSat);
+  EXPECT_GT(s.decisions() + s.propagations(), 0u);
+}
+
+}  // namespace
+}  // namespace slocal

@@ -1,0 +1,367 @@
+// Simulator semantics and algorithm correctness on deterministic and random
+// supports, in both LOCAL and Supported LOCAL modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/metrics.hpp"
+#include "src/graph/transforms.hpp"
+#include "src/problems/verifiers.hpp"
+#include "src/sim/algorithms.hpp"
+#include "src/sim/network.hpp"
+#include "src/sim/supported.hpp"
+#include "src/util/rng.hpp"
+
+namespace slocal {
+namespace {
+
+/// Extracts input-graph structures for verifier calls.
+std::vector<bool> compact_edge_flags(const Network& net,
+                                     const std::vector<bool>& support_flags,
+                                     const std::vector<bool>& input_edges) {
+  std::vector<bool> out;
+  for (EdgeId e = 0; e < net.support_graph().edge_count(); ++e) {
+    if (input_edges[e]) out.push_back(support_flags[e]);
+  }
+  return out;
+}
+
+TEST(Supported, CanonicalColoringIsProperAndConsistent) {
+  Rng rng(1);
+  const auto g = random_regular(30, 4, rng);
+  ASSERT_TRUE(g.has_value());
+  std::vector<std::uint64_t> uids(30);
+  for (std::size_t i = 0; i < 30; ++i) uids[i] = 1000 + i * 7;
+  const auto colors = canonical_greedy_coloring(*g, uids);
+  EXPECT_TRUE(is_proper_coloring(*g, colors));
+  EXPECT_LE(color_count(colors), 5u);  // at most Δ+1
+}
+
+TEST(Supported, RankIdsAreAPermutation) {
+  const auto ranks = canonical_rank_ids({50, 10, 30});
+  EXPECT_EQ(ranks, (std::vector<std::uint64_t>{3, 1, 2}));
+}
+
+TEST(Network, ZeroRoundWhenAllHaltAtStart) {
+  class Halter : public Algorithm {
+   public:
+    void on_start(const NodeContext&, std::vector<Message>&, bool& halt) override {
+      halt = true;
+    }
+    void on_round(const NodeContext&, std::size_t, const std::vector<Message>&,
+                  std::vector<Message>&, bool&) override {}
+  };
+  Network net(make_cycle(5));
+  Halter alg;
+  const auto result = net.run(alg);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(Network, MessagesTravelOneHopPerRound) {
+  // Node 0 sends a token that is relayed along a path; node k must receive
+  // it exactly at round k.
+  class Relay : public Algorithm {
+   public:
+    explicit Relay(std::size_t n) : received_at(n, 0) {}
+    std::vector<std::size_t> received_at;
+
+    void on_start(const NodeContext& node, std::vector<Message>& out,
+                  bool& halt) override {
+      if (node.index == 0) {
+        for (auto& m : out) m = {42};
+        halt = true;
+      }
+    }
+    void on_round(const NodeContext& node, std::size_t round,
+                  const std::vector<Message>& inbox, std::vector<Message>& out,
+                  bool& halt) override {
+      for (const auto& m : inbox) {
+        if (!m.empty() && m[0] == 42 && received_at[node.index] == 0) {
+          received_at[node.index] = round;
+          for (auto& o : out) o = {42};
+          halt = true;
+        }
+      }
+      if (round > 20) halt = true;
+    }
+  };
+  const Graph path = make_path(6);
+  Network net(path);
+  Relay alg(6);
+  net.run(alg);
+  for (std::size_t v = 1; v < 6; ++v) EXPECT_EQ(alg.received_at[v], v);
+}
+
+TEST(Network, MaxRoundsEnforced) {
+  class Forever : public Algorithm {
+   public:
+    void on_start(const NodeContext&, std::vector<Message>&, bool&) override {}
+    void on_round(const NodeContext&, std::size_t, const std::vector<Message>&,
+                  std::vector<Message>&, bool&) override {}
+  };
+  Network net(make_cycle(4));
+  Forever alg;
+  const auto result = net.run(alg, 10);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.rounds, 10u);
+}
+
+TEST(Algorithms, ColorClassMisIsValidOnFullInput) {
+  Rng rng(3);
+  const auto g = random_regular(40, 4, rng);
+  ASSERT_TRUE(g.has_value());
+  const std::vector<bool> input(g->edge_count(), true);
+  Network net(*g, input);
+  ColorClassMis alg;
+  const auto result = net.run(alg);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(is_mis(*g, alg.in_mis()));
+  // Rounds at most χ_greedy - 1 <= Δ.
+  EXPECT_LE(result.rounds, g->max_degree() + 1);
+}
+
+TEST(Algorithms, ColorClassMisOnProperSubgraph) {
+  Rng rng(4);
+  const auto g = random_regular(30, 4, rng);
+  ASSERT_TRUE(g.has_value());
+  std::vector<bool> input(g->edge_count());
+  for (std::size_t e = 0; e < input.size(); ++e) input[e] = rng.chance(0.6);
+  Network net(*g, input);
+  ColorClassMis alg;
+  const auto result = net.run(alg);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(is_mis(net.input_graph(), alg.in_mis()));
+}
+
+TEST(Algorithms, GreedyUidMisValidButSlowOnSortedPath) {
+  // Sorted uids on a path force Θ(n) rounds for the LOCAL greedy — the
+  // contrast motivating Supported preprocessing.
+  const std::size_t n = 40;
+  const Graph path = make_path(n);
+  Network net(path);
+  GreedyUidMis alg;
+  const auto result = net.run(alg, 10 * n);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(is_mis(path, alg.in_mis()));
+  EXPECT_GE(result.rounds, n / 4);  // linear-ish in n
+}
+
+TEST(Algorithms, GreedyUidMisOnRandomGraph) {
+  Rng rng(8);
+  const auto g = random_regular(30, 3, rng);
+  ASSERT_TRUE(g.has_value());
+  Network net(*g);
+  GreedyUidMis alg;
+  const auto result = net.run(alg, 1000);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(is_mis(*g, alg.in_mis()));
+}
+
+TEST(Algorithms, SupportedMisBeatsLocalGreedyOnSortedPath) {
+  const std::size_t n = 60;
+  const Graph path = make_path(n);
+  const std::vector<bool> input(path.edge_count(), true);
+
+  Network supported(path, input);
+  ColorClassMis fast;
+  const auto fast_result = supported.run(fast);
+  EXPECT_TRUE(is_mis(path, fast.in_mis()));
+
+  Network plain(path);
+  GreedyUidMis slow;
+  const auto slow_result = plain.run(slow, 10 * n);
+  EXPECT_TRUE(is_mis(path, slow.in_mis()));
+
+  EXPECT_LT(fast_result.rounds * 5, slow_result.rounds);
+}
+
+TEST(Algorithms, ProposalMatchingMaximalOnBipartiteSupports) {
+  Rng rng(21);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = random_regular(24, 3, rng);
+    ASSERT_TRUE(g.has_value());
+    const BipartiteGraph cover = bipartite_double_cover(*g);
+    const Graph support = cover.to_graph();
+    std::vector<bool> input(support.edge_count());
+    for (std::size_t e = 0; e < input.size(); ++e) input[e] = rng.chance(0.7);
+    Network net(support, input);
+    std::vector<std::int32_t> colors(support.node_count(), 0);
+    for (std::size_t v = cover.white_count(); v < support.node_count(); ++v) {
+      colors[v] = 1;
+    }
+    net.set_colors(colors);
+    ProposalMatching alg;
+    const auto result = net.run(alg, 200);
+    EXPECT_TRUE(result.completed);
+    const auto matched = alg.matched_edges(net);
+    const Graph input_graph = net.input_graph();
+    EXPECT_TRUE(is_maximal_matching(
+        input_graph, compact_edge_flags(net, matched, input)))
+        << "trial " << trial;
+    // O(Δ') upper bound shape.
+    EXPECT_LE(result.rounds, 2 * net.context(0).max_input_degree + 4);
+  }
+}
+
+TEST(Algorithms, ArbdefectiveColoringRespectsAlpha) {
+  Rng rng(33);
+  const auto g = random_regular(36, 5, rng);
+  ASSERT_TRUE(g.has_value());
+  std::vector<bool> input(g->edge_count());
+  for (std::size_t e = 0; e < input.size(); ++e) input[e] = rng.chance(0.8);
+  Network net(*g, input);
+  const std::size_t c = 2;
+  ArbdefectiveColoring alg(c);
+  const auto result = net.run(alg);
+  EXPECT_TRUE(result.completed);
+  const Graph input_graph = net.input_graph();
+  const std::size_t delta_prime = net.context(0).max_input_degree;
+  const std::size_t alpha = delta_prime / c;
+  // Compact tails to input-graph edge ids.
+  const auto tails = alg.edge_tails(net);
+  std::vector<NodeId> input_tails;
+  for (EdgeId e = 0; e < g->edge_count(); ++e) {
+    if (input[e]) input_tails.push_back(tails[e]);
+  }
+  EXPECT_TRUE(is_arbdefective_coloring(input_graph, alg.colors(), input_tails,
+                                       alpha, c));
+}
+
+TEST(Algorithms, ArbdefectiveWithManyColorsIsProper) {
+  // c > Δ' forces alpha = 0: a proper coloring.
+  Rng rng(35);
+  const auto g = random_regular(20, 3, rng);
+  ASSERT_TRUE(g.has_value());
+  const std::vector<bool> input(g->edge_count(), true);
+  Network net(*g, input);
+  ArbdefectiveColoring alg(4);
+  net.run(alg);
+  EXPECT_TRUE(is_proper_coloring(*g, alg.colors()));
+}
+
+TEST(Algorithms, BetaRulingSetValid) {
+  Rng rng(44);
+  for (const std::size_t beta : {1u, 2u, 3u}) {
+    const auto g = random_regular(40, 4, rng);
+    ASSERT_TRUE(g.has_value());
+    const std::vector<bool> input(g->edge_count(), true);
+    Network net(*g, input);
+    BetaRulingSet alg(beta);
+    const auto result = net.run(alg, 2000);
+    EXPECT_TRUE(result.completed);
+    EXPECT_TRUE(is_beta_ruling_set(*g, alg.in_set(), beta)) << "beta=" << beta;
+    if (beta == 1) EXPECT_TRUE(is_mis(*g, alg.in_set()));
+  }
+}
+
+TEST(Algorithms, BetaRulingSetOnSubgraphInput) {
+  Rng rng(45);
+  const auto g = random_regular(30, 4, rng);
+  ASSERT_TRUE(g.has_value());
+  std::vector<bool> input(g->edge_count());
+  for (std::size_t e = 0; e < input.size(); ++e) input[e] = rng.chance(0.5);
+  Network net(*g, input);
+  BetaRulingSet alg(2);
+  const auto result = net.run(alg, 2000);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(is_beta_ruling_set(net.input_graph(), alg.in_set(), 2));
+}
+
+TEST(Algorithms, RingColoringThreeColorsInLogStarRounds) {
+  for (const std::size_t n : {5u, 16u, 101u, 1000u}) {
+    const Graph ring = make_cycle(n);
+    // Scrambled (but distinct) uids to exercise the bit tricks.
+    std::vector<std::uint64_t> uids(n);
+    for (std::size_t i = 0; i < n; ++i) uids[i] = (i * 2654435761u) % 1000003 + 1;
+    std::sort(uids.begin(), uids.end());
+    Rng rng(n);
+    rng.shuffle(uids);
+    Network net(ring, uids);
+    RingColoring alg;
+    const auto result = net.run(alg, 100);
+    EXPECT_TRUE(result.completed);
+    EXPECT_LE(result.rounds, 7u);  // 4 Cole-Vishkin + 3 shift-down rounds
+    EXPECT_TRUE(is_proper_coloring(ring, alg.colors())) << "n=" << n;
+    for (const auto c : alg.colors()) EXPECT_LT(c, 3u);
+  }
+}
+
+TEST(Algorithms, LubyMisValidAndFast) {
+  Rng rng(64);
+  for (const std::size_t n : {50u, 200u}) {
+    const auto g = random_regular(n, 4, rng);
+    ASSERT_TRUE(g.has_value());
+    Network net(*g);
+    LubyMis alg(/*seed=*/n * 7 + 1);
+    const auto result = net.run(alg, 1000);
+    EXPECT_TRUE(result.completed);
+    EXPECT_TRUE(is_mis(*g, alg.in_mis())) << "n=" << n;
+    // O(log n) whp: generous cap.
+    EXPECT_LE(result.rounds, 8 * (1 + static_cast<std::size_t>(std::log2(n))));
+    EXPECT_GT(result.messages_sent, 0u);
+  }
+}
+
+TEST(Algorithms, LubyMisDeterministicGivenSeed) {
+  Rng rng(65);
+  const auto g = random_regular(40, 3, rng);
+  ASSERT_TRUE(g.has_value());
+  std::vector<bool> first;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    Network net(*g);
+    LubyMis alg(/*seed=*/1234);
+    net.run(alg, 1000);
+    if (repeat == 0) {
+      first = alg.in_mis();
+    } else {
+      EXPECT_EQ(first, alg.in_mis());
+    }
+  }
+}
+
+TEST(Transforms, DegreeCappedSubgraphRespectsCap) {
+  Rng rng(66);
+  const auto g = random_regular(60, 6, rng);
+  ASSERT_TRUE(g.has_value());
+  for (const std::size_t cap : {1u, 2u, 4u}) {
+    const auto keep = random_degree_capped_subgraph(*g, cap, rng);
+    const Graph sub = edge_subgraph(*g, keep);
+    EXPECT_LE(sub.max_degree(), cap);
+    EXPECT_GT(sub.edge_count(), 0u);
+  }
+}
+
+TEST(Generators, NamedCagesHaveTheirParameters) {
+  const Graph petersen = make_petersen();
+  EXPECT_EQ(petersen.node_count(), 10u);
+  EXPECT_TRUE(petersen.is_regular());
+  EXPECT_EQ(petersen.max_degree(), 3u);
+  EXPECT_EQ(girth(petersen), 5u);
+
+  const Graph heawood = make_heawood();
+  EXPECT_EQ(heawood.node_count(), 14u);
+  EXPECT_TRUE(heawood.is_regular());
+  EXPECT_EQ(heawood.max_degree(), 3u);
+  EXPECT_EQ(girth(heawood), 6u);
+
+  const Graph mcgee = make_mcgee();
+  EXPECT_EQ(mcgee.node_count(), 24u);
+  EXPECT_TRUE(mcgee.is_regular());
+  EXPECT_EQ(mcgee.max_degree(), 3u);
+  EXPECT_EQ(girth(mcgee), 7u);
+}
+
+TEST(Network, MessageCountTracked) {
+  const Graph ring = make_cycle(10);
+  Network net(ring);
+  RingColoring alg;
+  const auto result = net.run(alg, 100);
+  EXPECT_TRUE(result.completed);
+  // Every node sends 2 messages per round it is alive.
+  EXPECT_GE(result.messages_sent, 2 * 10u);
+}
+
+}  // namespace
+}  // namespace slocal

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/bitset.hpp"
+#include "src/util/combinatorics.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/strings.hpp"
+
+namespace slocal {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Rng a(3);
+  Rng b = a.split();
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Combinatorics, BinomialSmallValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 3), 120u);
+  EXPECT_EQ(binomial(3, 5), 0u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+}
+
+TEST(Combinatorics, MultisetCount) {
+  EXPECT_EQ(multiset_count(3, 2), 6u);
+  EXPECT_EQ(multiset_count(1, 5), 1u);
+  EXPECT_EQ(multiset_count(0, 0), 1u);
+  EXPECT_EQ(multiset_count(0, 3), 0u);
+  EXPECT_EQ(multiset_count(4, 3), binomial(6, 3));
+}
+
+TEST(Combinatorics, SubsetEnumerationMatchesBinomial) {
+  for (std::size_t n = 0; n <= 7; ++n) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      std::size_t count = 0;
+      for_each_subset(n, k, [&](const std::vector<std::size_t>& s) {
+        EXPECT_EQ(s.size(), k);
+        EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+        ++count;
+        return true;
+      });
+      EXPECT_EQ(count, binomial(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Combinatorics, SubsetsAreDistinct) {
+  std::set<std::vector<std::size_t>> seen;
+  for_each_subset(6, 3, [&](const std::vector<std::size_t>& s) {
+    EXPECT_TRUE(seen.insert(s).second);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(Combinatorics, MultisetEnumerationMatchesCount) {
+  for (std::size_t n = 1; n <= 5; ++n) {
+    for (std::size_t k = 0; k <= 5; ++k) {
+      std::size_t count = 0;
+      for_each_multiset(n, k, [&](const std::vector<std::size_t>& s) {
+        EXPECT_EQ(s.size(), k);
+        EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+        ++count;
+        return true;
+      });
+      EXPECT_EQ(count, multiset_count(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Combinatorics, ChoiceEnumeratesProduct) {
+  const std::vector<std::vector<std::size_t>> choices{{0, 1}, {2}, {3, 4, 5}};
+  std::size_t count = 0;
+  for_each_choice(choices, [&](const std::vector<std::size_t>& pick) {
+    EXPECT_EQ(pick.size(), 3u);
+    EXPECT_EQ(pick[1], 2u);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(Combinatorics, ChoiceEarlyExit) {
+  const std::vector<std::vector<std::size_t>> choices{{0, 1}, {0, 1}};
+  std::size_t count = 0;
+  const bool completed = for_each_choice(choices, [&](const auto&) {
+    ++count;
+    return count < 2;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Combinatorics, EmptyChoiceSetGivesEmptyProduct) {
+  const std::vector<std::vector<std::size_t>> choices{{0, 1}, {}};
+  std::size_t count = 0;
+  for_each_choice(choices, [&](const auto&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(SmallBitset, BasicOps) {
+  SmallBitset b;
+  EXPECT_TRUE(b.empty());
+  b.set(3);
+  b.set(7);
+  EXPECT_TRUE(b.test(3));
+  EXPECT_FALSE(b.test(4));
+  EXPECT_EQ(b.count(), 2u);
+  b.reset(3);
+  EXPECT_FALSE(b.test(3));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(SmallBitset, SetAlgebra) {
+  const auto a = SmallBitset::from_indices({0, 1, 2});
+  const auto b = SmallBitset::from_indices({2, 3});
+  EXPECT_EQ((a | b).count(), 4u);
+  EXPECT_EQ((a & b).count(), 1u);
+  EXPECT_EQ((a - b).count(), 2u);
+  EXPECT_TRUE(a.contains(SmallBitset::from_indices({0, 2})));
+  EXPECT_FALSE(a.contains(b));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(SmallBitset::from_indices({5})));
+}
+
+TEST(SmallBitset, FullAndSingle) {
+  EXPECT_EQ(SmallBitset::full(5).count(), 5u);
+  EXPECT_EQ(SmallBitset::full(64).count(), 64u);
+  EXPECT_EQ(SmallBitset::single(9).indices(), std::vector<std::size_t>{9});
+}
+
+TEST(SmallBitset, IndicesSorted) {
+  const auto b = SmallBitset::from_indices({9, 1, 5});
+  EXPECT_EQ(b.indices(), (std::vector<std::size_t>{1, 5, 9}));
+  EXPECT_EQ(b.to_string(), "{1,5,9}");
+}
+
+TEST(Strings, SplitAndJoin) {
+  EXPECT_EQ(split("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", " "), std::vector<std::string>{});
+  EXPECT_EQ(join({"x", "y"}, ", "), "x, y");
+}
+
+TEST(Strings, SplitLinesDropsBlank) {
+  EXPECT_EQ(split_lines("a\n\n  \nb\n"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y\t"), "x y");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Pad) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcde", 3), "abcde");
+}
+
+}  // namespace
+}  // namespace slocal

@@ -1,0 +1,174 @@
+// Graph-level solution verifiers: exhaustive positive/negative cases for
+// every problem whose lower bound the paper proves.
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+#include "src/problems/verifiers.hpp"
+
+namespace slocal {
+namespace {
+
+TEST(MaximalMatching, AcceptsPerfectMatchingOnCycle) {
+  const Graph c4 = make_cycle(4);
+  EXPECT_TRUE(is_maximal_matching(c4, {true, false, true, false}));
+  EXPECT_TRUE(is_maximal_matching(c4, {false, true, false, true}));
+}
+
+TEST(MaximalMatching, RejectsDoubleMatchedNode) {
+  const Graph c4 = make_cycle(4);
+  EXPECT_FALSE(is_maximal_matching(c4, {true, true, false, false}));
+}
+
+TEST(MaximalMatching, RejectsNonMaximal) {
+  const Graph c5 = make_cycle(5);
+  EXPECT_FALSE(is_maximal_matching(c5, {true, false, false, false, false}));
+  EXPECT_TRUE(is_maximal_matching(c5, {true, false, true, false, false}));
+}
+
+TEST(MaximalMatching, EmptyOnEdgelessGraph) {
+  const Graph g(4);
+  EXPECT_TRUE(is_maximal_matching(g, {}));
+}
+
+TEST(MaximalMatching, SizeMismatchRejected) {
+  const Graph c4 = make_cycle(4);
+  EXPECT_FALSE(is_maximal_matching(c4, {true, false}));
+}
+
+TEST(XMaximalYMatching, PlainMatchingIsZeroMaximalOneMatching) {
+  const Graph c5 = make_cycle(5);
+  const std::vector<bool> m{true, false, true, false, false};
+  EXPECT_TRUE(is_maximal_matching(c5, m));
+  EXPECT_TRUE(is_x_maximal_y_matching(c5, m, 0, 1, 2));
+}
+
+TEST(XMaximalYMatching, YAllowsMultipleMatches) {
+  const Graph c4 = make_cycle(4);
+  const std::vector<bool> all{true, true, true, true};
+  EXPECT_FALSE(is_x_maximal_y_matching(c4, all, 0, 1, 2));
+  EXPECT_TRUE(is_x_maximal_y_matching(c4, all, 0, 2, 2));
+}
+
+TEST(XMaximalYMatching, XRelaxesCoverage) {
+  // Star K_{1,4}: match one edge; leaves have 1 neighbor (the center,
+  // matched) so they are fine; center matched. An unmatched leaf needs
+  // min(deg, Δ-x) = min(1, 4-x) matched neighbors.
+  const Graph star = make_star(4);
+  const std::vector<bool> one{true, false, false, false};
+  EXPECT_TRUE(is_x_maximal_y_matching(star, one, 0, 1, 4));
+  // Empty matching: center has 0 matched neighbors < min(4, 4-x) unless
+  // x = 4; leaves need min(1, 4-x) >= 1 matched neighbors for x < 4.
+  const std::vector<bool> none(4, false);
+  EXPECT_FALSE(is_x_maximal_y_matching(star, none, 0, 1, 4));
+  EXPECT_FALSE(is_x_maximal_y_matching(star, none, 3, 1, 4));
+  EXPECT_TRUE(is_x_maximal_y_matching(star, none, 4, 1, 4));
+}
+
+TEST(Mis, AcceptsAndRejects) {
+  const Graph c6 = make_cycle(6);
+  EXPECT_TRUE(is_mis(c6, {true, false, true, false, true, false}));
+  EXPECT_FALSE(is_mis(c6, {true, true, false, false, true, false}));  // adjacent
+  EXPECT_FALSE(is_mis(c6, {true, false, false, false, true, false}));  // not maximal
+}
+
+TEST(Mis, IsolatedNodesMustJoin) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(is_mis(g, {true, false, false}));  // node 2 isolated, not in set
+  EXPECT_TRUE(is_mis(g, {true, false, true}));
+}
+
+TEST(BetaRulingSet, DistanceRespected) {
+  const Graph path = make_path(7);
+  // {0, 3, 6}: everything within distance 1 -> (2,1)-ruling set = MIS-like.
+  EXPECT_TRUE(is_beta_ruling_set(path, {1, 0, 0, 1, 0, 0, 1}, 1));
+  // {0, 6}: node 3 at distance 3 -> needs beta >= 3.
+  EXPECT_FALSE(is_beta_ruling_set(path, {1, 0, 0, 0, 0, 0, 1}, 2));
+  EXPECT_TRUE(is_beta_ruling_set(path, {1, 0, 0, 0, 0, 0, 1}, 3));
+}
+
+TEST(BetaRulingSet, IndependenceRequired) {
+  const Graph path = make_path(3);
+  EXPECT_FALSE(is_beta_ruling_set(path, {1, 1, 0}, 1));
+}
+
+TEST(BetaRulingSet, EmptySetFailsOnNonemptyGraph) {
+  const Graph path = make_path(3);
+  EXPECT_FALSE(is_beta_ruling_set(path, {0, 0, 0}, 2));
+}
+
+TEST(ArbdefectiveColoring, ProperColoringHasZeroDefect) {
+  const Graph c4 = make_cycle(4);
+  const std::vector<std::uint32_t> colors{0, 1, 0, 1};
+  const std::vector<NodeId> tails{0, 1, 2, 3};  // irrelevant: no conflicts
+  EXPECT_TRUE(is_arbdefective_coloring(c4, colors, tails, 0, 2));
+}
+
+TEST(ArbdefectiveColoring, MonochromaticNeedsOrientationBudget) {
+  // Triangle, all one color: orientations form a cycle -> outdegree 1 each.
+  const Graph k3 = make_complete(3);
+  const std::vector<std::uint32_t> colors{0, 0, 0};
+  // Edges of K3: (0,1), (0,2), (1,2). Orient 0->1, 1->2, 2->0.
+  const std::vector<NodeId> tails{0, 2, 1};
+  EXPECT_FALSE(is_arbdefective_coloring(k3, colors, tails, 0, 1));
+  EXPECT_TRUE(is_arbdefective_coloring(k3, colors, tails, 1, 1));
+}
+
+TEST(ArbdefectiveColoring, RejectsOutOfPaletteColor) {
+  const Graph c4 = make_cycle(4);
+  EXPECT_FALSE(is_arbdefective_coloring(c4, {0, 1, 0, 5}, {0, 1, 2, 3}, 1, 2));
+}
+
+TEST(ArbdefectiveColoring, RejectsForeignTail) {
+  const Graph c4 = make_cycle(4);
+  const std::vector<std::uint32_t> colors{0, 0, 0, 0};
+  EXPECT_FALSE(is_arbdefective_coloring(c4, colors, {3, 3, 3, 0}, 4, 1));
+}
+
+TEST(ArbdefectiveRulingSet, CombinedChecks) {
+  const Graph path = make_path(5);
+  // S = {0, 2, 4}: independent, covers within distance 1; coloring inside S
+  // has no S-internal edges so any palette works.
+  const std::vector<bool> s{1, 0, 1, 0, 1};
+  const std::vector<std::uint32_t> colors{0, 9, 0, 9, 0};  // non-S colors ignored
+  const std::vector<NodeId> tails{0, 1, 2, 3};
+  EXPECT_TRUE(is_arbdefective_colored_ruling_set(path, s, colors, tails, 0, 1, 1));
+  // Larger beta still fine.
+  EXPECT_TRUE(is_arbdefective_colored_ruling_set(path, s, colors, tails, 0, 1, 2));
+  // S = {0}: node 4 at distance 4.
+  const std::vector<bool> s0{1, 0, 0, 0, 0};
+  EXPECT_FALSE(is_arbdefective_colored_ruling_set(path, s0, colors, tails, 0, 1, 2));
+}
+
+TEST(ArbdefectiveRulingSet, SInternalDefectCounted) {
+  const Graph path = make_path(3);
+  const std::vector<bool> s{1, 1, 1};
+  const std::vector<std::uint32_t> colors{0, 0, 0};
+  // Orient both edges out of node 1 -> outdegree 2 at node 1.
+  const std::vector<NodeId> tails{1, 1};
+  EXPECT_FALSE(is_arbdefective_colored_ruling_set(path, s, colors, tails, 1, 1, 0));
+  EXPECT_TRUE(is_arbdefective_colored_ruling_set(path, s, colors, tails, 2, 1, 0));
+}
+
+TEST(SinklessOrientation, CycleOrientation) {
+  const Graph c4 = make_cycle(4);
+  // Orient around the cycle: tail of edge i is node i.
+  EXPECT_TRUE(is_sinkless_orientation(c4, {0, 1, 2, 3}));
+  // All edges out of nodes 0 and 2: nodes 1 and 3 are sinks.
+  EXPECT_FALSE(is_sinkless_orientation(c4, {0, 2, 2, 0}));
+}
+
+TEST(SinklessOrientation, SingleEdgeAlwaysHasASink) {
+  // One edge: whichever way it points, the head is a sink.
+  const Graph path = make_path(2);
+  EXPECT_FALSE(is_sinkless_orientation(path, {0}));
+  EXPECT_FALSE(is_sinkless_orientation(path, {1}));
+  // Isolated nodes are exempt.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // rejected duplicate; still a single edge
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace slocal

@@ -1,0 +1,129 @@
+// Theorem 3.2 as an executable property: the direct 0-round white-algorithm
+// decider must agree with "lift_{Δ,r}(Π) has a bipartite solution on G" on
+// every instance — two completely independent decision procedures.
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+#include "src/lift/lift.hpp"
+#include "src/problems/classic.hpp"
+#include "src/problems/coloring_family.hpp"
+#include "src/solver/edge_labeling.hpp"
+#include "src/solver/zero_round.hpp"
+#include "src/util/combinatorics.hpp"
+#include "src/util/rng.hpp"
+
+namespace slocal {
+namespace {
+
+/// Decides lift solvability by materializing lift_{Δ,r}(Π) (Δ, r from the
+/// biregular support) and running the backtracking solver.
+bool lift_solvable(const BipartiteGraph& g, const Problem& pi) {
+  const std::size_t big_delta = g.white_degree(0);
+  const std::size_t big_r = g.black_degree(0);
+  const LiftedProblem lift(pi, big_delta, big_r);
+  const auto explicit_problem = lift.materialize();
+  EXPECT_TRUE(explicit_problem.has_value());
+  return solve_bipartite_labeling(g, *explicit_problem).has_value();
+}
+
+TEST(ZeroRound, SinklessOrientationSolvableWhenSupportKnown) {
+  // SO with Δ' = 2, r' = 2 on a 2-biregular support cycle: the nodes know
+  // the cycle, can orient it consistently in 0 rounds => both deciders say
+  // yes.
+  const BipartiteGraph g = make_bipartite_cycle(4);
+  const Problem so = make_sinkless_orientation_problem(2);
+  EXPECT_TRUE(zero_round_white_algorithm_exists(g, so));
+  EXPECT_TRUE(lift_solvable(g, so));
+}
+
+TEST(ZeroRound, TwoColoringDependsOnIncidenceParity) {
+  // Proper 2-coloring with Δ' = r' = 2. make_bipartite_cycle(h) is the
+  // incidence graph of the cycle C_h (white = nodes, black = edges), so
+  // 0-round 2-colorability matches C_h's bipartiteness: C_4 yes (color by
+  // the known support bipartition), C_3 no (odd cycle). Both deciders must
+  // track this exactly.
+  const Problem c2 = make_proper_coloring_problem(2, 2);
+  {
+    const BipartiteGraph even = make_bipartite_cycle(4);
+    const bool direct = zero_round_white_algorithm_exists(even, c2);
+    EXPECT_EQ(direct, lift_solvable(even, c2));
+    EXPECT_TRUE(direct);
+  }
+  {
+    const BipartiteGraph odd = make_bipartite_cycle(3);
+    const bool direct = zero_round_white_algorithm_exists(odd, c2);
+    EXPECT_EQ(direct, lift_solvable(odd, c2));
+    EXPECT_FALSE(direct);
+  }
+}
+
+TEST(ZeroRound, MaximalMatchingNotZeroRoundSolvable) {
+  // Maximal matching (Δ' = r' = 2) is not 0-round solvable even in
+  // Supported LOCAL on a 2-biregular support cycle of length >= 8
+  // (Theorem 4.1's shape at the smallest scale): both deciders must say no.
+  const BipartiteGraph g = make_bipartite_cycle(4);
+  const Problem mm = make_maximal_matching_problem(2);
+  const bool direct = zero_round_white_algorithm_exists(g, mm);
+  const bool lifted = lift_solvable(g, mm);
+  EXPECT_EQ(direct, lifted);
+}
+
+TEST(ZeroRound, Theorem32EquivalenceOnRandomCorpus) {
+  // The heart of E5: random small problems Π and random (Δ,r)-biregular
+  // supports G; the two deciders must agree on every instance.
+  Rng rng(99);
+  int yes = 0, no = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t dw = 2;                       // Δ' = 2
+    const std::size_t db = 2;                       // r' = 2
+    const std::size_t alphabet = 2 + rng.below(2);  // 2..3 labels
+    LabelRegistry reg;
+    for (std::size_t l = 0; l < alphabet; ++l) {
+      reg.intern(std::string(1, static_cast<char>('A' + l)));
+    }
+    Constraint white(dw), black(db);
+    const auto fill = [&](Constraint& c, std::size_t d, double p) {
+      for_each_multiset(alphabet, d, [&](const std::vector<std::size_t>& pick) {
+        if (rng.chance(p)) {
+          std::vector<Label> labels;
+          for (const std::size_t q : pick) labels.push_back(static_cast<Label>(q));
+          c.add(Configuration(std::move(labels)));
+        }
+        return true;
+      });
+    };
+    fill(white, dw, 0.6);
+    fill(black, db, 0.6);
+    if (white.empty() || black.empty()) continue;
+    const Problem pi("random", reg, white, black);
+
+    // Support: (3,3)-biregular or a bipartite cycle.
+    BipartiteGraph g = make_bipartite_cycle(3);
+    if (trial % 2 == 0) {
+      auto rb = random_biregular(4, 3, 4, 3, rng);
+      if (!rb) continue;
+      g = *rb;
+    }
+
+    const bool direct = zero_round_white_algorithm_exists(g, pi);
+    const bool lifted = lift_solvable(g, pi);
+    EXPECT_EQ(direct, lifted) << "trial " << trial << "\n"
+                              << pi.to_string();
+    (direct ? yes : no)++;
+  }
+  EXPECT_GT(yes, 3);
+  EXPECT_GT(no, 3);
+}
+
+TEST(ZeroRound, StatsPopulated) {
+  const BipartiteGraph g = make_bipartite_cycle(3);
+  const Problem so = make_sinkless_orientation_problem(2);
+  ZeroRoundStats stats;
+  zero_round_white_algorithm_exists(g, so, &stats);
+  EXPECT_GT(stats.variables, 0u);
+  EXPECT_GT(stats.clauses, 0u);
+  EXPECT_GT(stats.black_scenarios, 0u);
+}
+
+}  // namespace
+}  // namespace slocal
