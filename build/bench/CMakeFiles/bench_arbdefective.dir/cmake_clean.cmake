@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arbdefective.dir/bench_arbdefective.cpp.o"
+  "CMakeFiles/bench_arbdefective.dir/bench_arbdefective.cpp.o.d"
+  "bench_arbdefective"
+  "bench_arbdefective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arbdefective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

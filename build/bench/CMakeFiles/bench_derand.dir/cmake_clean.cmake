@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_derand.dir/bench_derand.cpp.o"
+  "CMakeFiles/bench_derand.dir/bench_derand.cpp.o.d"
+  "bench_derand"
+  "bench_derand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_derand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graphgen.dir/bench_graphgen.cpp.o"
+  "CMakeFiles/bench_graphgen.dir/bench_graphgen.cpp.o.d"
+  "bench_graphgen"
+  "bench_graphgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graphgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

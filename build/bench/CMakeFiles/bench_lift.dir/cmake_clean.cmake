@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lift.dir/bench_lift.cpp.o"
+  "CMakeFiles/bench_lift.dir/bench_lift.cpp.o.d"
+  "bench_lift"
+  "bench_lift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mis_chromatic.dir/bench_mis_chromatic.cpp.o"
+  "CMakeFiles/bench_mis_chromatic.dir/bench_mis_chromatic.cpp.o.d"
+  "bench_mis_chromatic"
+  "bench_mis_chromatic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mis_chromatic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

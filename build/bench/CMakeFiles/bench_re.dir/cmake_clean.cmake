@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_re.dir/bench_re.cpp.o"
+  "CMakeFiles/bench_re.dir/bench_re.cpp.o.d"
+  "bench_re"
+  "bench_re.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_re.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

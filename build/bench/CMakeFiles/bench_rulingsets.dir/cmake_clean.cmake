@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rulingsets.dir/bench_rulingsets.cpp.o"
+  "CMakeFiles/bench_rulingsets.dir/bench_rulingsets.cpp.o.d"
+  "bench_rulingsets"
+  "bench_rulingsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rulingsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagram_export.dir/diagram_export.cpp.o"
+  "CMakeFiles/diagram_export.dir/diagram_export.cpp.o.d"
+  "diagram_export"
+  "diagram_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagram_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

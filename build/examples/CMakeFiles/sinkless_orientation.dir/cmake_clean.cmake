@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinkless_orientation.dir/sinkless_orientation.cpp.o"
+  "CMakeFiles/sinkless_orientation.dir/sinkless_orientation.cpp.o.d"
+  "sinkless_orientation"
+  "sinkless_orientation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinkless_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

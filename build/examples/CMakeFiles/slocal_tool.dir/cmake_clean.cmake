@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slocal_tool.dir/slocal_tool.cpp.o"
+  "CMakeFiles/slocal_tool.dir/slocal_tool.cpp.o.d"
+  "slocal_tool"
+  "slocal_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slocal_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

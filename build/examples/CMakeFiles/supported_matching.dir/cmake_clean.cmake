@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supported_matching.dir/supported_matching.cpp.o"
+  "CMakeFiles/supported_matching.dir/supported_matching.cpp.o.d"
+  "supported_matching"
+  "supported_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supported_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

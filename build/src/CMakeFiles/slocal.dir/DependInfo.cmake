@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounds/bigint.cpp" "src/CMakeFiles/slocal.dir/bounds/bigint.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/bounds/bigint.cpp.o.d"
+  "/root/repo/src/bounds/counting.cpp" "src/CMakeFiles/slocal.dir/bounds/counting.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/bounds/counting.cpp.o.d"
+  "/root/repo/src/bounds/derandomization.cpp" "src/CMakeFiles/slocal.dir/bounds/derandomization.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/bounds/derandomization.cpp.o.d"
+  "/root/repo/src/bounds/formulas.cpp" "src/CMakeFiles/slocal.dir/bounds/formulas.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/bounds/formulas.cpp.o.d"
+  "/root/repo/src/bounds/rulingset_census.cpp" "src/CMakeFiles/slocal.dir/bounds/rulingset_census.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/bounds/rulingset_census.cpp.o.d"
+  "/root/repo/src/formalism/configuration.cpp" "src/CMakeFiles/slocal.dir/formalism/configuration.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/formalism/configuration.cpp.o.d"
+  "/root/repo/src/formalism/constraint.cpp" "src/CMakeFiles/slocal.dir/formalism/constraint.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/formalism/constraint.cpp.o.d"
+  "/root/repo/src/formalism/diagram.cpp" "src/CMakeFiles/slocal.dir/formalism/diagram.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/formalism/diagram.cpp.o.d"
+  "/root/repo/src/formalism/label.cpp" "src/CMakeFiles/slocal.dir/formalism/label.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/formalism/label.cpp.o.d"
+  "/root/repo/src/formalism/parser.cpp" "src/CMakeFiles/slocal.dir/formalism/parser.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/formalism/parser.cpp.o.d"
+  "/root/repo/src/formalism/problem.cpp" "src/CMakeFiles/slocal.dir/formalism/problem.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/formalism/problem.cpp.o.d"
+  "/root/repo/src/formalism/relaxation.cpp" "src/CMakeFiles/slocal.dir/formalism/relaxation.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/formalism/relaxation.cpp.o.d"
+  "/root/repo/src/graph/bipartite.cpp" "src/CMakeFiles/slocal.dir/graph/bipartite.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/graph/bipartite.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/slocal.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/slocal.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/hypergraph.cpp" "src/CMakeFiles/slocal.dir/graph/hypergraph.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/graph/hypergraph.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/CMakeFiles/slocal.dir/graph/metrics.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/graph/metrics.cpp.o.d"
+  "/root/repo/src/graph/transforms.cpp" "src/CMakeFiles/slocal.dir/graph/transforms.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/graph/transforms.cpp.o.d"
+  "/root/repo/src/lift/lift.cpp" "src/CMakeFiles/slocal.dir/lift/lift.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/lift/lift.cpp.o.d"
+  "/root/repo/src/problems/classic.cpp" "src/CMakeFiles/slocal.dir/problems/classic.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/problems/classic.cpp.o.d"
+  "/root/repo/src/problems/coloring_family.cpp" "src/CMakeFiles/slocal.dir/problems/coloring_family.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/problems/coloring_family.cpp.o.d"
+  "/root/repo/src/problems/matching_family.cpp" "src/CMakeFiles/slocal.dir/problems/matching_family.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/problems/matching_family.cpp.o.d"
+  "/root/repo/src/problems/rulingset_family.cpp" "src/CMakeFiles/slocal.dir/problems/rulingset_family.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/problems/rulingset_family.cpp.o.d"
+  "/root/repo/src/problems/verifiers.cpp" "src/CMakeFiles/slocal.dir/problems/verifiers.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/problems/verifiers.cpp.o.d"
+  "/root/repo/src/re/round_elimination.cpp" "src/CMakeFiles/slocal.dir/re/round_elimination.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/re/round_elimination.cpp.o.d"
+  "/root/repo/src/re/sequence.cpp" "src/CMakeFiles/slocal.dir/re/sequence.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/re/sequence.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "src/CMakeFiles/slocal.dir/sat/solver.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/sat/solver.cpp.o.d"
+  "/root/repo/src/sim/algorithms.cpp" "src/CMakeFiles/slocal.dir/sim/algorithms.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/sim/algorithms.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/slocal.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/supported.cpp" "src/CMakeFiles/slocal.dir/sim/supported.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/sim/supported.cpp.o.d"
+  "/root/repo/src/solver/cnf_encoding.cpp" "src/CMakeFiles/slocal.dir/solver/cnf_encoding.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/solver/cnf_encoding.cpp.o.d"
+  "/root/repo/src/solver/edge_labeling.cpp" "src/CMakeFiles/slocal.dir/solver/edge_labeling.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/solver/edge_labeling.cpp.o.d"
+  "/root/repo/src/solver/one_round.cpp" "src/CMakeFiles/slocal.dir/solver/one_round.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/solver/one_round.cpp.o.d"
+  "/root/repo/src/solver/s_solution.cpp" "src/CMakeFiles/slocal.dir/solver/s_solution.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/solver/s_solution.cpp.o.d"
+  "/root/repo/src/solver/zero_round.cpp" "src/CMakeFiles/slocal.dir/solver/zero_round.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/solver/zero_round.cpp.o.d"
+  "/root/repo/src/util/bitset.cpp" "src/CMakeFiles/slocal.dir/util/bitset.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/util/bitset.cpp.o.d"
+  "/root/repo/src/util/combinatorics.cpp" "src/CMakeFiles/slocal.dir/util/combinatorics.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/util/combinatorics.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/slocal.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/slocal.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/slocal.dir/util/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formalism_test.dir/formalism_test.cpp.o"
+  "CMakeFiles/formalism_test.dir/formalism_test.cpp.o.d"
+  "formalism_test"
+  "formalism_test.pdb"
+  "formalism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formalism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypergraph_route_test.dir/hypergraph_route_test.cpp.o"
+  "CMakeFiles/hypergraph_route_test.dir/hypergraph_route_test.cpp.o.d"
+  "hypergraph_route_test"
+  "hypergraph_route_test.pdb"
+  "hypergraph_route_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypergraph_route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

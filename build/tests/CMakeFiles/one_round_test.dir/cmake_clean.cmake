@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_round_test.dir/one_round_test.cpp.o"
+  "CMakeFiles/one_round_test.dir/one_round_test.cpp.o.d"
+  "one_round_test"
+  "one_round_test.pdb"
+  "one_round_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_round_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

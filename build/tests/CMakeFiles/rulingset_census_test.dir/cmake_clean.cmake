@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulingset_census_test.dir/rulingset_census_test.cpp.o"
+  "CMakeFiles/rulingset_census_test.dir/rulingset_census_test.cpp.o.d"
+  "rulingset_census_test"
+  "rulingset_census_test.pdb"
+  "rulingset_census_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulingset_census_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

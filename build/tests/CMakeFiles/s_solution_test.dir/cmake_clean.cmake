@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s_solution_test.dir/s_solution_test.cpp.o"
+  "CMakeFiles/s_solution_test.dir/s_solution_test.cpp.o.d"
+  "s_solution_test"
+  "s_solution_test.pdb"
+  "s_solution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s_solution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

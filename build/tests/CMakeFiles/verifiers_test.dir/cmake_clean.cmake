@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifiers_test.dir/verifiers_test.cpp.o"
+  "CMakeFiles/verifiers_test.dir/verifiers_test.cpp.o.d"
+  "verifiers_test"
+  "verifiers_test.pdb"
+  "verifiers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifiers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_round_test.dir/zero_round_test.cpp.o"
+  "CMakeFiles/zero_round_test.dir/zero_round_test.cpp.o.d"
+  "zero_round_test"
+  "zero_round_test.pdb"
+  "zero_round_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_round_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

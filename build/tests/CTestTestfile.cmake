@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/formalism_test[1]_include.cmake")
+include("/root/repo/build/tests/diagram_test[1]_include.cmake")
+include("/root/repo/build/tests/relaxation_test[1]_include.cmake")
+include("/root/repo/build/tests/re_test[1]_include.cmake")
+include("/root/repo/build/tests/lift_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/zero_round_test[1]_include.cmake")
+include("/root/repo/build/tests/s_solution_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/sequence_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/verifiers_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/one_round_test[1]_include.cmake")
+include("/root/repo/build/tests/rulingset_census_test[1]_include.cmake")
+include("/root/repo/build/tests/hypergraph_route_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
