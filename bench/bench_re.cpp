@@ -3,10 +3,18 @@
 //
 // Prints the per-step verification table (RE alphabet/constraint sizes and
 // whether the relaxation witness was found) that underlies Corollary 4.6's
-// lower-bound sequences; then times RE itself.
+// lower-bound sequences, with REStats perf counters per row; then times RE
+// itself (parallel default vs forced-serial baseline).
+//
+// Machine-readable output: BENCH_RE.json in the working directory (schema
+// documented in EXPERIMENTS.md) so the perf trajectory is comparable
+// across PRs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "src/formalism/relaxation.hpp"
 #include "src/problems/classic.hpp"
@@ -18,33 +26,149 @@
 namespace slocal {
 namespace {
 
+struct E2Row {
+  std::size_t delta = 0, x = 0, y = 0;
+  bool computed = false;
+  std::size_t sigma = 0, white = 0, black = 0;
+  bool relaxation_verified = false;
+  double wall_ms = 0.0;         // round_eliminate, default (parallel) engine
+  double serial_wall_ms = 0.0;  // round_eliminate, threads = 1
+  REStats stats;                // counters of the default run
+};
+
+void print_stats_json(std::FILE* f, const REStats& s, const char* indent) {
+  std::fprintf(f,
+               "%s\"dfs_nodes\": %llu,\n"
+               "%s\"partials_deduped\": %llu,\n"
+               "%s\"extendable_calls\": %llu,\n"
+               "%s\"extension_index_entries\": %llu,\n"
+               "%s\"configs_enumerated\": %llu,\n"
+               "%s\"domination_tests\": %llu,\n"
+               "%s\"domination_skipped\": %llu,\n"
+               "%s\"relaxed_multisets\": %llu,\n"
+               "%s\"relaxed_witness_hits\": %llu,\n"
+               "%s\"relaxed_dfs_tests\": %llu,\n"
+               "%s\"threads_used\": %zu,\n"
+               "%s\"harden_ms\": %.3f,\n"
+               "%s\"dominate_ms\": %.3f,\n"
+               "%s\"relax_ms\": %.3f,\n"
+               "%s\"total_ms\": %.3f\n",
+               indent, static_cast<unsigned long long>(s.dfs_nodes), indent,
+               static_cast<unsigned long long>(s.partials_deduped), indent,
+               static_cast<unsigned long long>(s.extendable_calls), indent,
+               static_cast<unsigned long long>(s.extension_index_entries), indent,
+               static_cast<unsigned long long>(s.configs_enumerated), indent,
+               static_cast<unsigned long long>(s.domination_tests), indent,
+               static_cast<unsigned long long>(s.domination_skipped), indent,
+               static_cast<unsigned long long>(s.relaxed_multisets), indent,
+               static_cast<unsigned long long>(s.relaxed_witness_hits), indent,
+               static_cast<unsigned long long>(s.relaxed_dfs_tests), indent,
+               s.threads_used, indent, s.harden_ms, indent, s.dominate_ms, indent,
+               s.relax_ms, indent, s.total_ms);
+}
+
+void write_json(const std::vector<E2Row>& rows, const REStats& totals,
+                double table_wall_ms, double serial_table_wall_ms) {
+  std::FILE* f = std::fopen("BENCH_RE.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_RE.json\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"bench_re\",\n"
+               "  \"schema_version\": 1,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"e2_table_wall_ms\": %.3f,\n"
+               "  \"e2_table_serial_wall_ms\": %.3f,\n"
+               "  \"e2_rows\": [\n",
+               std::thread::hardware_concurrency(), table_wall_ms,
+               serial_table_wall_ms);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const E2Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"delta\": %zu, \"x\": %zu, \"y\": %zu,\n"
+                 "      \"computed\": %s,\n"
+                 "      \"sigma\": %zu, \"white\": %zu, \"black\": %zu,\n"
+                 "      \"relaxation_verified\": %s,\n"
+                 "      \"wall_ms\": %.3f,\n"
+                 "      \"serial_wall_ms\": %.3f,\n"
+                 "      \"stats\": {\n",
+                 r.delta, r.x, r.y, r.computed ? "true" : "false", r.sigma, r.white,
+                 r.black, r.relaxation_verified ? "true" : "false", r.wall_ms,
+                 r.serial_wall_ms);
+    print_stats_json(f, r.stats, "        ");
+    std::fprintf(f, "      }\n    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"e2_totals\": {\n");
+  print_stats_json(f, totals, "    ");
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_RE.json\n\n");
+}
+
 void print_table() {
   std::printf(
       "\nE2  round elimination steps (Lemma 4.5: Π_Δ(x+y,y) relaxes RE(Π_Δ(x,y)))\n"
-      "%3s %3s %3s | %8s %6s %6s | %10s\n",
-      "Δ", "x", "y", "|Σ(RE)|", "|W|", "|B|", "relaxation");
-  REOptions options;
-  options.max_configurations = 5'000'000;
-  for (const auto [delta, x, y] :
-       {std::tuple<std::size_t, std::size_t, std::size_t>{4, 0, 1},
-        {4, 1, 1},
-        {4, 2, 1},
-        {5, 0, 1},
-        {5, 1, 1},
-        {5, 1, 2}}) {
+      "%3s %3s %3s | %8s %6s %6s | %10s | %9s %9s\n",
+      "Δ", "x", "y", "|Σ(RE)|", "|W|", "|B|", "relaxation", "par ms", "ser ms");
+  const std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> params{
+      {4, 0, 1}, {4, 1, 1}, {4, 2, 1}, {5, 0, 1}, {5, 1, 1}, {5, 1, 2}, {6, 1, 2}};
+  std::vector<E2Row> rows;
+  REStats totals;
+  double table_wall_ms = 0.0;
+  double serial_table_wall_ms = 0.0;
+  for (const auto [delta, x, y] : params) {
+    E2Row row;
+    row.delta = delta;
+    row.x = x;
+    row.y = y;
     const Problem pi = make_matching_problem(delta, x, y);
+
+    REOptions options;
+    options.max_configurations = 5'000'000;
+    options.stats = &row.stats;
+    const auto t0 = std::chrono::steady_clock::now();
     const auto re = round_eliminate(pi, options);
+    row.wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    table_wall_ms += row.wall_ms;
+
+    REOptions serial = options;
+    serial.stats = nullptr;
+    serial.threads = 1;
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto re_serial = round_eliminate(pi, serial);
+    row.serial_wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t1)
+            .count();
+    serial_table_wall_ms += row.serial_wall_ms;
+
     if (!re) {
       std::printf("%3zu %3zu %3zu | (resource cap exceeded)\n", delta, x, y);
+      rows.push_back(row);
+      totals += row.stats;
       continue;
     }
+    row.computed = true;
+    row.sigma = re->alphabet_size();
+    row.white = re->white().size();
+    row.black = re->black().size();
     const Problem relaxed = make_matching_problem(delta, x + y, y);
-    const bool ok = relaxation_label_map(*re, relaxed).has_value() ||
-                    find_relaxation(*re, relaxed, 20'000'000).has_value();
-    std::printf("%3zu %3zu %3zu | %8zu %6zu %6zu | %10s\n", delta, x, y,
-                re->alphabet_size(), re->white().size(), re->black().size(),
-                ok ? "verified" : "MISSING");
+    row.relaxation_verified = relaxation_label_map(*re, relaxed).has_value() ||
+                              find_relaxation(*re, relaxed, 20'000'000).has_value();
+    std::printf("%3zu %3zu %3zu | %8zu %6zu %6zu | %10s | %9.2f %9.2f\n", delta, x, y,
+                row.sigma, row.white, row.black,
+                row.relaxation_verified ? "verified" : "MISSING", row.wall_ms,
+                row.serial_wall_ms);
+    std::printf("          |   %s\n", row.stats.to_string().c_str());
+    rows.push_back(row);
+    totals += row.stats;
   }
+  std::printf("E2 RE wall totals: parallel %.2f ms, serial %.2f ms\n", table_wall_ms,
+              serial_table_wall_ms);
 
   std::printf(
       "\nE2b fixed points (Lemma 5.4: RE(Π_Δ(k)) = Π_Δ(k) for k <= Δ)\n"
@@ -70,6 +194,8 @@ void print_table() {
                 so_prime && is_fixed_point(*so_prime) ? "yes" : "NO");
   }
   std::printf("\n");
+
+  write_json(rows, totals, table_wall_ms, serial_table_wall_ms);
 }
 
 void BM_re_matching(benchmark::State& state) {
@@ -81,7 +207,24 @@ void BM_re_matching(benchmark::State& state) {
     benchmark::DoNotOptimize(round_eliminate(pi, options));
   }
 }
-BENCHMARK(BM_re_matching)->Arg(3)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_re_matching)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_re_matching_serial(benchmark::State& state) {
+  const std::size_t delta = static_cast<std::size_t>(state.range(0));
+  const Problem pi = make_matching_problem(delta, 0, 1);
+  REOptions options;
+  options.max_configurations = 10'000'000;
+  options.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(round_eliminate(pi, options));
+  }
+}
+BENCHMARK(BM_re_matching_serial)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(5)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_re_coloring_fixed_point(benchmark::State& state) {
   const std::size_t k = static_cast<std::size_t>(state.range(0));

@@ -7,11 +7,13 @@ namespace slocal {
 
 bool Constraint::add(Configuration c) {
   assert(c.size() == degree_);
+  extension_index_.reset();
   return configs_.insert(std::move(c)).second;
 }
 
 void Constraint::add_condensed(const std::vector<std::vector<Label>>& alternatives) {
   assert(alternatives.size() == degree_);
+  extension_index_.reset();
   if (alternatives.empty()) {
     add(Configuration{});
     return;
@@ -61,9 +63,63 @@ void Constraint::add_condensed(const std::vector<std::vector<Label>>& alternativ
 
 bool Constraint::extendable(const Configuration& partial) const {
   if (partial.size() > degree_) return false;
+  if (extension_index_) return extension_index_->contains(partial);
   return std::any_of(configs_.begin(), configs_.end(), [&](const Configuration& c) {
     return partial.submultiset_of(c);
   });
+}
+
+bool Constraint::build_extension_index(std::size_t max_entries) const {
+  if (extension_index_) return true;
+
+  // Projected size (an upper bound: sub-multisets shared between members
+  // dedupe): for a member with label multiplicities m_1..m_k there are
+  // prod(m_i + 1) sub-multisets.
+  std::uint64_t projected = 0;
+  for (const auto& c : configs_) {
+    std::uint64_t per_member = 1;
+    const auto labels = c.labels();
+    for (std::size_t i = 0; i < labels.size();) {
+      std::size_t j = i;
+      while (j < labels.size() && labels[j] == labels[i]) ++j;
+      per_member *= static_cast<std::uint64_t>(j - i) + 1;
+      i = j;
+    }
+    projected += per_member;
+    if (projected > max_entries) return false;
+  }
+
+  auto index = std::make_unique<std::unordered_set<Configuration>>();
+  index->reserve(static_cast<std::size_t>(projected));
+  std::vector<Label> chosen;
+  chosen.reserve(degree_);
+  for (const auto& c : configs_) {
+    const auto labels = c.labels();
+    // Compress to (label, multiplicity) runs; labels are sorted, so
+    // emitting counts in run order keeps `chosen` canonical.
+    std::vector<std::pair<Label, std::size_t>> runs;
+    for (std::size_t i = 0; i < labels.size();) {
+      std::size_t j = i;
+      while (j < labels.size() && labels[j] == labels[i]) ++j;
+      runs.emplace_back(labels[i], j - i);
+      i = j;
+    }
+    auto emit = [&](auto&& self, std::size_t run) -> void {
+      if (run == runs.size()) {
+        index->insert(Configuration(chosen));
+        return;
+      }
+      self(self, run + 1);  // take 0 copies
+      for (std::size_t k = 1; k <= runs[run].second; ++k) {
+        chosen.push_back(runs[run].first);
+        self(self, run + 1);
+      }
+      chosen.resize(chosen.size() - runs[run].second);
+    };
+    emit(emit, 0);
+  }
+  extension_index_ = std::move(index);
+  return true;
 }
 
 std::vector<Configuration> Constraint::sorted_members() const {

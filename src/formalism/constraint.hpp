@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -37,7 +38,26 @@ class Constraint {
 
   /// True if some member of the constraint has `partial` as a sub-multiset.
   /// This is the per-node pruning test used by the backtracking solver.
+  /// O(|members| * degree) by default; O(1) expected after
+  /// build_extension_index().
   bool extendable(const Configuration& partial) const;
+
+  /// Builds (idempotently) a hashed set of every sub-multiset of every
+  /// member, so that extendable() becomes a single hash lookup. The round
+  /// elimination DFS re-tests the same canonical prefixes across branches,
+  /// which this memoizes wholesale. The index is dropped whenever the
+  /// constraint is mutated; building is skipped (returns false) when the
+  /// projected entry count exceeds `max_entries`, leaving the linear-scan
+  /// fallback in place. Reading the index from many threads is safe as
+  /// long as no thread mutates or (re)builds the constraint concurrently.
+  bool build_extension_index(std::size_t max_entries = std::size_t{1} << 22) const;
+
+  bool extension_index_built() const { return extension_index_ != nullptr; }
+
+  /// Number of memoized prefixes (0 when no index is built).
+  std::size_t extension_index_size() const {
+    return extension_index_ ? extension_index_->size() : 0;
+  }
 
   /// All members, in unspecified but deterministic-per-build order.
   const std::unordered_set<Configuration>& members() const { return configs_; }
@@ -57,6 +77,9 @@ class Constraint {
  private:
   std::size_t degree_ = 0;
   std::unordered_set<Configuration> configs_;
+  /// Memo for extendable(): every sub-multiset of every member. Mutable
+  /// because it is a cache of configs_, rebuilt on demand after mutation.
+  mutable std::shared_ptr<const std::unordered_set<Configuration>> extension_index_;
 };
 
 }  // namespace slocal

@@ -1,15 +1,28 @@
 #include "src/re/round_elimination.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <set>
 #include <string>
 #include <unordered_set>
 
 #include "src/formalism/diagram.hpp"
 #include "src/util/combinatorics.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace slocal {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
 
 std::string set_name(SmallBitset set, const LabelRegistry& reg) {
   std::vector<std::string> names;
@@ -25,7 +38,8 @@ std::string set_name(SmallBitset set, const LabelRegistry& reg) {
 }
 
 /// Is there a perfect matching pairing every set of `a` with a superset in
-/// `b` (a and b same length)? Used for the domination (non-maximality) test.
+/// `b` (a and b same length)? Used for the domination (non-maximality) test
+/// and for the relaxed-side witness dominance test.
 bool superset_matching(const std::vector<SmallBitset>& a,
                        const std::vector<SmallBitset>& b) {
   const std::size_t n = a.size();
@@ -54,72 +68,371 @@ bool superset_matching(const std::vector<SmallBitset>& a,
 /// A set-configuration: canonical (sorted by raw bits) multiset of subsets.
 using SetConfig = std::vector<SmallBitset>;
 
+/// Extends every choice-prefix in `partials` by every label of `next_set`,
+/// deduplicating; fails (returns false) as soon as a prefix stops being
+/// extendable inside `universal`.
+bool extend_partials(const Constraint& universal,
+                     const std::vector<Configuration>& partials, SmallBitset next_set,
+                     std::vector<Configuration>& out, REStats& stats) {
+  std::unordered_set<Configuration> seen;
+  out.clear();
+  for (const auto& p : partials) {
+    for (const std::size_t l : next_set.indices()) {
+      Configuration q = p.with_added(static_cast<Label>(l));
+      ++stats.extendable_calls;
+      if (!universal.extendable(q)) return false;
+      if (seen.insert(q).second) {
+        out.push_back(std::move(q));
+      } else {
+        ++stats.partials_deduped;
+      }
+    }
+  }
+  return true;
+}
 
-/// Enumerates all maximal set-configurations of size `degree` over the
-/// candidate subsets, where validity means every choice across the sets is
-/// a configuration of `universal`. Returns nullopt if the cap is exceeded.
-std::optional<std::vector<SetConfig>> maximal_set_configurations(
+/// Shared state of the (possibly fanned-out) hardened-side DFS.
+struct DfsShared {
+  const Constraint& universal;
+  const std::vector<SmallBitset>& candidates;
+  std::uint64_t max_configurations;
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<bool> overflow{false};
+};
+
+/// Serial DFS over non-decreasing candidate indices; `partials` is the set
+/// of all choice prefixes (canonical multisets), every one of which must
+/// extend to a member of `universal`. Appends completed configurations to
+/// `out` in canonical DFS order.
+void dfs_branch(DfsShared& shared, std::size_t min_candidate,
+                std::vector<SmallBitset>& chosen,
+                const std::vector<Configuration>& partials,
+                std::vector<SetConfig>& out, REStats& stats) {
+  if (shared.overflow.load(std::memory_order_relaxed)) return;
+  if (chosen.size() == shared.universal.degree()) {
+    out.push_back(chosen);
+    if (shared.total.fetch_add(1, std::memory_order_relaxed) + 1 >
+        shared.max_configurations) {
+      shared.overflow.store(true, std::memory_order_relaxed);
+    }
+    return;
+  }
+  std::vector<Configuration> next;
+  for (std::size_t c = min_candidate; c < shared.candidates.size(); ++c) {
+    ++stats.dfs_nodes;
+    if (!extend_partials(shared.universal, partials, shared.candidates[c], next, stats)) {
+      continue;
+    }
+    chosen.push_back(shared.candidates[c]);
+    dfs_branch(shared, c, chosen, next, out, stats);
+    chosen.pop_back();
+    if (shared.overflow.load(std::memory_order_relaxed)) return;
+  }
+}
+
+/// Enumerates all valid set-configurations of size `degree` (before the
+/// maximality filter). With a pool, fans out over top-level candidate
+/// branches; branch outputs are concatenated in candidate order, which
+/// reproduces the serial DFS order exactly. Returns nullopt on cap overflow.
+std::optional<std::vector<SetConfig>> enumerate_valid_configs(
     const Constraint& universal, const std::vector<SmallBitset>& candidates,
-    std::uint64_t max_configurations) {
-  const std::size_t degree = universal.degree();
+    std::uint64_t max_configurations, ThreadPool* pool, REStats& stats) {
+  DfsShared shared{universal, candidates, max_configurations};
+  const std::vector<Configuration> root{Configuration{}};
   std::vector<SetConfig> valid;
 
-  // DFS over non-decreasing candidate indices; `partials` is the set of all
-  // choice prefixes (canonical multisets), every one of which must extend to
-  // a member of `universal`.
-  struct Frame {
-    std::vector<Configuration> partials;
-  };
-  std::vector<SmallBitset> chosen;
+  if (universal.degree() == 0) {
+    valid.push_back(SetConfig{});
+    return valid;
+  }
 
-  auto extend_partials = [&](const std::vector<Configuration>& partials,
-                             SmallBitset next_set,
-                             std::vector<Configuration>& out) -> bool {
-    std::unordered_set<Configuration> seen;
-    out.clear();
-    for (const auto& p : partials) {
-      for (const std::size_t l : next_set.indices()) {
-        Configuration q = p.with_added(static_cast<Label>(l));
-        if (!universal.extendable(q)) return false;
-        if (seen.insert(q).second) out.push_back(std::move(q));
-      }
+  if (pool == nullptr || candidates.size() < 2) {
+    std::vector<SmallBitset> chosen;
+    dfs_branch(shared, 0, chosen, root, valid, stats);
+    if (shared.overflow.load()) return std::nullopt;
+    return valid;
+  }
+
+  // One branch per top-level candidate; each task owns its output slot and
+  // stats slot, so the merge below is deterministic.
+  std::vector<std::vector<SetConfig>> slots(candidates.size());
+  std::vector<REStats> branch_stats(candidates.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    tasks.push_back([&, c] {
+      REStats& local = branch_stats[c];
+      ++local.dfs_nodes;
+      std::vector<Configuration> next;
+      if (!extend_partials(universal, root, candidates[c], next, local)) return;
+      std::vector<SmallBitset> chosen{candidates[c]};
+      dfs_branch(shared, c, chosen, next, slots[c], local);
+    });
+  }
+  pool->run_batch(std::move(tasks));
+
+  for (const REStats& s : branch_stats) stats += s;
+  if (shared.overflow.load()) return std::nullopt;
+  std::size_t total = 0;
+  for (const auto& s : slots) total += s.size();
+  valid.reserve(total);
+  for (auto& s : slots) {
+    valid.insert(valid.end(), std::make_move_iterator(s.begin()),
+                 std::make_move_iterator(s.end()));
+  }
+  return valid;
+}
+
+/// Maximality filter: drops configurations dominated by a different one.
+/// Configurations are bucketed by signature (sorted multiset of set sizes):
+/// a config can only be dominated by one whose signature is coordinatewise
+/// >= and strictly larger somewhere (equal signatures force equality under
+/// superset matching), and whose label union is a superset.
+std::vector<SetConfig> maximality_filter(const std::vector<SetConfig>& valid,
+                                         ThreadPool* pool, REStats& stats) {
+  const std::size_t n = valid.size();
+  if (n <= 1) return valid;
+
+  using Signature = std::vector<unsigned char>;
+  std::vector<Signature> sig(n);
+  std::vector<SmallBitset> unions(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sig[i].reserve(valid[i].size());
+    for (const SmallBitset s : valid[i]) {
+      sig[i].push_back(static_cast<unsigned char>(s.count()));
+      unions[i] |= s;
+    }
+    std::sort(sig[i].begin(), sig[i].end());
+  }
+
+  // Bucket indices by signature (std::map: deterministic iteration order).
+  std::map<Signature, std::vector<std::size_t>> buckets;
+  for (std::size_t i = 0; i < n; ++i) buckets[sig[i]].push_back(i);
+
+  const auto pointwise_geq = [](const Signature& a, const Signature& b) {
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (a[k] < b[k]) return false;
     }
     return true;
   };
 
-  bool overflow = false;
-  auto dfs = [&](auto&& self, std::size_t min_candidate,
-                 const std::vector<Configuration>& partials) -> void {
-    if (overflow) return;
-    if (chosen.size() == degree) {
-      valid.push_back(chosen);
-      if (valid.size() > max_configurations) overflow = true;
-      return;
-    }
-    std::vector<Configuration> next;
-    for (std::size_t c = min_candidate; c < candidates.size(); ++c) {
-      if (!extend_partials(partials, candidates[c], next)) continue;
-      chosen.push_back(candidates[c]);
-      self(self, c, next);
-      chosen.pop_back();
-      if (overflow) return;
+  std::vector<char> dominated(n, 0);
+  const auto scan = [&](std::size_t lo, std::size_t hi, REStats& local) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      bool dom = false;
+      for (const auto& [key, members] : buckets) {
+        if (dom) break;
+        if (key == sig[i] || !pointwise_geq(key, sig[i])) continue;
+        for (const std::size_t j : members) {
+          if (!unions[j].contains(unions[i])) {
+            ++local.domination_skipped;
+            continue;
+          }
+          ++local.domination_tests;
+          if (superset_matching(valid[i], valid[j])) {
+            dom = true;
+            break;
+          }
+        }
+      }
+      dominated[i] = dom ? 1 : 0;
     }
   };
-  dfs(dfs, 0, std::vector<Configuration>{Configuration{}});
-  if (overflow) return std::nullopt;
 
-  // Maximality filter: drop configurations dominated by a different one.
-  std::vector<SetConfig> maximal;
-  for (std::size_t i = 0; i < valid.size(); ++i) {
-    bool dominated = false;
-    for (std::size_t j = 0; j < valid.size() && !dominated; ++j) {
-      if (i == j || valid[i] == valid[j]) continue;
-      dominated = superset_matching(valid[i], valid[j]);
+  if (pool == nullptr || n < 64) {
+    scan(0, n, stats);
+  } else {
+    const std::size_t chunks = (pool->workers() + 1) * 8;
+    std::vector<REStats> chunk_stats(chunks);
+    std::vector<std::function<void()>> tasks;
+    std::size_t index = 0;
+    for (std::size_t k = 0; k < chunks; ++k) {
+      const std::size_t lo = n * k / chunks;
+      const std::size_t hi = n * (k + 1) / chunks;
+      if (lo == hi) continue;
+      const std::size_t slot = index++;
+      tasks.push_back([&, lo, hi, slot] { scan(lo, hi, chunk_stats[slot]); });
     }
-    if (!dominated) maximal.push_back(valid[i]);
+    pool->run_batch(std::move(tasks));
+    for (const REStats& s : chunk_stats) stats += s;
   }
-  // Deduplicate (valid already canonical & distinct by DFS construction).
+
+  std::vector<SetConfig> maximal;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!dominated[i]) maximal.push_back(valid[i]);
+  }
   return maximal;
+}
+
+/// Minimal witnesses for the relaxed-side scan: set-multisets known to admit
+/// a choice in `existential`, derived from its members by covering each
+/// label with the minimal alphabet sets containing it. Any multiset that
+/// coordinatewise dominates a witness admits the same choice (monotonicity),
+/// so the scan tests dominance before falling back to the choice DFS.
+std::vector<std::vector<std::size_t>> seed_witnesses(
+    const Constraint& existential, const std::vector<SmallBitset>& alphabet) {
+  constexpr std::size_t kWitnessCap = 512;
+
+  // minsets[l]: alphabet indices whose set contains l and is minimal (no
+  // other containing set is a strict subset).
+  std::vector<std::vector<std::size_t>> minsets(SmallBitset::kCapacity);
+  for (std::size_t l = 0; l < SmallBitset::kCapacity; ++l) {
+    std::vector<std::size_t> containing;
+    for (std::size_t a = 0; a < alphabet.size(); ++a) {
+      if (alphabet[a].test(l)) containing.push_back(a);
+    }
+    for (const std::size_t a : containing) {
+      bool minimal = true;
+      for (const std::size_t b : containing) {
+        if (b != a && alphabet[a].contains(alphabet[b]) && alphabet[a] != alphabet[b]) {
+          minimal = false;
+          break;
+        }
+      }
+      if (minimal) minsets[l].push_back(a);
+    }
+  }
+
+  std::set<std::vector<std::size_t>> unique;
+  bool capped = false;
+  for (const Configuration& member : existential.sorted_members()) {
+    // DFS over positions, choosing one minimal covering set per label;
+    // canonicalize by sorting the index multiset.
+    std::vector<std::size_t> pick(member.size());
+    auto emit = [&](auto&& self, std::size_t pos) -> void {
+      if (capped) return;
+      if (pos == member.size()) {
+        std::vector<std::size_t> sorted = pick;
+        std::sort(sorted.begin(), sorted.end());
+        unique.insert(std::move(sorted));
+        if (unique.size() > kWitnessCap) capped = true;
+        return;
+      }
+      for (const std::size_t a : minsets[member[pos]]) {
+        pick[pos] = a;
+        self(self, pos + 1);
+      }
+    };
+    emit(emit, 0);
+    if (capped) return {};  // too many to be useful: disable seeding
+  }
+
+  std::vector<std::vector<std::size_t>> witnesses(unique.begin(), unique.end());
+  // Drop non-minimal witnesses: w2 is redundant if some other witness w1 is
+  // coordinatewise dominated by it (any pick dominating w2 dominates w1).
+  const auto to_sets = [&](const std::vector<std::size_t>& w) {
+    std::vector<SmallBitset> sets;
+    sets.reserve(w.size());
+    for (const std::size_t a : w) sets.push_back(alphabet[a]);
+    return sets;
+  };
+  std::vector<std::vector<SmallBitset>> witness_sets;
+  witness_sets.reserve(witnesses.size());
+  for (const auto& w : witnesses) witness_sets.push_back(to_sets(w));
+  std::vector<std::vector<std::size_t>> minimal;
+  for (std::size_t i = 0; i < witnesses.size(); ++i) {
+    bool redundant = false;
+    for (std::size_t j = 0; j < witnesses.size() && !redundant; ++j) {
+      if (i != j && witnesses[i] != witnesses[j] &&
+          superset_matching(witness_sets[j], witness_sets[i])) {
+        redundant = true;
+      }
+    }
+    if (!redundant) minimal.push_back(witnesses[i]);
+  }
+  return minimal;
+}
+
+/// Does the set-multiset `pick` (indices into `alphabet`) admit at least one
+/// choice inside `existential`? DFS with memoized extendability pruning; at
+/// full size extendability coincides with membership.
+bool admits_choice(const Constraint& existential, const std::vector<SmallBitset>& alphabet,
+                   const std::vector<std::size_t>& pick) {
+  Configuration partial;
+  auto dfs = [&](auto&& self, std::size_t pos) -> bool {
+    if (pos == pick.size()) return true;
+    for (const std::size_t l : alphabet[pick[pos]].indices()) {
+      Configuration next = partial.with_added(static_cast<Label>(l));
+      if (!existential.extendable(next)) continue;
+      Configuration saved = std::move(partial);
+      partial = std::move(next);
+      const bool found = self(self, pos + 1);
+      partial = std::move(saved);
+      if (found) return true;
+    }
+    return false;
+  };
+  return dfs(dfs, 0);
+}
+
+/// Relaxed side: all multisets over the new alphabet with >= 1 choice in
+/// the existential constraint. Witness seeding + memoized choice DFS; with
+/// a pool the scan is chunked, each chunk filling its own flag range.
+Constraint build_relaxed(const Constraint& existential,
+                         const std::vector<SmallBitset>& alphabet, ThreadPool* pool,
+                         REStats& stats) {
+  const std::size_t degree = existential.degree();
+  const auto picks = multisets_of_size(alphabet.size(), degree);
+  stats.relaxed_multisets += picks.size();
+
+  const auto witnesses = seed_witnesses(existential, alphabet);
+  std::vector<std::vector<SmallBitset>> witness_sets;
+  witness_sets.reserve(witnesses.size());
+  for (const auto& w : witnesses) {
+    std::vector<SmallBitset> sets;
+    sets.reserve(w.size());
+    for (const std::size_t a : w) sets.push_back(alphabet[a]);
+    witness_sets.push_back(std::move(sets));
+  }
+
+  std::vector<char> admits(picks.size(), 0);
+  const auto scan = [&](std::size_t lo, std::size_t hi, REStats& local) {
+    std::vector<SmallBitset> pick_sets(degree);
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t k = 0; k < degree; ++k) pick_sets[k] = alphabet[picks[i][k]];
+      bool some = false;
+      for (const auto& w : witness_sets) {
+        if (superset_matching(w, pick_sets)) {
+          some = true;
+          ++local.relaxed_witness_hits;
+          break;
+        }
+      }
+      if (!some) {
+        ++local.relaxed_dfs_tests;
+        some = admits_choice(existential, alphabet, picks[i]);
+      }
+      admits[i] = some ? 1 : 0;
+    }
+  };
+
+  if (pool == nullptr || picks.size() < 256) {
+    scan(0, picks.size(), stats);
+  } else {
+    const std::size_t chunks = (pool->workers() + 1) * 8;
+    std::vector<REStats> chunk_stats(chunks);
+    std::vector<std::function<void()>> tasks;
+    std::size_t index = 0;
+    for (std::size_t k = 0; k < chunks; ++k) {
+      const std::size_t lo = picks.size() * k / chunks;
+      const std::size_t hi = picks.size() * (k + 1) / chunks;
+      if (lo == hi) continue;
+      const std::size_t slot = index++;
+      tasks.push_back([&, lo, hi, slot] { scan(lo, hi, chunk_stats[slot]); });
+    }
+    pool->run_batch(std::move(tasks));
+    for (const REStats& s : chunk_stats) stats += s;
+  }
+
+  Constraint relaxed(degree);
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    if (!admits[i]) continue;
+    std::vector<Label> labels;
+    labels.reserve(degree);
+    for (const std::size_t p : picks[i]) labels.push_back(static_cast<Label>(p));
+    relaxed.add(Configuration(std::move(labels)));
+  }
+  return relaxed;
 }
 
 /// Shared core of R and R̄: hardens `universal`, relaxes `existential`.
@@ -128,6 +441,17 @@ std::optional<REStep> re_core(const Problem& pi, bool universal_is_black,
   if (pi.alphabet_size() > options.max_alphabet) return std::nullopt;
   const Constraint& universal = universal_is_black ? pi.black() : pi.white();
   const Constraint& existential = universal_is_black ? pi.white() : pi.black();
+
+  const auto t_total = Clock::now();
+  REStats local;
+  const std::size_t threads = ThreadPool::resolve_threads(options.threads);
+  local.threads_used = threads;
+  std::optional<ThreadPool> pool_storage;
+  const auto pool = [&]() -> ThreadPool* {
+    if (threads <= 1) return nullptr;
+    if (!pool_storage) pool_storage.emplace(threads - 1);
+    return &*pool_storage;
+  };
 
   // Candidate subsets, restricted to labels actually used by the universal
   // constraint (a set containing an unused label can never appear in a
@@ -156,20 +480,40 @@ std::optional<REStep> re_core(const Problem& pi, bool universal_is_black,
     std::sort(candidates.begin(), candidates.end());
   }
 
-  const auto maximal =
-      maximal_set_configurations(universal, candidates, options.max_configurations);
-  if (!maximal) return std::nullopt;
+  // Hardened side. The extension index turns the per-prefix extendability
+  // probe from a scan over all members into one hash lookup; it is built
+  // before the fan-out so the parallel phase only ever reads it.
+  const auto t_harden = Clock::now();
+  universal.build_extension_index();
+  local.extension_index_entries += universal.extension_index_size();
+  const auto valid = enumerate_valid_configs(universal, candidates,
+                                             options.max_configurations,
+                                             candidates.size() >= 8 ? pool() : nullptr,
+                                             local);
+  if (!valid) {
+    if (options.stats) *options.stats += local;
+    return std::nullopt;
+  }
+  local.configs_enumerated += valid->size();
+  local.harden_ms += ms_since(t_harden);
+
+  const auto t_dominate = Clock::now();
+  const std::vector<SetConfig> maximal =
+      maximality_filter(*valid, valid->size() >= 64 ? pool() : nullptr, local);
+  local.dominate_ms += ms_since(t_dominate);
 
   // New alphabet: subsets appearing in at least one maximal configuration.
-  std::vector<SmallBitset> alphabet;
-  for (const auto& config : *maximal) {
-    for (const SmallBitset s : config) {
-      if (std::find(alphabet.begin(), alphabet.end(), s) == alphabet.end()) {
-        alphabet.push_back(s);
-      }
-    }
+  std::unordered_set<SmallBitset> alphabet_set;
+  for (const auto& config : maximal) {
+    for (const SmallBitset s : config) alphabet_set.insert(s);
   }
+  std::vector<SmallBitset> alphabet(alphabet_set.begin(), alphabet_set.end());
   std::sort(alphabet.begin(), alphabet.end());
+  if (alphabet.size() > 255) {
+    // Labels are uint8 indices; larger alphabets cannot be represented.
+    if (options.stats) *options.stats += local;
+    return std::nullopt;
+  }
 
   LabelRegistry reg;
   for (const SmallBitset s : alphabet) reg.intern(set_name(s, pi.registry()));
@@ -180,49 +524,29 @@ std::optional<REStep> re_core(const Problem& pi, bool universal_is_black,
 
   // Hardened side: the maximal configurations, as new-label multisets.
   Constraint hardened(universal.degree());
-  for (const auto& config : *maximal) {
+  for (const auto& config : maximal) {
     std::vector<Label> labels;
     labels.reserve(config.size());
     for (const SmallBitset s : config) labels.push_back(set_index(s));
     hardened.add(Configuration(std::move(labels)));
   }
 
-  // Relaxed side: all multisets over the new alphabet with >= 1 choice in
-  // the existential constraint.
+  // Relaxed side.
   const std::uint64_t projected =
       multiset_count(alphabet.size(), existential.degree());
-  if (projected > options.max_configurations) return std::nullopt;
-  Constraint relaxed(existential.degree());
-  for_each_multiset(alphabet.size(), existential.degree(),
-                    [&](const std::vector<std::size_t>& pick) {
-                      std::vector<std::vector<std::size_t>> choices;
-                      choices.reserve(pick.size());
-                      for (const std::size_t p : pick) {
-                        choices.push_back(alphabet[p].indices());
-                      }
-                      bool some = false;
-                      for_each_choice(choices, [&](const std::vector<std::size_t>& ch) {
-                        std::vector<Label> labels;
-                        labels.reserve(ch.size());
-                        for (const std::size_t l : ch) {
-                          labels.push_back(static_cast<Label>(l));
-                        }
-                        if (existential.contains(Configuration(std::move(labels)))) {
-                          some = true;
-                          return false;  // stop: found a choice
-                        }
-                        return true;
-                      });
-                      if (some) {
-                        std::vector<Label> labels;
-                        labels.reserve(pick.size());
-                        for (const std::size_t p : pick) {
-                          labels.push_back(static_cast<Label>(p));
-                        }
-                        relaxed.add(Configuration(std::move(labels)));
-                      }
-                      return true;
-                    });
+  if (projected > options.max_configurations) {
+    if (options.stats) *options.stats += local;
+    return std::nullopt;
+  }
+  const auto t_relax = Clock::now();
+  existential.build_extension_index();
+  local.extension_index_entries += existential.extension_index_size();
+  Constraint relaxed =
+      build_relaxed(existential, alphabet, projected >= 256 ? pool() : nullptr, local);
+  local.relax_ms += ms_since(t_relax);
+
+  local.total_ms += ms_since(t_total);
+  if (options.stats) *options.stats += local;
 
   Constraint white = universal_is_black ? std::move(relaxed) : std::move(hardened);
   Constraint black = universal_is_black ? std::move(hardened) : std::move(relaxed);
@@ -232,6 +556,45 @@ std::optional<REStep> re_core(const Problem& pi, bool universal_is_black,
 }
 
 }  // namespace
+
+REStats& REStats::operator+=(const REStats& other) {
+  dfs_nodes += other.dfs_nodes;
+  partials_deduped += other.partials_deduped;
+  extendable_calls += other.extendable_calls;
+  extension_index_entries += other.extension_index_entries;
+  configs_enumerated += other.configs_enumerated;
+  domination_tests += other.domination_tests;
+  domination_skipped += other.domination_skipped;
+  relaxed_multisets += other.relaxed_multisets;
+  relaxed_witness_hits += other.relaxed_witness_hits;
+  relaxed_dfs_tests += other.relaxed_dfs_tests;
+  threads_used = std::max(threads_used, other.threads_used);
+  harden_ms += other.harden_ms;
+  dominate_ms += other.dominate_ms;
+  relax_ms += other.relax_ms;
+  total_ms += other.total_ms;
+  return *this;
+}
+
+std::string REStats::to_string() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "threads=%zu | harden %.2f ms (dfs_nodes=%llu dedup=%llu extendable=%llu "
+      "memo=%llu configs=%llu) | dominate %.2f ms (tests=%llu skipped=%llu) | "
+      "relax %.2f ms (multisets=%llu witness=%llu dfs=%llu) | total %.2f ms",
+      threads_used, harden_ms, static_cast<unsigned long long>(dfs_nodes),
+      static_cast<unsigned long long>(partials_deduped),
+      static_cast<unsigned long long>(extendable_calls),
+      static_cast<unsigned long long>(extension_index_entries),
+      static_cast<unsigned long long>(configs_enumerated), dominate_ms,
+      static_cast<unsigned long long>(domination_tests),
+      static_cast<unsigned long long>(domination_skipped), relax_ms,
+      static_cast<unsigned long long>(relaxed_multisets),
+      static_cast<unsigned long long>(relaxed_witness_hits),
+      static_cast<unsigned long long>(relaxed_dfs_tests), total_ms);
+  return std::string(buf);
+}
 
 std::optional<REStep> apply_R(const Problem& pi, const REOptions& options) {
   return re_core(pi, /*universal_is_black=*/true, options);

@@ -10,16 +10,59 @@
 // Lemma B.1: a T-round white algorithm for Π (on high-girth supports)
 // yields a (T-1)-round black algorithm for R(Π), and symmetrically for R̄;
 // hence RE peels two rounds per application.
+//
+// Engine notes (this header documents the REOptions contract):
+//  * `threads` — 0 uses every hardware thread, 1 forces the serial path,
+//    n > 1 uses n-way parallelism (a work-stealing pool fans the hardened
+//    DFS out over top-level candidate branches and chunks the domination
+//    filter and relaxed-side scan). Output is bit-identical for every
+//    thread count: workers fill pre-assigned slots that are merged in
+//    canonical order, never racing on shared output.
+//  * `stats` — optional REStats accumulator; counters and per-stage wall
+//    times are *added* onto it (zero-initialize to measure one call, keep
+//    accumulating across calls to profile a whole sequence).
+//  * `max_configurations` / `max_alphabet` are unchanged from the serial
+//    engine: hard resource caps, exceeded ⇒ nullopt.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/formalism/problem.hpp"
 #include "src/util/bitset.hpp"
 
 namespace slocal {
+
+/// Performance counters for one (or an accumulation of) R / R̄ application.
+/// All counters are exact and deterministic for a given input; the *_ms
+/// wall times are measured and vary run to run.
+struct REStats {
+  // Hardened side: DFS over candidate label-sets.
+  std::uint64_t dfs_nodes = 0;            ///< candidate extensions attempted
+  std::uint64_t partials_deduped = 0;     ///< duplicate choice-prefixes merged
+  std::uint64_t extendable_calls = 0;     ///< prefix-extendability queries
+  std::uint64_t extension_index_entries = 0;  ///< memoized prefixes built
+  std::uint64_t configs_enumerated = 0;   ///< valid set-configs before maximality
+  // Maximality (domination) filter.
+  std::uint64_t domination_tests = 0;     ///< superset matchings actually run
+  std::uint64_t domination_skipped = 0;   ///< candidate pairs pruned before matching
+  // Relaxed side: some-choice scan over new-alphabet multisets.
+  std::uint64_t relaxed_multisets = 0;    ///< set-multisets scanned
+  std::uint64_t relaxed_witness_hits = 0; ///< admitted by a seeded minimal witness
+  std::uint64_t relaxed_dfs_tests = 0;    ///< fell through to the choice DFS
+  // Execution.
+  std::size_t threads_used = 0;           ///< max parallelism across merged calls
+  double harden_ms = 0.0;
+  double dominate_ms = 0.0;
+  double relax_ms = 0.0;
+  double total_ms = 0.0;
+
+  REStats& operator+=(const REStats& other);
+  /// One-line human-readable rendering.
+  std::string to_string() const;
+};
 
 struct REOptions {
   /// Alphabets larger than this are rejected (the subset enumeration is
@@ -32,6 +75,11 @@ struct REOptions {
   /// maximal configuration consists of right-closed sets — false enumerates
   /// all non-empty subsets (the ablation baseline; same output, slower).
   bool right_closed_candidates = true;
+  /// Parallelism: 0 = all hardware threads, 1 = serial, n = n-way.
+  /// The result is identical for every value (see header comment).
+  std::size_t threads = 0;
+  /// Optional perf-counter accumulator (see REStats); may be nullptr.
+  REStats* stats = nullptr;
 };
 
 /// Result of one half-step. `label_meaning[l]` is the subset of the *input*

@@ -1,0 +1,128 @@
+#include "src/util/thread_pool.hpp"
+
+#include <utility>
+
+namespace slocal {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  queues_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) queues_.push_back(std::make_unique<Queue>());
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::try_run_one(std::size_t home) {
+  // Own queue first (back = most recently pushed, cache-warm), then steal
+  // from the front of the others in ring order.
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    Queue& q = *queues_[(home + k) % n];
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (q.tasks.empty()) continue;
+      if (k == 0) {
+        task = std::move(q.tasks.back());
+        q.tasks.pop_back();
+      } else {
+        task = std::move(q.tasks.front());
+        q.tasks.pop_front();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      --pending_;
+    }
+    task();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t home) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+      if (stop_ && pending_ == 0) return;
+    }
+    while (try_run_one(home)) {
+    }
+  }
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (queues_.empty()) {
+    for (auto& task : tasks) task();
+    return;
+  }
+
+  struct Barrier {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t remaining;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining = tasks.size();
+
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    for (auto& task : tasks) {
+      Queue& q = *queues_[next_queue_];
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+      std::function<void()> wrapped = [barrier, inner = std::move(task)] {
+        inner();
+        std::lock_guard<std::mutex> l(barrier->mutex);
+        if (--barrier->remaining == 0) barrier->cv.notify_all();
+      };
+      std::lock_guard<std::mutex> ql(q.mutex);
+      q.tasks.push_back(std::move(wrapped));
+      ++pending_;
+    }
+  }
+  wake_cv_.notify_all();
+
+  // The caller is a full participant: drain until the queues run dry, then
+  // sleep until the in-flight stragglers finish.
+  while (try_run_one(0)) {
+  }
+  std::unique_lock<std::mutex> lock(barrier->mutex);
+  barrier->cv.wait(lock, [&] { return barrier->remaining == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t chunks,
+                              const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t len = end - begin;
+  if (chunks == 0) chunks = 1;
+  if (chunks > len) chunks = len;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const std::size_t lo = begin + len * i / chunks;
+    const std::size_t hi = begin + len * (i + 1) / chunks;
+    if (lo == hi) continue;
+    tasks.push_back([lo, hi, &body] { body(lo, hi); });
+  }
+  run_batch(std::move(tasks));
+}
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace slocal

@@ -1,0 +1,73 @@
+// A small work-stealing thread pool for the round-elimination hot paths.
+//
+// Design: N worker threads, each owning a deque. Batches submitted through
+// `run_batch` are dealt round-robin across the deques; an idle worker pops
+// from the back of its own deque and steals from the front of others. The
+// submitting thread participates in draining the queues, so a pool of size
+// n gives n+1-way parallelism and `ThreadPool(0)` degenerates to plain
+// serial execution with no synchronization surprises.
+//
+// The pool is deliberately minimal: no futures, no priorities, no
+// cancellation. Callers that need deterministic output (the RE engine does)
+// partition work into index-addressed slots up front and let each task
+// write only its own slot; `run_batch` returning is the only barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slocal {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. The caller of run_batch always helps drain,
+  /// so total parallelism is workers + 1; `ThreadPool(0)` is valid and runs
+  /// every task inline on the submitting thread.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return threads_.size(); }
+
+  /// Runs every task and returns when all of them have finished. Tasks may
+  /// run on any worker or on the calling thread; do not call run_batch from
+  /// inside a task of the same pool.
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+  /// Splits [begin, end) into at most `chunks` contiguous ranges (chunk
+  /// boundaries are deterministic functions of the arguments, never of
+  /// scheduling) and runs `body(lo, hi)` for each through run_batch.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t chunks,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Resolves a thread-count request: 0 means "all hardware threads",
+  /// anything else is taken literally (minimum 1).
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t home);
+  bool try_run_one(std::size_t home);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::uint64_t pending_ = 0;  // guarded by wake_mutex_
+  bool stop_ = false;          // guarded by wake_mutex_
+  std::size_t next_queue_ = 0;  // round-robin cursor, guarded by wake_mutex_
+};
+
+}  // namespace slocal

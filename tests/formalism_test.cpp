@@ -82,6 +82,55 @@ TEST(Constraint, UsedLabels) {
   EXPECT_EQ(c.used_labels(), (std::vector<Label>{0, 3}));
 }
 
+TEST(Constraint, ExtensionIndexMatchesLinearScan) {
+  Constraint c(4);
+  c.add_condensed({{0, 1}, {0, 1}, {2, 3}, {2}});
+  c.add(Configuration{0, 0, 0, 0});
+  Constraint indexed = c;
+  ASSERT_TRUE(indexed.build_extension_index());
+  EXPECT_TRUE(indexed.extension_index_built());
+  EXPECT_FALSE(c.extension_index_built());
+  EXPECT_GT(indexed.extension_index_size(), 0u);
+  // Every multiset of size <= 5 over labels {0..3} answers identically
+  // through the index and through the linear scan.
+  std::vector<Label> pick;
+  auto sweep = [&](auto&& self, Label min_label) -> void {
+    EXPECT_EQ(c.extendable(Configuration(pick)), indexed.extendable(Configuration(pick)))
+        << "size " << pick.size();
+    if (pick.size() == 5) return;
+    for (Label l = min_label; l < 4; ++l) {
+      pick.push_back(l);
+      self(self, l);
+      pick.pop_back();
+    }
+  };
+  sweep(sweep, 0);
+}
+
+TEST(Constraint, ExtensionIndexInvalidatedByMutation) {
+  Constraint c(2);
+  c.add(Configuration{0, 0});
+  ASSERT_TRUE(c.build_extension_index());
+  EXPECT_FALSE(c.extendable(Configuration{1}));
+  c.add(Configuration{1, 2});
+  EXPECT_FALSE(c.extension_index_built());
+  EXPECT_TRUE(c.extendable(Configuration{1}));
+  ASSERT_TRUE(c.build_extension_index());
+  EXPECT_TRUE(c.extendable(Configuration{1}));
+  EXPECT_TRUE(c.extendable(Configuration{1, 2}));
+  EXPECT_FALSE(c.extendable(Configuration{2, 2}));
+}
+
+TEST(Constraint, ExtensionIndexRespectsEntryCap) {
+  Constraint c(3);
+  c.add(Configuration{0, 1, 2});  // 8 sub-multisets
+  EXPECT_FALSE(c.build_extension_index(/*max_entries=*/4));
+  EXPECT_FALSE(c.extension_index_built());
+  // The linear fallback still answers correctly.
+  EXPECT_TRUE(c.extendable(Configuration{0, 2}));
+  EXPECT_TRUE(c.build_extension_index(/*max_entries=*/8));
+}
+
 TEST(Parser, ParsesMaximalMatchingNotation) {
   const auto p = parse_problem("mm", "M O^2\nP^3", "M [O P]^2\nO^3");
   ASSERT_TRUE(p.has_value());

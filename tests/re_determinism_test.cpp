@@ -1,0 +1,162 @@
+// The parallel round-elimination engine must be bit-identical to the
+// serial path: same registry order, same constraints, same label meanings,
+// for every thread count. Exercised on the seed problems shipped in
+// examples/problems/ and on generated families, plus the resource-cap and
+// deterministic-counter contracts.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/formalism/parser.hpp"
+#include "src/problems/classic.hpp"
+#include "src/problems/coloring_family.hpp"
+#include "src/problems/matching_family.hpp"
+#include "src/re/round_elimination.hpp"
+
+namespace slocal {
+namespace {
+
+#ifndef SLOCAL_PROBLEM_DIR
+#define SLOCAL_PROBLEM_DIR "examples/problems"
+#endif
+
+std::vector<Problem> seed_problems() {
+  std::vector<Problem> out;
+  for (const char* file :
+       {"maximal_matching_3.txt", "sinkless_orientation_3.txt", "two_coloring.txt",
+        "weak_2_coloring_r3.txt"}) {
+    const std::string path = std::string(SLOCAL_PROBLEM_DIR) + "/" + file;
+    std::ifstream in(path);
+    if (!in.good()) {
+      ADD_FAILURE() << "cannot open " << path;
+      continue;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const auto sep = text.find("---");
+    if (sep == std::string::npos) {
+      ADD_FAILURE() << "missing --- separator in " << path;
+      continue;
+    }
+    ParseError error;
+    auto problem =
+        parse_problem(file, text.substr(0, sep), text.substr(sep + 3), &error);
+    if (!problem.has_value()) {
+      ADD_FAILURE() << path << ": " << error.message;
+      continue;
+    }
+    out.push_back(std::move(*problem));
+  }
+  return out;
+}
+
+void expect_identical_steps(const Problem& pi, const REOptions& base) {
+  REOptions serial = base;
+  serial.threads = 1;
+  REOptions parallel = base;
+  parallel.threads = 4;
+
+  const auto half_s = apply_R(pi, serial);
+  const auto half_p = apply_R(pi, parallel);
+  ASSERT_EQ(half_s.has_value(), half_p.has_value()) << pi.name();
+  if (half_s) {
+    // Structural equality: same registry order, same constraint contents.
+    EXPECT_TRUE(half_s->problem == half_p->problem) << pi.name();
+    EXPECT_EQ(half_s->label_meaning, half_p->label_meaning) << pi.name();
+  }
+
+  const auto re_s = round_eliminate(pi, serial);
+  const auto re_p = round_eliminate(pi, parallel);
+  ASSERT_EQ(re_s.has_value(), re_p.has_value()) << pi.name();
+  if (re_s) EXPECT_TRUE(*re_s == *re_p) << pi.name();
+}
+
+TEST(REDeterminism, SeedProblemsIdenticalAcrossThreadCounts) {
+  std::vector<Problem> problems = seed_problems();
+  if (problems.empty()) GTEST_SKIP();
+  for (const Problem& pi : problems) expect_identical_steps(pi, REOptions{});
+}
+
+TEST(REDeterminism, GeneratedFamiliesIdenticalAcrossThreadCounts) {
+  REOptions options;
+  options.max_configurations = 5'000'000;
+  for (const Problem& pi :
+       {make_matching_problem(4, 1, 1), make_matching_problem(5, 1, 2),
+        make_maximal_matching_problem(3), make_sinkless_orientation_problem(4),
+        make_coloring_problem(4, 3)}) {
+    expect_identical_steps(pi, options);
+  }
+}
+
+TEST(REDeterminism, DefaultThreadCountMatchesSerial) {
+  // threads = 0 (all hardware threads) must also match the serial output.
+  const Problem pi = make_matching_problem(4, 0, 1);
+  REOptions serial;
+  serial.threads = 1;
+  REOptions all;
+  all.threads = 0;
+  const auto a = round_eliminate(pi, serial);
+  const auto b = round_eliminate(pi, all);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_TRUE(*a == *b);
+}
+
+TEST(REDeterminism, PerfCountersMatchAcrossThreadCounts) {
+  // The REStats counters (not the wall times) are exact properties of the
+  // input, independent of scheduling.
+  const Problem pi = make_matching_problem(5, 0, 1);
+  REStats serial_stats;
+  REStats parallel_stats;
+  REOptions serial;
+  serial.threads = 1;
+  serial.stats = &serial_stats;
+  REOptions parallel;
+  parallel.threads = 4;
+  parallel.stats = &parallel_stats;
+  ASSERT_TRUE(round_eliminate(pi, serial).has_value());
+  ASSERT_TRUE(round_eliminate(pi, parallel).has_value());
+  EXPECT_EQ(serial_stats.dfs_nodes, parallel_stats.dfs_nodes);
+  EXPECT_EQ(serial_stats.partials_deduped, parallel_stats.partials_deduped);
+  EXPECT_EQ(serial_stats.extendable_calls, parallel_stats.extendable_calls);
+  EXPECT_EQ(serial_stats.extension_index_entries,
+            parallel_stats.extension_index_entries);
+  EXPECT_EQ(serial_stats.configs_enumerated, parallel_stats.configs_enumerated);
+  EXPECT_EQ(serial_stats.domination_tests, parallel_stats.domination_tests);
+  EXPECT_EQ(serial_stats.domination_skipped, parallel_stats.domination_skipped);
+  EXPECT_EQ(serial_stats.relaxed_multisets, parallel_stats.relaxed_multisets);
+  EXPECT_EQ(serial_stats.relaxed_witness_hits, parallel_stats.relaxed_witness_hits);
+  EXPECT_EQ(serial_stats.relaxed_dfs_tests, parallel_stats.relaxed_dfs_tests);
+  EXPECT_EQ(serial_stats.threads_used, 1u);
+  EXPECT_EQ(parallel_stats.threads_used, 4u);
+  EXPECT_GT(parallel_stats.extension_index_entries, 0u);
+}
+
+TEST(REDeterminism, ResourceCapRejectsIdentically) {
+  const Problem pi = make_matching_problem(5, 0, 1);
+  REOptions serial;
+  serial.threads = 1;
+  serial.max_configurations = 10;
+  REOptions parallel = serial;
+  parallel.threads = 4;
+  EXPECT_FALSE(round_eliminate(pi, serial).has_value());
+  EXPECT_FALSE(round_eliminate(pi, parallel).has_value());
+}
+
+TEST(REDeterminism, StatsAccumulateAcrossCalls) {
+  const Problem pi = make_sinkless_orientation_problem(3);
+  REStats stats;
+  REOptions options;
+  options.stats = &stats;
+  ASSERT_TRUE(apply_R(pi, options).has_value());
+  const std::uint64_t after_one = stats.extendable_calls;
+  EXPECT_GT(after_one, 0u);
+  ASSERT_TRUE(apply_R(pi, options).has_value());
+  EXPECT_EQ(stats.extendable_calls, 2 * after_one);
+}
+
+}  // namespace
+}  // namespace slocal
