@@ -13,15 +13,18 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/formalism/relaxation.hpp"
+#include "src/graph/generators.hpp"
 #include "src/problems/classic.hpp"
 #include "src/problems/coloring_family.hpp"
 #include "src/problems/matching_family.hpp"
 #include "src/re/round_elimination.hpp"
 #include "src/re/sequence.hpp"
+#include "src/solver/portfolio.hpp"
 
 namespace slocal {
 namespace {
@@ -48,6 +51,8 @@ void print_stats_json(std::FILE* f, const REStats& s, const char* indent) {
                "%s\"relaxed_multisets\": %llu,\n"
                "%s\"relaxed_witness_hits\": %llu,\n"
                "%s\"relaxed_dfs_tests\": %llu,\n"
+               "%s\"extension_index_builds\": %llu,\n"
+               "%s\"budget_exhausted\": %llu,\n"
                "%s\"threads_used\": %zu,\n"
                "%s\"harden_ms\": %.3f,\n"
                "%s\"dominate_ms\": %.3f,\n"
@@ -63,12 +68,35 @@ void print_stats_json(std::FILE* f, const REStats& s, const char* indent) {
                static_cast<unsigned long long>(s.relaxed_multisets), indent,
                static_cast<unsigned long long>(s.relaxed_witness_hits), indent,
                static_cast<unsigned long long>(s.relaxed_dfs_tests), indent,
+               static_cast<unsigned long long>(s.extension_index_builds), indent,
+               static_cast<unsigned long long>(s.budget_exhausted), indent,
                s.threads_used, indent, s.harden_ms, indent, s.dominate_ms, indent,
                s.relax_ms, indent, s.total_ms);
 }
 
+/// E2d — a deliberately tiny node budget on the hardest E2 row: the engine
+/// must abort quickly (well under the row's full runtime) with the perf
+/// counters intact at the point of exhaustion.
+struct BudgetDemo {
+  std::size_t delta = 6, x = 1, y = 2;
+  std::uint64_t max_nodes = 512;
+  bool exhausted = false;
+  std::uint64_t dfs_nodes_at_exhaustion = 0;
+  double wall_ms = 0.0;
+};
+
+/// E2e — the racing portfolio on a concrete labeling instance.
+struct PortfolioDemo {
+  std::string verdict;
+  std::string winner;
+  std::uint64_t nodes = 0;
+  std::uint64_t conflicts = 0;
+  double wall_ms = 0.0;
+};
+
 void write_json(const std::vector<E2Row>& rows, const REStats& totals,
-                double table_wall_ms, double serial_table_wall_ms) {
+                double table_wall_ms, double serial_table_wall_ms,
+                const BudgetDemo& budget_demo, const PortfolioDemo& portfolio_demo) {
   std::FILE* f = std::fopen("BENCH_RE.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write BENCH_RE.json\n");
@@ -77,7 +105,7 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"bench_re\",\n"
-               "  \"schema_version\": 1,\n"
+               "  \"schema_version\": 2,\n"
                "  \"hardware_threads\": %u,\n"
                "  \"e2_table_wall_ms\": %.3f,\n"
                "  \"e2_table_serial_wall_ms\": %.3f,\n"
@@ -103,7 +131,32 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
   }
   std::fprintf(f, "  ],\n  \"e2_totals\": {\n");
   print_stats_json(f, totals, "    ");
-  std::fprintf(f, "  }\n}\n");
+  std::fprintf(f,
+               "  },\n"
+               "  \"budget_demo\": {\n"
+               "    \"delta\": %zu, \"x\": %zu, \"y\": %zu,\n"
+               "    \"max_nodes\": %llu,\n"
+               "    \"exhausted\": %s,\n"
+               "    \"dfs_nodes_at_exhaustion\": %llu,\n"
+               "    \"wall_ms\": %.3f\n"
+               "  },\n",
+               budget_demo.delta, budget_demo.x, budget_demo.y,
+               static_cast<unsigned long long>(budget_demo.max_nodes),
+               budget_demo.exhausted ? "true" : "false",
+               static_cast<unsigned long long>(budget_demo.dfs_nodes_at_exhaustion),
+               budget_demo.wall_ms);
+  std::fprintf(f,
+               "  \"portfolio_demo\": {\n"
+               "    \"verdict\": \"%s\",\n"
+               "    \"winner\": \"%s\",\n"
+               "    \"nodes\": %llu,\n"
+               "    \"conflicts\": %llu,\n"
+               "    \"wall_ms\": %.3f\n"
+               "  }\n}\n",
+               portfolio_demo.verdict.c_str(), portfolio_demo.winner.c_str(),
+               static_cast<unsigned long long>(portfolio_demo.nodes),
+               static_cast<unsigned long long>(portfolio_demo.conflicts),
+               portfolio_demo.wall_ms);
   std::fclose(f);
   std::printf("wrote BENCH_RE.json\n\n");
 }
@@ -193,9 +246,56 @@ void print_table() {
                 so_prime ? "yes" : "no",
                 so_prime && is_fixed_point(*so_prime) ? "yes" : "NO");
   }
-  std::printf("\n");
 
-  write_json(rows, totals, table_wall_ms, serial_table_wall_ms);
+  // E2d: tiny node budget on the hardest row — must abort fast, not hang.
+  BudgetDemo budget_demo;
+  {
+    const Problem pi = make_matching_problem(budget_demo.delta, budget_demo.x,
+                                             budget_demo.y);
+    REStats stats;
+    REOptions options;
+    options.max_configurations = 5'000'000;
+    options.max_nodes = budget_demo.max_nodes;
+    options.stats = &stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto re = round_eliminate(pi, options);
+    budget_demo.wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    budget_demo.exhausted = !re.has_value() && stats.budget_exhausted > 0;
+    budget_demo.dfs_nodes_at_exhaustion = stats.dfs_nodes;
+    std::printf(
+        "\nE2d budgeted RE, Δ=%zu x=%zu y=%zu, max_nodes=%llu: %s after %llu "
+        "dfs nodes in %.2f ms\n",
+        budget_demo.delta, budget_demo.x, budget_demo.y,
+        static_cast<unsigned long long>(budget_demo.max_nodes),
+        budget_demo.exhausted ? "exhausted" : "COMPLETED (cap too high?)",
+        static_cast<unsigned long long>(budget_demo.dfs_nodes_at_exhaustion),
+        budget_demo.wall_ms);
+  }
+
+  // E2e: the racing portfolio on a concrete labeling instance.
+  PortfolioDemo portfolio_demo;
+  {
+    const Problem pi = make_matching_problem(3, 0, 1);
+    const BipartiteGraph g = make_complete_bipartite(3, 3);
+    const PortfolioResult result = solve_labeling_portfolio(g, pi);
+    portfolio_demo.verdict = to_string(result.verdict);
+    portfolio_demo.winner = result.winner;
+    portfolio_demo.nodes = result.nodes;
+    portfolio_demo.conflicts = result.conflicts;
+    portfolio_demo.wall_ms = result.wall_ms;
+    std::printf(
+        "E2e portfolio, matching Δ=3 on K_{3,3}: %s (winner: %s) "
+        "[nodes=%llu conflicts=%llu wall=%.2f ms]\n\n",
+        portfolio_demo.verdict.c_str(), portfolio_demo.winner.c_str(),
+        static_cast<unsigned long long>(portfolio_demo.nodes),
+        static_cast<unsigned long long>(portfolio_demo.conflicts),
+        portfolio_demo.wall_ms);
+  }
+
+  write_json(rows, totals, table_wall_ms, serial_table_wall_ms, budget_demo,
+             portfolio_demo);
 }
 
 void BM_re_matching(benchmark::State& state) {

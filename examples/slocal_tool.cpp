@@ -5,19 +5,28 @@
 // Problem file format: white configurations (one per line), a line "---",
 // black configurations (one per line). Tokens: NAME, NAME^k, [A B]^k.
 //
-//   slocal_tool print   <file>            parse + constraints + diagram DOT
-//   slocal_tool re      <file> [steps]    apply RE `steps` times (default 1)
-//   slocal_tool fixed   <file>            fixed-point check
-//   slocal_tool lift    <file> <Δ> <r>    materialize lift_{Δ,r}
-//   slocal_tool solve   <file> <support>  bipartite solvability on a support:
-//                                         cycle:<h> | complete:<a>x<b>
-//   slocal_tool zero    <file> <support>  0-round Supported-LOCAL decision
+//   slocal_tool print     <file>            parse + constraints + diagram DOT
+//   slocal_tool re        <file> [steps]    apply RE `steps` times (default 1)
+//   slocal_tool fixed     <file>            fixed-point check
+//   slocal_tool lift      <file> <Δ> <r>    materialize lift_{Δ,r}
+//   slocal_tool solve     <file> <support>  bipartite solvability on a support:
+//                                           cycle:<h> | complete:<a>x<b>
+//   slocal_tool zero      <file> <support>  0-round Supported-LOCAL decision
+//   slocal_tool portfolio <file> <support>  race backtracking vs CDCL seeds
+//
+// Budget flags (accepted anywhere after the command):
+//   --timeout-ms=N   wall-clock limit for the command's searches
+//   --max-nodes=N    search-node limit (forces deterministic serial paths)
+// A search that runs out of budget exits with code 3 and prints the budget
+// diagnostics; it never misreports as solvable/unsolvable.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/formalism/diagram.hpp"
 #include "src/formalism/parser.hpp"
@@ -26,11 +35,33 @@
 #include "src/lift/lift.hpp"
 #include "src/re/round_elimination.hpp"
 #include "src/solver/edge_labeling.hpp"
+#include "src/solver/portfolio.hpp"
 #include "src/solver/zero_round.hpp"
+#include "src/util/budget.hpp"
 
 namespace {
 
 using namespace slocal;
+
+constexpr int kExitExhausted = 3;
+
+struct BudgetFlags {
+  std::uint64_t timeout_ms = 0;
+  std::uint64_t max_nodes = 0;
+
+  /// The shared budget for a command, or nullptr when no flag was given.
+  SearchBudget* configure(SearchBudget& storage) const {
+    if (timeout_ms == 0 && max_nodes == 0) return nullptr;
+    if (timeout_ms > 0) storage.set_deadline_ms(static_cast<double>(timeout_ms));
+    if (max_nodes > 0) storage.set_node_limit(max_nodes);
+    return &storage;
+  }
+};
+
+int report_exhausted(const SearchBudget& budget) {
+  std::fprintf(stderr, "budget exhausted: %s\n", budget.describe().c_str());
+  return kExitExhausted;
+}
 
 std::optional<Problem> load_problem(const char* path) {
   std::ifstream in(path);
@@ -40,15 +71,11 @@ std::optional<Problem> load_problem(const char* path) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
-  const std::string text = buffer.str();
-  const auto sep = text.find("---");
-  if (sep == std::string::npos) {
-    std::fprintf(stderr, "missing '---' separator in %s\n", path);
-    return std::nullopt;
-  }
   ParseError error;
-  auto problem = parse_problem(path, text.substr(0, sep), text.substr(sep + 3), &error);
-  if (!problem) std::fprintf(stderr, "parse error: %s\n", error.message.c_str());
+  auto problem = parse_problem_text(path, buffer.str(), &error);
+  if (!problem) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path, error.to_string().c_str());
+  }
   return problem;
 }
 
@@ -91,13 +118,26 @@ int cmd_print(const Problem& pi) {
   return 0;
 }
 
-int cmd_re(const Problem& pi, int steps) {
+int cmd_re(const Problem& pi, int steps, const BudgetFlags& flags) {
   Problem current = pi;
+  SearchBudget budget_storage;
   REOptions options;
   options.max_configurations = 5'000'000;
+  options.max_nodes = flags.max_nodes;
+  if (flags.timeout_ms > 0) {
+    budget_storage.set_deadline_ms(static_cast<double>(flags.timeout_ms));
+    options.budget = &budget_storage;
+  }
+  REStats stats;
+  options.stats = &stats;
   for (int s = 1; s <= steps; ++s) {
     const auto next = round_eliminate(current, options);
     if (!next) {
+      if (stats.budget_exhausted > 0) {
+        std::fprintf(stderr, "step %d: %s\n", s, stats.to_string().c_str());
+        std::fprintf(stderr, "step %d: budget exhausted\n", s);
+        return kExitExhausted;
+      }
       std::fprintf(stderr, "step %d: resource cap exceeded\n", s);
       return 1;
     }
@@ -110,8 +150,22 @@ int cmd_re(const Problem& pi, int steps) {
   return 0;
 }
 
-int cmd_fixed(const Problem& pi) {
-  const bool fixed = is_fixed_point(pi);
+int cmd_fixed(const Problem& pi, const BudgetFlags& flags) {
+  SearchBudget budget_storage;
+  REOptions options;
+  options.max_nodes = flags.max_nodes;
+  if (flags.timeout_ms > 0) {
+    budget_storage.set_deadline_ms(static_cast<double>(flags.timeout_ms));
+    options.budget = &budget_storage;
+  }
+  REStats stats;
+  options.stats = &stats;
+  const bool fixed = is_fixed_point(pi, options);
+  if (!fixed && stats.budget_exhausted > 0) {
+    std::fprintf(stderr, "fixed-point check: budget exhausted (%s)\n",
+                 stats.to_string().c_str());
+    return kExitExhausted;
+  }
   std::printf("RE(Pi) %s Pi (up to renaming)\n", fixed ? "==" : "!=");
   return fixed ? 0 : 2;
 }
@@ -132,8 +186,19 @@ int cmd_lift(const Problem& pi, std::size_t big_delta, std::size_t big_r) {
   return 0;
 }
 
-int cmd_solve(const Problem& pi, const BipartiteGraph& support) {
-  const auto labels = solve_bipartite_labeling(support, pi);
+int cmd_solve(const Problem& pi, const BipartiteGraph& support,
+              const BudgetFlags& flags) {
+  SearchBudget budget_storage;
+  LabelingOptions options;
+  // The shared budget owns both limits so its describe() reflects the trip.
+  options.budget = flags.configure(budget_storage);
+  bool exhausted = false;
+  const auto labels = solve_bipartite_labeling(support, pi, options, &exhausted);
+  if (!labels && exhausted) {
+    if (options.budget != nullptr) return report_exhausted(budget_storage);
+    std::fprintf(stderr, "budget exhausted: node cap hit\n");
+    return kExitExhausted;
+  }
   if (!labels) {
     std::printf("UNSOLVABLE on this support\n");
     return 2;
@@ -144,9 +209,13 @@ int cmd_solve(const Problem& pi, const BipartiteGraph& support) {
   return 0;
 }
 
-int cmd_zero(const Problem& pi, const BipartiteGraph& support) {
+int cmd_zero(const Problem& pi, const BipartiteGraph& support,
+             const BudgetFlags& flags) {
+  SearchBudget budget_storage;
+  SearchBudget* budget = flags.configure(budget_storage);
   ZeroRoundStats stats;
-  const bool exists = zero_round_white_algorithm_exists(support, pi, &stats);
+  const bool exists = zero_round_white_algorithm_exists(support, pi, &stats, budget);
+  if (stats.verdict == Verdict::kExhausted) return report_exhausted(budget_storage);
   std::printf("0-round Supported-LOCAL white algorithm: %s\n",
               exists ? "EXISTS" : "does not exist");
   std::printf("(cnf: %zu vars, %zu clauses, %zu black scenarios)\n", stats.variables,
@@ -154,30 +223,72 @@ int cmd_zero(const Problem& pi, const BipartiteGraph& support) {
   return exists ? 0 : 2;
 }
 
+int cmd_portfolio(const Problem& pi, const BipartiteGraph& support,
+                  const BudgetFlags& flags) {
+  PortfolioOptions options;
+  options.timeout_ms = flags.timeout_ms;
+  if (flags.max_nodes > 0) options.node_budget = flags.max_nodes;
+  const PortfolioResult result = solve_labeling_portfolio(support, pi, options);
+  std::printf("portfolio: %s", to_string(result.verdict));
+  if (!result.winner.empty()) std::printf(" (winner: %s)", result.winner.c_str());
+  std::printf(" [nodes=%llu conflicts=%llu wall=%.1fms]\n",
+              static_cast<unsigned long long>(result.nodes),
+              static_cast<unsigned long long>(result.conflicts), result.wall_ms);
+  if (result.verdict == Verdict::kExhausted) {
+    std::fprintf(stderr, "budget exhausted: %s\n", to_string(result.reason));
+    return kExitExhausted;
+  }
+  if (result.verdict == Verdict::kNo) {
+    std::printf("UNSOLVABLE on this support\n");
+    return 2;
+  }
+  std::printf("solution:");
+  for (const Label l : *result.labels) {
+    std::printf(" %s", pi.registry().name(l).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: slocal_tool print|re|fixed|lift|solve|zero <file> [args]\n");
+               "usage: slocal_tool print|re|fixed|lift|solve|zero|portfolio "
+               "<file> [args] [--timeout-ms=N] [--max-nodes=N]\n");
   return 64;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string cmd = argv[1];
-  const auto pi = load_problem(argv[2]);
+  // Split budget flags from positional arguments.
+  BudgetFlags flags;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
+      flags.timeout_ms = std::strtoull(argv[i] + 13, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--max-nodes=", 12) == 0) {
+      flags.max_nodes = std::strtoull(argv[i] + 12, nullptr, 10);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (args.size() < 2) return usage();
+  const std::string cmd = args[0];
+  const auto pi = load_problem(args[1]);
   if (!pi) return 1;
   if (cmd == "print") return cmd_print(*pi);
-  if (cmd == "re") return cmd_re(*pi, argc > 3 ? std::atoi(argv[3]) : 1);
-  if (cmd == "fixed") return cmd_fixed(*pi);
-  if (cmd == "lift" && argc >= 5) {
-    return cmd_lift(*pi, std::strtoul(argv[3], nullptr, 10),
-                    std::strtoul(argv[4], nullptr, 10));
+  if (cmd == "re") return cmd_re(*pi, args.size() > 2 ? std::atoi(args[2]) : 1, flags);
+  if (cmd == "fixed") return cmd_fixed(*pi, flags);
+  if (cmd == "lift" && args.size() >= 4) {
+    return cmd_lift(*pi, std::strtoul(args[2], nullptr, 10),
+                    std::strtoul(args[3], nullptr, 10));
   }
-  if ((cmd == "solve" || cmd == "zero") && argc >= 4) {
-    const auto support = load_support(argv[3]);
+  if ((cmd == "solve" || cmd == "zero" || cmd == "portfolio") && args.size() >= 3) {
+    const auto support = load_support(args[2]);
     if (!support) return 1;
-    return cmd == "solve" ? cmd_solve(*pi, *support) : cmd_zero(*pi, *support);
+    if (cmd == "solve") return cmd_solve(*pi, *support, flags);
+    if (cmd == "zero") return cmd_zero(*pi, *support, flags);
+    return cmd_portfolio(*pi, *support, flags);
   }
   return usage();
 }

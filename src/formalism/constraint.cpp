@@ -11,15 +11,14 @@ bool Constraint::add(Configuration c) {
   return configs_.insert(std::move(c)).second;
 }
 
-void Constraint::add_condensed(const std::vector<std::vector<Label>>& alternatives) {
+std::size_t Constraint::add_condensed(const std::vector<std::vector<Label>>& alternatives) {
   assert(alternatives.size() == degree_);
   extension_index_.reset();
   if (alternatives.empty()) {
-    add(Configuration{});
-    return;
+    return add(Configuration{}) ? 1 : 0;
   }
   for (const auto& a : alternatives) {
-    if (a.empty()) return;  // empty alternative set: empty product
+    if (a.empty()) return 0;  // empty alternative set: empty product
   }
   // Positions with identical alternative sets are interchangeable in a
   // multiset: group them and enumerate non-decreasing choices per group.
@@ -41,11 +40,12 @@ void Constraint::add_condensed(const std::vector<std::vector<Label>>& alternativ
   }
   std::vector<Label> current;
   current.reserve(degree_);
+  std::size_t inserted = 0;
   // DFS over groups; within a group choose a non-decreasing index sequence.
   auto expand = [&](auto&& self, std::size_t group, std::size_t slot,
                     std::size_t min_index) -> void {
     if (group == groups.size()) {
-      configs_.insert(Configuration(current));
+      if (configs_.insert(Configuration(current)).second) ++inserted;
       return;
     }
     if (slot == multiplicity[group]) {
@@ -59,6 +59,7 @@ void Constraint::add_condensed(const std::vector<std::vector<Label>>& alternativ
     }
   };
   expand(expand, 0, 0, 0);
+  return inserted;
 }
 
 bool Constraint::extendable(const Configuration& partial) const {

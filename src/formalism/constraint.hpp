@@ -32,7 +32,10 @@ class Constraint {
 
   /// Adds every expansion of a condensed configuration: position i may take
   /// any label in alternatives[i]. alternatives.size() must equal degree().
-  void add_condensed(const std::vector<std::vector<Label>>& alternatives);
+  /// Returns the number of configurations that were NOT already present —
+  /// 0 means the line was entirely redundant (the parser uses this to
+  /// reject duplicate configurations).
+  std::size_t add_condensed(const std::vector<std::vector<Label>>& alternatives);
 
   bool contains(const Configuration& c) const { return configs_.contains(c); }
 

@@ -1,14 +1,21 @@
 #include "src/formalism/relaxation.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <functional>
+#include <mutex>
+#include <utility>
 
 #include "src/util/bitset.hpp"
 #include "src/util/combinatorics.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace slocal {
 
 namespace {
+
+constexpr std::uint64_t kUnlimitedNodes = ~std::uint64_t{0};
 
 Configuration remap(const Configuration& c, const std::vector<Label>& map) {
   std::vector<Label> out;
@@ -26,16 +33,67 @@ bool label_map_valid(const Problem& pi, const Problem& pi_prime,
   return ok(pi.white(), pi_prime.white()) && ok(pi.black(), pi_prime.black());
 }
 
-bool search_label_map(const Problem& pi, const Problem& pi_prime,
-                      std::vector<Label>& map, std::size_t next) {
-  const std::size_t n = pi.alphabet_size();
-  if (next == n) return label_map_valid(pi, pi_prime, map);
-  for (std::size_t t = 0; t < pi_prime.alphabet_size(); ++t) {
-    map[next] = static_cast<Label>(t);
-    if (search_label_map(pi, pi_prime, map, next + 1)) return true;
+/// Source configurations bucketed by their maximum label: a configuration in
+/// bucket k becomes fully mapped the moment m(k) is assigned, so the search
+/// can reject a prefix m(0..k) without ever extending it. The pruning is
+/// exact — a configuration that fails under the prefix fails under every
+/// extension — so the serial search visits the same valid leaves in the same
+/// order as a leaf-only check would, just without the dead subtrees.
+struct MaxLabelBuckets {
+  std::vector<std::vector<std::pair<const Configuration*, const Constraint*>>> at;
+
+  MaxLabelBuckets(const Problem& pi, const Problem& pi_prime) {
+    at.resize(pi.alphabet_size());
+    const auto add = [&](const Constraint& from, const Constraint& to) {
+      for (const Configuration& c : from.members()) {
+        Label mx = 0;
+        for (const Label l : c.labels()) mx = std::max(mx, l);
+        at[mx].push_back({&c, &to});
+      }
+    };
+    add(pi.white(), pi_prime.white());
+    add(pi.black(), pi_prime.black());
   }
-  return false;
-}
+
+  /// All configurations whose labels are <= level map inside Π' under `map`
+  /// (only entries map[0..level] are read).
+  bool ok_at(std::size_t level, const std::vector<Label>& map) const {
+    for (const auto& [config, target] : at[level]) {
+      if (!target->contains(remap(*config, map))) return false;
+    }
+    return true;
+  }
+};
+
+struct LabelMapSearch {
+  const MaxLabelBuckets& buckets;
+  std::size_t source_labels;
+  std::size_t target_labels;
+  std::uint64_t node_limit;             // kUnlimitedNodes when uncapped
+  SearchBudget* shared = nullptr;       // optional deadline/cancel token
+  const std::atomic<bool>* stop = nullptr;  // parallel first-wins flag
+  std::uint64_t visited = 0;
+  bool exhausted = false;
+
+  /// Tries every image for map[level] in increasing order, so the first
+  /// completed map is the lexicographically smallest valid one.
+  bool recurse(std::size_t level, std::vector<Label>& map) {
+    if (level == source_labels) return true;
+    for (std::size_t t = 0; t < target_labels; ++t) {
+      if (exhausted) return false;
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) return false;
+      if (++visited > node_limit ||
+          (shared != nullptr && !shared->charge())) {
+        exhausted = true;
+        return false;
+      }
+      map[level] = static_cast<Label>(t);
+      if (!buckets.ok_at(level, map)) continue;
+      if (recurse(level + 1, map)) return true;
+    }
+    return false;
+  }
+};
 
 /// r(l): union over mapping entries of image labels at positions where the
 /// (sorted) source configuration holds l.
@@ -98,13 +156,16 @@ struct RelaxSearch {
   std::vector<Configuration> sources;
   std::vector<std::vector<std::vector<Label>>> candidates;  // per source
   std::uint64_t budget;
+  SearchBudget* shared = nullptr;       // optional deadline/cancel token
+  const std::atomic<bool>* stop = nullptr;  // parallel first-wins flag
   std::uint64_t visited = 0;
   bool exhausted = false;
   ConfigMapping mapping;
 
   bool recurse(std::size_t index, std::vector<SmallBitset>& r) {
     if (exhausted) return false;
-    if (++visited > budget) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return false;
+    if (++visited > budget || (shared != nullptr && !shared->charge())) {
       exhausted = true;
       return false;
     }
@@ -127,15 +188,177 @@ struct RelaxSearch {
 
 }  // namespace
 
-std::optional<std::vector<Label>> relaxation_label_map(const Problem& pi,
-                                                       const Problem& pi_prime) {
+LabelMapResult find_relaxation_label_map(const Problem& pi, const Problem& pi_prime,
+                                         const RelaxationOptions& options) {
+  LabelMapResult result;
   if (pi.white_degree() != pi_prime.white_degree() ||
       pi.black_degree() != pi_prime.black_degree()) {
-    return std::nullopt;
+    return result;  // kNo: degrees differ, no map can exist
   }
-  std::vector<Label> map(pi.alphabet_size(), 0);
-  if (search_label_map(pi, pi_prime, map, 0)) return map;
-  return std::nullopt;
+  const std::size_t n = pi.alphabet_size();
+  const std::size_t targets = pi_prime.alphabet_size();
+  if (n == 0) {
+    std::vector<Label> empty;
+    if (label_map_valid(pi, pi_prime, empty)) {
+      result.verdict = Verdict::kYes;
+      result.map = std::move(empty);
+    }
+    return result;
+  }
+  const MaxLabelBuckets buckets(pi, pi_prime);
+  const std::uint64_t limit =
+      options.node_budget == 0 ? kUnlimitedNodes : options.node_budget;
+  const std::size_t threads =
+      (options.node_budget == 0 && options.threads != 1 && targets > 1)
+          ? std::min(ThreadPool::resolve_threads(options.threads), targets)
+          : 1;
+
+  if (threads <= 1) {
+    LabelMapSearch search{buckets, n, targets, limit, options.budget, nullptr};
+    std::vector<Label> map(n, 0);
+    if (search.recurse(0, map)) {
+      result.verdict = Verdict::kYes;
+      result.map = std::move(map);
+    } else {
+      result.verdict = search.exhausted ? Verdict::kExhausted : Verdict::kNo;
+    }
+    result.nodes = search.visited;
+    return result;
+  }
+
+  // Parallel: one task per image of label 0. The first task to complete a
+  // map raises `found`, which the others poll at every node. The internal
+  // flag is deliberately separate from options.budget — a caller's shared
+  // budget must not be cancelled by our own success.
+  std::atomic<bool> found{false};
+  std::atomic<bool> any_exhausted{false};
+  std::atomic<std::uint64_t> total_nodes{0};
+  std::mutex claim;
+  std::optional<std::vector<Label>> winner;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(targets);
+  for (std::size_t t0 = 0; t0 < targets; ++t0) {
+    tasks.push_back([&, t0] {
+      if (found.load(std::memory_order_relaxed) ||
+          (options.budget != nullptr && options.budget->halted())) {
+        return;
+      }
+      LabelMapSearch search{buckets, n, targets, kUnlimitedNodes,
+                            options.budget, &found};
+      std::vector<Label> map(n, 0);
+      map[0] = static_cast<Label>(t0);
+      bool ok = false;
+      ++search.visited;  // the root assignment m(0) = t0
+      if (options.budget != nullptr && !options.budget->charge()) {
+        search.exhausted = true;
+      } else if (buckets.ok_at(0, map)) {
+        ok = search.recurse(1, map);
+      }
+      total_nodes.fetch_add(search.visited, std::memory_order_relaxed);
+      if (search.exhausted) any_exhausted.store(true, std::memory_order_relaxed);
+      if (ok && !found.exchange(true, std::memory_order_acq_rel)) {
+        const std::lock_guard<std::mutex> lock(claim);
+        winner = std::move(map);
+      }
+    });
+  }
+  ThreadPool pool(threads - 1);
+  pool.run_batch(std::move(tasks));
+  result.nodes = total_nodes.load();
+  if (winner.has_value()) {
+    result.verdict = Verdict::kYes;
+    result.map = std::move(winner);
+  } else {
+    result.verdict = any_exhausted.load() ? Verdict::kExhausted : Verdict::kNo;
+  }
+  return result;
+}
+
+WitnessResult find_relaxation_witness(const Problem& pi, const Problem& pi_prime,
+                                      const RelaxationOptions& options) {
+  WitnessResult result;
+  if (pi.white_degree() != pi_prime.white_degree() ||
+      pi.black_degree() != pi_prime.black_degree()) {
+    return result;  // kNo
+  }
+  std::vector<Configuration> sources = pi.white().sorted_members();
+  // Candidate positional images: all distinct orderings of all white
+  // configurations of Π'.
+  std::vector<std::vector<Label>> all_images;
+  for (const auto& target : pi_prime.white().sorted_members()) {
+    const auto perms = positional_images(target);
+    all_images.insert(all_images.end(), perms.begin(), perms.end());
+  }
+  const std::uint64_t limit =
+      options.node_budget == 0 ? kUnlimitedNodes : options.node_budget;
+  const std::size_t fan = sources.empty() ? 0 : all_images.size();
+  const std::size_t threads =
+      (options.node_budget == 0 && options.threads != 1 && fan > 1)
+          ? std::min(ThreadPool::resolve_threads(options.threads), fan)
+          : 1;
+
+  if (threads <= 1) {
+    RelaxSearch search{pi,    pi_prime,       std::move(sources), {},
+                       limit, options.budget, nullptr};
+    search.candidates.assign(search.sources.size(), all_images);
+    std::vector<SmallBitset> r(pi.alphabet_size());
+    if (search.recurse(0, r)) {
+      result.verdict = Verdict::kYes;
+      result.mapping = std::move(search.mapping);
+    } else {
+      result.verdict = search.exhausted ? Verdict::kExhausted : Verdict::kNo;
+    }
+    result.nodes = search.visited;
+    return result;
+  }
+
+  // Parallel: one task per candidate image of the first white configuration;
+  // first completed mapping wins and cancels the rest via the internal flag.
+  std::atomic<bool> found{false};
+  std::atomic<bool> any_exhausted{false};
+  std::atomic<std::uint64_t> total_nodes{0};
+  std::mutex claim;
+  std::optional<ConfigMapping> winner;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(fan);
+  for (std::size_t i = 0; i < fan; ++i) {
+    tasks.push_back([&, i] {
+      if (found.load(std::memory_order_relaxed) ||
+          (options.budget != nullptr && options.budget->halted())) {
+        return;
+      }
+      RelaxSearch search{pi,              pi_prime,       sources, {},
+                         kUnlimitedNodes, options.budget, &found};
+      search.candidates.assign(sources.size(), all_images);
+      search.candidates[0] = {all_images[i]};
+      std::vector<SmallBitset> r(pi.alphabet_size());
+      const bool ok = search.recurse(0, r);
+      total_nodes.fetch_add(search.visited, std::memory_order_relaxed);
+      if (search.exhausted) any_exhausted.store(true, std::memory_order_relaxed);
+      if (ok && !found.exchange(true, std::memory_order_acq_rel)) {
+        const std::lock_guard<std::mutex> lock(claim);
+        winner = std::move(search.mapping);
+      }
+    });
+  }
+  ThreadPool pool(threads - 1);
+  pool.run_batch(std::move(tasks));
+  result.nodes = total_nodes.load();
+  if (winner.has_value()) {
+    result.verdict = Verdict::kYes;
+    result.mapping = std::move(winner);
+  } else {
+    result.verdict = any_exhausted.load() ? Verdict::kExhausted : Verdict::kNo;
+  }
+  return result;
+}
+
+std::optional<std::vector<Label>> relaxation_label_map(const Problem& pi,
+                                                       const Problem& pi_prime) {
+  RelaxationOptions options;
+  options.node_budget = 0;  // exhaustive
+  options.threads = 1;
+  return find_relaxation_label_map(pi, pi_prime, options).map;
 }
 
 bool check_relaxation_witness(const Problem& pi, const Problem& pi_prime,
@@ -159,24 +382,12 @@ std::optional<ConfigMapping> find_relaxation(const Problem& pi,
                                              const Problem& pi_prime,
                                              std::uint64_t node_budget,
                                              bool* exhausted) {
-  if (exhausted != nullptr) *exhausted = false;
-  if (pi.white_degree() != pi_prime.white_degree() ||
-      pi.black_degree() != pi_prime.black_degree()) {
-    return std::nullopt;
-  }
-  RelaxSearch search{pi, pi_prime, pi.white().sorted_members(), {}, node_budget, 0, false, {}};
-  // Candidate positional images: all distinct orderings of all white
-  // configurations of Π'.
-  std::vector<std::vector<Label>> all_images;
-  for (const auto& target : pi_prime.white().sorted_members()) {
-    const auto perms = positional_images(target);
-    all_images.insert(all_images.end(), perms.begin(), perms.end());
-  }
-  search.candidates.assign(search.sources.size(), all_images);
-  std::vector<SmallBitset> r(pi.alphabet_size());
-  if (search.recurse(0, r)) return search.mapping;
-  if (exhausted != nullptr) *exhausted = search.exhausted;
-  return std::nullopt;
+  RelaxationOptions options;
+  options.node_budget = node_budget;
+  options.threads = 1;
+  WitnessResult result = find_relaxation_witness(pi, pi_prime, options);
+  if (exhausted != nullptr) *exhausted = result.verdict == Verdict::kExhausted;
+  return std::move(result.mapping);
 }
 
 }  // namespace slocal

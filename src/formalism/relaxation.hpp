@@ -9,6 +9,19 @@
 //     concrete relaxation in the paper takes, e.g. Observation 4.3),
 //   * a witness verifier for an explicit configuration mapping,
 //   * a bounded exact search implementing the paper's definition verbatim.
+//
+// Both searches take a RelaxationOptions with a node budget, optional
+// threads, and an optional shared SearchBudget, and return a three-valued
+// verdict: kYes (witness attached), kNo (definitive — the search space was
+// exhausted), or kExhausted (a budget/deadline/cancel tripped first).
+//
+// Parallelism fans the search out over the first assignment (the image of
+// label 0 for the label-map search, the image of the first white
+// configuration for the witness search); the first task to find a witness
+// cancels the rest. The yes/no verdict is deterministic for every thread
+// count; *which* witness is returned may differ between thread counts (all
+// returned witnesses are valid). A finite node budget forces the serial
+// path so that node-limit exhaustion is deterministic too.
 #pragma once
 
 #include <cstdint>
@@ -17,20 +30,59 @@
 #include <vector>
 
 #include "src/formalism/problem.hpp"
+#include "src/util/budget.hpp"
 
 namespace slocal {
 
-/// Searches for a per-label map m: Σ(Π) -> Σ(Π') such that every white
-/// configuration of Π maps into C_W(Π') and every black configuration maps
-/// into C_B(Π'). Such a map witnesses that Π' is a relaxation of Π.
-/// Returns the witness (indexed by Π labels) or nullopt.
-std::optional<std::vector<Label>> relaxation_label_map(const Problem& pi,
-                                                       const Problem& pi_prime);
+struct RelaxationOptions {
+  /// Cap on search nodes; 0 = unlimited. Finite values force threads = 1
+  /// (see header comment) so exhaustion is deterministic.
+  std::uint64_t node_budget = 5'000'000;
+  /// 0 = all hardware threads, 1 = serial, n = n-way. Parallelism only
+  /// kicks in when node_budget == 0.
+  std::size_t threads = 1;
+  /// Optional shared deadline/cancel token, charged one node per search
+  /// node. May trip the search to kExhausted at any point.
+  SearchBudget* budget = nullptr;
+};
 
 /// A configuration-mapping witness: for each white configuration of Π
 /// (canonical form, labels in sorted order), the image labels *positionally
 /// aligned* with the sorted source labels.
 using ConfigMapping = std::map<Configuration, std::vector<Label>>;
+
+struct LabelMapResult {
+  Verdict verdict = Verdict::kNo;
+  std::optional<std::vector<Label>> map;  // engaged iff verdict == kYes
+  std::uint64_t nodes = 0;                // assignment nodes visited
+};
+
+struct WitnessResult {
+  Verdict verdict = Verdict::kNo;
+  std::optional<ConfigMapping> mapping;  // engaged iff verdict == kYes
+  std::uint64_t nodes = 0;               // backtracking nodes visited
+};
+
+/// Searches for a per-label map m: Σ(Π) -> Σ(Π') such that every white
+/// configuration of Π maps into C_W(Π') and every black configuration maps
+/// into C_B(Π'). Such a map witnesses that Π' is a relaxation of Π.
+/// Incremental pruning: source configurations are bucketed by their maximum
+/// label, so a prefix m(0..k) is rejected as soon as any configuration
+/// whose labels are all <= k maps outside Π' — the serial search still
+/// returns the lexicographically smallest valid map.
+LabelMapResult find_relaxation_label_map(const Problem& pi, const Problem& pi_prime,
+                                         const RelaxationOptions& options = {});
+
+/// Exact bounded search for a ConfigMapping witness (the paper's definition
+/// verbatim), fanned out over the first source's candidate images when
+/// parallel.
+WitnessResult find_relaxation_witness(const Problem& pi, const Problem& pi_prime,
+                                      const RelaxationOptions& options = {});
+
+/// Legacy form of find_relaxation_label_map: exhaustive (no budget),
+/// serial. Returns the witness (indexed by Π labels) or nullopt.
+std::optional<std::vector<Label>> relaxation_label_map(const Problem& pi,
+                                                       const Problem& pi_prime);
 
 /// Verifies the paper's relaxation definition for an explicit mapping:
 /// images must be white configurations of Π', and for every black
@@ -40,10 +92,10 @@ using ConfigMapping = std::map<Configuration, std::vector<Label>>;
 bool check_relaxation_witness(const Problem& pi, const Problem& pi_prime,
                               const ConfigMapping& mapping);
 
-/// Exact bounded search for a ConfigMapping witness (the paper's definition
-/// verbatim). `node_budget` caps backtracking nodes; nullopt means
-/// "no witness found within budget" when the budget was exhausted, and a
-/// definitive "no" otherwise (distinguished by `*exhausted`).
+/// Legacy form of find_relaxation_witness: serial, node budget only.
+/// nullopt means "no witness found within budget" when the budget was
+/// exhausted, and a definitive "no" otherwise (distinguished by
+/// `*exhausted`).
 std::optional<ConfigMapping> find_relaxation(const Problem& pi,
                                              const Problem& pi_prime,
                                              std::uint64_t node_budget = 5'000'000,

@@ -96,6 +96,7 @@ struct DfsShared {
   const Constraint& universal;
   const std::vector<SmallBitset>& candidates;
   std::uint64_t max_configurations;
+  SearchBudget* budget;  // may be null; charged one node per extension
   std::atomic<std::uint64_t> total{0};
   std::atomic<bool> overflow{false};
 };
@@ -120,6 +121,7 @@ void dfs_branch(DfsShared& shared, std::size_t min_candidate,
   std::vector<Configuration> next;
   for (std::size_t c = min_candidate; c < shared.candidates.size(); ++c) {
     ++stats.dfs_nodes;
+    if (shared.budget != nullptr && !shared.budget->charge()) return;
     if (!extend_partials(shared.universal, partials, shared.candidates[c], next, stats)) {
       continue;
     }
@@ -136,8 +138,9 @@ void dfs_branch(DfsShared& shared, std::size_t min_candidate,
 /// reproduces the serial DFS order exactly. Returns nullopt on cap overflow.
 std::optional<std::vector<SetConfig>> enumerate_valid_configs(
     const Constraint& universal, const std::vector<SmallBitset>& candidates,
-    std::uint64_t max_configurations, ThreadPool* pool, REStats& stats) {
-  DfsShared shared{universal, candidates, max_configurations};
+    std::uint64_t max_configurations, ThreadPool* pool, SearchBudget* budget,
+    REStats& stats) {
+  DfsShared shared{universal, candidates, max_configurations, budget};
   const std::vector<Configuration> root{Configuration{}};
   std::vector<SetConfig> valid;
 
@@ -163,6 +166,7 @@ std::optional<std::vector<SetConfig>> enumerate_valid_configs(
     tasks.push_back([&, c] {
       REStats& local = branch_stats[c];
       ++local.dfs_nodes;
+      if (budget != nullptr && !budget->charge()) return;
       std::vector<Configuration> next;
       if (!extend_partials(universal, root, candidates[c], next, local)) return;
       std::vector<SmallBitset> chosen{candidates[c]};
@@ -189,7 +193,8 @@ std::optional<std::vector<SetConfig>> enumerate_valid_configs(
 /// >= and strictly larger somewhere (equal signatures force equality under
 /// superset matching), and whose label union is a superset.
 std::vector<SetConfig> maximality_filter(const std::vector<SetConfig>& valid,
-                                         ThreadPool* pool, REStats& stats) {
+                                         ThreadPool* pool, SearchBudget* budget,
+                                         REStats& stats) {
   const std::size_t n = valid.size();
   if (n <= 1) return valid;
 
@@ -219,6 +224,9 @@ std::vector<SetConfig> maximality_filter(const std::vector<SetConfig>& valid,
   std::vector<char> dominated(n, 0);
   const auto scan = [&](std::size_t lo, std::size_t hi, REStats& local) {
     for (std::size_t i = lo; i < hi; ++i) {
+      // One node per configuration scanned; a tripped budget leaves the
+      // remaining flags unset, which the caller discards wholesale.
+      if (budget != nullptr && !budget->charge()) return;
       bool dom = false;
       for (const auto& [key, members] : buckets) {
         if (dom) break;
@@ -370,7 +378,7 @@ bool admits_choice(const Constraint& existential, const std::vector<SmallBitset>
 /// a pool the scan is chunked, each chunk filling its own flag range.
 Constraint build_relaxed(const Constraint& existential,
                          const std::vector<SmallBitset>& alphabet, ThreadPool* pool,
-                         REStats& stats) {
+                         SearchBudget* budget, REStats& stats) {
   const std::size_t degree = existential.degree();
   const auto picks = multisets_of_size(alphabet.size(), degree);
   stats.relaxed_multisets += picks.size();
@@ -389,6 +397,9 @@ Constraint build_relaxed(const Constraint& existential,
   const auto scan = [&](std::size_t lo, std::size_t hi, REStats& local) {
     std::vector<SmallBitset> pick_sets(degree);
     for (std::size_t i = lo; i < hi; ++i) {
+      // One node per multiset; on a tripped budget the caller discards the
+      // partially-filled flags.
+      if (budget != nullptr && !budget->charge()) return;
       for (std::size_t k = 0; k < degree; ++k) pick_sets[k] = alphabet[picks[i][k]];
       bool some = false;
       for (const auto& w : witness_sets) {
@@ -444,7 +455,27 @@ std::optional<REStep> re_core(const Problem& pi, bool universal_is_black,
 
   const auto t_total = Clock::now();
   REStats local;
-  const std::size_t threads = ThreadPool::resolve_threads(options.threads);
+
+  // Budget composition: a finite max_nodes gets its own counter chained to
+  // the caller's token (so the cap is per-application and deterministic),
+  // and forces the serial path so the exhaustion point is too.
+  SearchBudget node_cap;
+  SearchBudget* budget = options.budget;
+  std::size_t requested_threads = options.threads;
+  if (options.max_nodes > 0) {
+    node_cap.set_node_limit(options.max_nodes);
+    if (options.budget != nullptr) node_cap.chain_to(options.budget);
+    budget = &node_cap;
+    requested_threads = 1;
+  }
+  const auto exhausted_bail = [&]() -> std::optional<REStep> {
+    ++local.budget_exhausted;
+    if (options.stats) *options.stats += local;
+    return std::nullopt;
+  };
+  if (budget != nullptr && !budget->keep_going()) return exhausted_bail();
+
+  const std::size_t threads = ThreadPool::resolve_threads(requested_threads);
   local.threads_used = threads;
   std::optional<ThreadPool> pool_storage;
   const auto pool = [&]() -> ThreadPool* {
@@ -484,12 +515,15 @@ std::optional<REStep> re_core(const Problem& pi, bool universal_is_black,
   // probe from a scan over all members into one hash lookup; it is built
   // before the fan-out so the parallel phase only ever reads it.
   const auto t_harden = Clock::now();
-  universal.build_extension_index();
+  if (!universal.extension_index_built() && universal.build_extension_index()) {
+    ++local.extension_index_builds;
+  }
   local.extension_index_entries += universal.extension_index_size();
   const auto valid = enumerate_valid_configs(universal, candidates,
                                              options.max_configurations,
                                              candidates.size() >= 8 ? pool() : nullptr,
-                                             local);
+                                             budget, local);
+  if (budget != nullptr && budget->halted()) return exhausted_bail();
   if (!valid) {
     if (options.stats) *options.stats += local;
     return std::nullopt;
@@ -499,8 +533,9 @@ std::optional<REStep> re_core(const Problem& pi, bool universal_is_black,
 
   const auto t_dominate = Clock::now();
   const std::vector<SetConfig> maximal =
-      maximality_filter(*valid, valid->size() >= 64 ? pool() : nullptr, local);
+      maximality_filter(*valid, valid->size() >= 64 ? pool() : nullptr, budget, local);
   local.dominate_ms += ms_since(t_dominate);
+  if (budget != nullptr && budget->halted()) return exhausted_bail();
 
   // New alphabet: subsets appearing in at least one maximal configuration.
   std::unordered_set<SmallBitset> alphabet_set;
@@ -539,11 +574,14 @@ std::optional<REStep> re_core(const Problem& pi, bool universal_is_black,
     return std::nullopt;
   }
   const auto t_relax = Clock::now();
-  existential.build_extension_index();
+  if (!existential.extension_index_built() && existential.build_extension_index()) {
+    ++local.extension_index_builds;
+  }
   local.extension_index_entries += existential.extension_index_size();
-  Constraint relaxed =
-      build_relaxed(existential, alphabet, projected >= 256 ? pool() : nullptr, local);
+  Constraint relaxed = build_relaxed(existential, alphabet,
+                                     projected >= 256 ? pool() : nullptr, budget, local);
   local.relax_ms += ms_since(t_relax);
+  if (budget != nullptr && budget->halted()) return exhausted_bail();
 
   local.total_ms += ms_since(t_total);
   if (options.stats) *options.stats += local;
@@ -568,6 +606,8 @@ REStats& REStats::operator+=(const REStats& other) {
   relaxed_multisets += other.relaxed_multisets;
   relaxed_witness_hits += other.relaxed_witness_hits;
   relaxed_dfs_tests += other.relaxed_dfs_tests;
+  extension_index_builds += other.extension_index_builds;
+  budget_exhausted += other.budget_exhausted;
   threads_used = std::max(threads_used, other.threads_used);
   harden_ms += other.harden_ms;
   dominate_ms += other.dominate_ms;
@@ -581,18 +621,21 @@ std::string REStats::to_string() const {
   std::snprintf(
       buf, sizeof(buf),
       "threads=%zu | harden %.2f ms (dfs_nodes=%llu dedup=%llu extendable=%llu "
-      "memo=%llu configs=%llu) | dominate %.2f ms (tests=%llu skipped=%llu) | "
-      "relax %.2f ms (multisets=%llu witness=%llu dfs=%llu) | total %.2f ms",
+      "memo=%llu builds=%llu configs=%llu) | dominate %.2f ms (tests=%llu "
+      "skipped=%llu) | relax %.2f ms (multisets=%llu witness=%llu dfs=%llu) | "
+      "exhausted=%llu | total %.2f ms",
       threads_used, harden_ms, static_cast<unsigned long long>(dfs_nodes),
       static_cast<unsigned long long>(partials_deduped),
       static_cast<unsigned long long>(extendable_calls),
       static_cast<unsigned long long>(extension_index_entries),
+      static_cast<unsigned long long>(extension_index_builds),
       static_cast<unsigned long long>(configs_enumerated), dominate_ms,
       static_cast<unsigned long long>(domination_tests),
       static_cast<unsigned long long>(domination_skipped), relax_ms,
       static_cast<unsigned long long>(relaxed_multisets),
       static_cast<unsigned long long>(relaxed_witness_hits),
-      static_cast<unsigned long long>(relaxed_dfs_tests), total_ms);
+      static_cast<unsigned long long>(relaxed_dfs_tests),
+      static_cast<unsigned long long>(budget_exhausted), total_ms);
   return std::string(buf);
 }
 
@@ -609,8 +652,11 @@ std::optional<Problem> round_eliminate(const Problem& pi, const REOptions& optio
   if (!half) return std::nullopt;
   auto full = apply_Rbar(half->problem, options);
   if (!full) return std::nullopt;
+  // Move the pieces out of the intermediate problem rather than deep-copying
+  // them; the Constraint move also carries the memoized extension index.
   Problem out = drop_unused_labels(full->problem);
-  return Problem("RE(" + pi.name() + ")", out.registry(), out.white(), out.black());
+  return Problem("RE(" + pi.name() + ")", std::move(out.registry()),
+                 std::move(out.white()), std::move(out.black()));
 }
 
 bool is_fixed_point(const Problem& pi, const REOptions& options) {

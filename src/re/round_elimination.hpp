@@ -32,6 +32,7 @@
 
 #include "src/formalism/problem.hpp"
 #include "src/util/bitset.hpp"
+#include "src/util/budget.hpp"
 
 namespace slocal {
 
@@ -52,6 +53,9 @@ struct REStats {
   std::uint64_t relaxed_multisets = 0;    ///< set-multisets scanned
   std::uint64_t relaxed_witness_hits = 0; ///< admitted by a seeded minimal witness
   std::uint64_t relaxed_dfs_tests = 0;    ///< fell through to the choice DFS
+  // Budgets.
+  std::uint64_t extension_index_builds = 0;  ///< fresh index builds (cache misses)
+  std::uint64_t budget_exhausted = 0;     ///< applications aborted by a budget
   // Execution.
   std::size_t threads_used = 0;           ///< max parallelism across merged calls
   double harden_ms = 0.0;
@@ -78,6 +82,17 @@ struct REOptions {
   /// Parallelism: 0 = all hardware threads, 1 = serial, n = n-way.
   /// The result is identical for every value (see header comment).
   std::size_t threads = 0;
+  /// Node cap per R / R̄ application (hardened-DFS extensions, domination
+  /// scans, and relaxed-side multisets all count as nodes); 0 = unlimited.
+  /// A finite cap forces the serial path so the exhaustion point is
+  /// deterministic: the same input and cap either always complete with the
+  /// identical result or always abort (nullopt, stats->budget_exhausted
+  /// incremented) — never a wrong answer.
+  std::uint64_t max_nodes = 0;
+  /// Optional shared deadline/cancel token; tripping aborts the application
+  /// with nullopt exactly like max_nodes. Unlike max_nodes it does not force
+  /// the serial path — deadlines are inherently racy anyway.
+  SearchBudget* budget = nullptr;
   /// Optional perf-counter accumulator (see REStats); may be nullptr.
   REStats* stats = nullptr;
 };

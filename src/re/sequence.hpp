@@ -21,9 +21,18 @@ struct SequenceStepReport {
   std::size_t index = 0;          // i: checks Π_i against RE(Π_{i-1})
   bool re_computed = false;       // RE stayed within resource limits
   bool relaxation_found = false;  // Π_i is a relaxation of RE(Π_{i-1})
+  /// True when RE aborted because a budget tripped (as opposed to the
+  /// max_configurations / max_alphabet caps); re_computed is false then.
+  bool re_budget_exhausted = false;
+  /// Outcome of the relaxation search: kYes iff relaxation_found, kNo when
+  /// the search space was exhausted without a witness, kExhausted when a
+  /// budget tripped first (the step is unverified, not refuted).
+  Verdict relaxation_verdict = Verdict::kNo;
   std::size_t re_alphabet = 0;
   std::size_t re_white_size = 0;
   std::size_t re_black_size = 0;
+  std::uint64_t re_dfs_nodes = 0;       // hardened-DFS nodes spent on this step
+  std::uint64_t relaxation_nodes = 0;   // relaxation-search nodes on this step
 };
 
 struct SequenceReport {
@@ -34,7 +43,9 @@ struct SequenceReport {
 
 /// Verifies that `problems` is a lower bound sequence. Each step computes
 /// RE(Π_{i-1}) and checks that Π_i is a relaxation of it (label-map check
-/// first, bounded exact search as fallback).
+/// first, bounded exact search as fallback). The relaxation searches inherit
+/// options.threads and options.budget; a tripped budget marks the step
+/// exhausted (report invalid) but never flips a verified/refuted verdict.
 SequenceReport verify_lower_bound_sequence(const std::vector<Problem>& problems,
                                            const REOptions& options = {});
 

@@ -6,6 +6,18 @@
 
 namespace slocal {
 
+namespace {
+
+/// splitmix64: cheap, well-mixed 64-bit hash for seed-derived branching.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 Var SatSolver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(kUndef);
@@ -214,6 +226,16 @@ void SatSolver::backtrack(int target_level) {
   propagate_head_ = trail_.size();
 }
 
+void SatSolver::set_branch_seed(std::uint64_t seed) {
+  branch_seed_ = seed;
+  if (seed == 0) return;
+  // Tiny deterministic jitter (far below any real activity bump) so copies
+  // with different seeds break activity ties on different variables.
+  for (Var v = 0; v < activity_.size(); ++v) {
+    activity_[v] += 1e-9 * static_cast<double>(mix64(seed ^ v) >> 40);
+  }
+}
+
 std::optional<Lit> SatSolver::pick_branch() {
   Var best = 0;
   double best_activity = -1.0;
@@ -227,7 +249,10 @@ std::optional<Lit> SatSolver::pick_branch() {
   }
   if (!found) return std::nullopt;
   ++decisions_;
-  return Lit::negative(best);  // negative-first polarity
+  if (branch_seed_ != 0 && (mix64(branch_seed_ ^ (best * 0x10001ull)) & 1)) {
+    return Lit::positive(best);
+  }
+  return Lit::negative(best);  // default negative-first polarity
 }
 
 void SatSolver::reduce_learned() {
@@ -262,8 +287,9 @@ void SatSolver::reduce_learned() {
   }
 }
 
-SatResult SatSolver::solve(std::uint64_t conflict_budget) {
+SatResult SatSolver::solve(std::uint64_t conflict_budget, SearchBudget* budget) {
   if (unsat_) return SatResult::kUnsat;
+  if (budget != nullptr && !budget->keep_going()) return SatResult::kUnknown;
   if (propagate() != kNoReason) {
     unsat_ = true;
     return SatResult::kUnsat;
@@ -282,6 +308,10 @@ SatResult SatSolver::solve(std::uint64_t conflict_budget) {
         return SatResult::kUnsat;
       }
       if (conflict_budget != 0 && conflicts_ > conflict_budget) {
+        backtrack(0);
+        return SatResult::kUnknown;
+      }
+      if (budget != nullptr && !budget->charge_conflicts(1)) {
         backtrack(0);
         return SatResult::kUnknown;
       }
@@ -304,6 +334,10 @@ SatResult SatSolver::solve(std::uint64_t conflict_budget) {
         backtrack(0);
         reduce_learned();
         continue;
+      }
+      if (budget != nullptr && !budget->keep_going()) {
+        backtrack(0);
+        return SatResult::kUnknown;
       }
       const auto branch = pick_branch();
       if (!branch) return SatResult::kSat;

@@ -13,6 +13,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/util/budget.hpp"
+
 namespace slocal {
 
 using Var = std::uint32_t;
@@ -50,8 +52,21 @@ class SatSolver {
   /// after solve() has returned kUnsat.
   void add_clause(std::vector<Lit> lits);
 
-  /// Solves, optionally under a conflict budget (0 = unlimited).
-  SatResult solve(std::uint64_t conflict_budget = 0);
+  /// Solves, optionally under a conflict budget (0 = unlimited) and/or a
+  /// shared SearchBudget (deadline, external cancel, shared conflict limit).
+  /// Either budget tripping yields kUnknown — never a wrong kSat/kUnsat.
+  /// When `budget` is given, every conflict is also charged onto it, so a
+  /// portfolio sharing one budget across racing copies aggregates their
+  /// conflict totals.
+  SatResult solve(std::uint64_t conflict_budget = 0, SearchBudget* budget = nullptr);
+
+  /// Diversifies the branching heuristic for portfolio racing: seed != 0
+  /// perturbs variable activities by a tiny deterministic per-variable
+  /// jitter (breaking ties differently per seed) and derives decision
+  /// polarity from hash(seed, var) instead of the fixed negative-first
+  /// rule. Seed 0 restores the default deterministic heuristic. The solver
+  /// stays copyable, so one encoded instance can be cloned per seed.
+  void set_branch_seed(std::uint64_t seed);
 
   /// Model access after kSat.
   bool value(Var v) const;
@@ -102,6 +117,7 @@ class SatSolver {
   double clause_inc_ = 1.0;
 
   bool unsat_ = false;
+  std::uint64_t branch_seed_ = 0;
   std::uint64_t conflicts_ = 0;
   std::uint64_t decisions_ = 0;
   std::uint64_t propagations_ = 0;

@@ -10,14 +10,17 @@ namespace {
 
 /// Emits blocking clauses for a constrained node: for each minimal bad
 /// prefix over the node's incident edges (in order), the clause saying
-/// "not all of these selections together".
+/// "not all of these selections together". Charges `budget` per DFS node
+/// and stops early once it trips (the caller discards the encoding).
 void block_bad_prefixes(SatSolver& solver, const Constraint& constraint,
                         const std::vector<EdgeId>& incident,
                         const std::vector<std::vector<Var>>& edge_label_vars,
-                        std::size_t alphabet, std::size_t& clause_count) {
+                        std::size_t alphabet, std::size_t& clause_count,
+                        SearchBudget* budget) {
   std::vector<Label> prefix;
   prefix.reserve(incident.size());
   auto dfs = [&](auto&& self, std::size_t depth) -> void {
+    if (budget != nullptr && !budget->charge()) return;
     const Configuration partial{std::vector<Label>(prefix)};
     const bool ok = depth == incident.size() ? constraint.contains(partial)
                                              : constraint.extendable(partial);
@@ -43,13 +46,14 @@ void block_bad_prefixes(SatSolver& solver, const Constraint& constraint,
 
 }  // namespace
 
-std::optional<std::vector<Label>> solve_bipartite_labeling_sat(
-    const BipartiteGraph& g, const Problem& pi, std::uint64_t conflict_budget,
-    SatLabelingStats* stats) {
-  SatSolver solver;
+std::optional<LabelingCnf> encode_bipartite_labeling(const BipartiteGraph& g,
+                                                     const Problem& pi,
+                                                     SearchBudget* budget) {
+  LabelingCnf cnf;
+  SatSolver& solver = cnf.solver;
   const std::size_t alphabet = pi.alphabet_size();
-  std::vector<std::vector<Var>> x(g.edge_count());
-  std::size_t clause_count = 0;
+  std::vector<std::vector<Var>>& x = cnf.edge_label_vars;
+  x.resize(g.edge_count());
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     x[e].resize(alphabet);
     for (std::size_t l = 0; l < alphabet; ++l) x[e][l] = solver.new_var();
@@ -58,11 +62,11 @@ std::optional<std::vector<Label>> solve_bipartite_labeling_sat(
     at_least.reserve(alphabet);
     for (std::size_t l = 0; l < alphabet; ++l) at_least.push_back(Lit::positive(x[e][l]));
     solver.add_clause(std::move(at_least));
-    ++clause_count;
+    ++cnf.clause_count;
     for (std::size_t a = 0; a < alphabet; ++a) {
       for (std::size_t b = a + 1; b < alphabet; ++b) {
         solver.add_clause({Lit::negative(x[e][a]), Lit::negative(x[e][b])});
-        ++clause_count;
+        ++cnf.clause_count;
       }
     }
   }
@@ -71,28 +75,27 @@ std::optional<std::vector<Label>> solve_bipartite_labeling_sat(
     const auto span = g.white_incident(w);
     block_bad_prefixes(solver, pi.white(),
                        std::vector<EdgeId>(span.begin(), span.end()), x, alphabet,
-                       clause_count);
+                       cnf.clause_count, budget);
   }
   for (NodeId b = 0; b < g.black_count(); ++b) {
     if (g.black_degree(b) != pi.black_degree()) continue;
     const auto span = g.black_incident(b);
     block_bad_prefixes(solver, pi.black(),
                        std::vector<EdgeId>(span.begin(), span.end()), x, alphabet,
-                       clause_count);
+                       cnf.clause_count, budget);
   }
+  // A budget tripped mid-encoding leaves blocking clauses missing; the
+  // formula is an under-constraint and must not be solved.
+  if (budget != nullptr && budget->halted()) return std::nullopt;
+  return cnf;
+}
 
-  const SatResult result = solver.solve(conflict_budget);
-  if (stats != nullptr) {
-    stats->variables = solver.var_count();
-    stats->clauses = clause_count;
-    stats->conflicts = solver.conflicts();
-    stats->result = result;
-  }
-  if (result != SatResult::kSat) return std::nullopt;
-  std::vector<Label> labels(g.edge_count(), 0);
-  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+std::vector<Label> decode_bipartite_labeling(const LabelingCnf& cnf,
+                                             std::size_t alphabet) {
+  std::vector<Label> labels(cnf.edge_label_vars.size(), 0);
+  for (EdgeId e = 0; e < cnf.edge_label_vars.size(); ++e) {
     for (std::size_t l = 0; l < alphabet; ++l) {
-      if (solver.value(x[e][l])) {
+      if (cnf.solver.value(cnf.edge_label_vars[e][l])) {
         labels[e] = static_cast<Label>(l);
         break;
       }
@@ -101,11 +104,30 @@ std::optional<std::vector<Label>> solve_bipartite_labeling_sat(
   return labels;
 }
 
+std::optional<std::vector<Label>> solve_bipartite_labeling_sat(
+    const BipartiteGraph& g, const Problem& pi, std::uint64_t conflict_budget,
+    SatLabelingStats* stats, SearchBudget* budget) {
+  auto cnf = encode_bipartite_labeling(g, pi, budget);
+  if (!cnf) {
+    if (stats != nullptr) *stats = SatLabelingStats{};  // result = kUnknown
+    return std::nullopt;
+  }
+  const SatResult result = cnf->solver.solve(conflict_budget, budget);
+  if (stats != nullptr) {
+    stats->variables = cnf->solver.var_count();
+    stats->clauses = cnf->clause_count;
+    stats->conflicts = cnf->solver.conflicts();
+    stats->result = result;
+  }
+  if (result != SatResult::kSat) return std::nullopt;
+  return decode_bipartite_labeling(*cnf, pi.alphabet_size());
+}
+
 std::optional<std::vector<Label>> solve_graph_halfedge_labeling_sat(
     const Graph& g, const Problem& pi, std::uint64_t conflict_budget,
-    SatLabelingStats* stats) {
+    SatLabelingStats* stats, SearchBudget* budget) {
   return solve_bipartite_labeling_sat(Hypergraph::from_graph(g).incidence_graph(), pi,
-                                      conflict_budget, stats);
+                                      conflict_budget, stats, budget);
 }
 
 }  // namespace slocal

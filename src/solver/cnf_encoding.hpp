@@ -16,6 +16,7 @@
 #include "src/graph/bipartite.hpp"
 #include "src/graph/graph.hpp"
 #include "src/sat/solver.hpp"
+#include "src/util/budget.hpp"
 
 namespace slocal {
 
@@ -26,16 +27,38 @@ struct SatLabelingStats {
   SatResult result = SatResult::kUnknown;
 };
 
+/// An encoded labeling instance. The solver is copyable, so a portfolio can
+/// encode once and race several copies under different branching seeds.
+struct LabelingCnf {
+  SatSolver solver;
+  std::vector<std::vector<Var>> edge_label_vars;  // [edge][label]
+  std::size_t clause_count = 0;
+};
+
+/// Builds the CNF for "pi is solvable on g". The bad-prefix DFS charges
+/// `budget` (if given) per node; a tripped budget aborts the encoding and
+/// returns nullopt — a partial encoding must never be solved, since missing
+/// blocking clauses would make kSat unsound.
+std::optional<LabelingCnf> encode_bipartite_labeling(const BipartiteGraph& g,
+                                                     const Problem& pi,
+                                                     SearchBudget* budget = nullptr);
+
+/// Reads the edge labeling out of a solver in the kSat state.
+std::vector<Label> decode_bipartite_labeling(const LabelingCnf& cnf,
+                                             std::size_t alphabet);
+
 /// SAT-based equivalent of solve_bipartite_labeling. conflict_budget = 0
-/// means run to completion. Returns a labeling iff satisfiable.
+/// means run to completion; `budget` adds deadline/cancel/shared limits
+/// (tripping reports kUnknown in stats->result, never a wrong answer).
+/// Returns a labeling iff satisfiable.
 std::optional<std::vector<Label>> solve_bipartite_labeling_sat(
     const BipartiteGraph& g, const Problem& pi, std::uint64_t conflict_budget = 0,
-    SatLabelingStats* stats = nullptr);
+    SatLabelingStats* stats = nullptr, SearchBudget* budget = nullptr);
 
 /// SAT-based half-edge labeling on a plain graph (non-bipartite solving via
 /// the incidence graph; see solve_graph_halfedge_labeling).
 std::optional<std::vector<Label>> solve_graph_halfedge_labeling_sat(
     const Graph& g, const Problem& pi, std::uint64_t conflict_budget = 0,
-    SatLabelingStats* stats = nullptr);
+    SatLabelingStats* stats = nullptr, SearchBudget* budget = nullptr);
 
 }  // namespace slocal

@@ -17,7 +17,7 @@ class BacktrackSolver {
  public:
   BacktrackSolver(const BipartiteGraph& g, const Problem& pi,
                   const LabelingOptions& options)
-      : g_(g), pi_(pi), budget_(options.node_budget) {
+      : g_(g), pi_(pi), budget_(options.node_budget), shared_(options.budget) {
     whites_.resize(g.white_count());
     blacks_.resize(g.black_count());
     for (NodeId w = 0; w < g.white_count(); ++w) {
@@ -56,6 +56,10 @@ class BacktrackSolver {
       exhausted_ = true;
       return false;
     }
+    if (shared_ != nullptr && !shared_->charge()) {
+      exhausted_ = true;
+      return false;
+    }
     if (index == order_.size()) return true;
     const EdgeId e = order_[index];
     const BiEdge& edge = g_.edge(e);
@@ -78,6 +82,7 @@ class BacktrackSolver {
   const BipartiteGraph& g_;
   const Problem& pi_;
   std::uint64_t budget_;
+  SearchBudget* shared_;
   std::uint64_t visited_ = 0;
   bool exhausted_ = false;
   std::vector<NodeState> whites_;

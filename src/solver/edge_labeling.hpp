@@ -19,11 +19,17 @@
 #include "src/graph/bipartite.hpp"
 #include "src/graph/graph.hpp"
 #include "src/graph/hypergraph.hpp"
+#include "src/util/budget.hpp"
 
 namespace slocal {
 
 struct LabelingOptions {
+  /// Local cap on backtracking nodes for this one call (always enforced).
   std::uint64_t node_budget = 50'000'000;
+  /// Optional shared budget: every node is charged onto it, so a deadline,
+  /// external cancel, or shared node limit also stops the search. Tripping
+  /// reports as `*exhausted == true`, never as a wrong "unsolvable".
+  SearchBudget* budget = nullptr;
 };
 
 /// One label per edge; returns a solution or nullopt. `exhausted` (if

@@ -45,7 +45,7 @@ bool check_s_solution(const Graph& g, const Problem& pi,
 std::optional<HalfEdgeLabels> s_solution_from_lift(
     const Graph& g, const LiftedProblem& lift, std::size_t k,
     const Problem& target, const std::vector<bool>& in_s,
-    std::span<const std::size_t> lifted_half_labels) {
+    std::span<const std::size_t> lifted_half_labels, SearchBudget* budget) {
   if (lifted_half_labels.size() != 2 * g.edge_count()) return std::nullopt;
   const Problem& base = lift.base();
   const auto x_target = target.registry().find("X");
@@ -78,6 +78,8 @@ std::optional<HalfEdgeLabels> s_solution_from_lift(
     //   #{edges e : C not subseteq C_e(v)} <= |C| - 1   (Hall violation).
     bool assigned = false;
     for (std::size_t bits = 1; bits <= num_color_sets && !assigned; ++bits) {
+      // The 2^k - 1 candidate color sets per node are the search tree here.
+      if (budget != nullptr && !budget->charge()) return std::nullopt;
       const SmallBitset c(bits);
       std::vector<std::size_t> bad;  // positions where C is not contained
       for (std::size_t j = 0; j < c_e.size(); ++j) {
@@ -110,7 +112,8 @@ std::optional<HalfEdgeLabels> s_solution_from_lift(
 
 std::optional<std::vector<std::uint32_t>> coloring_from_s_solution(
     const Graph& g, const Problem& pi_delta_k, std::size_t k,
-    const std::vector<bool>& in_s, std::span<const Label> half_labels) {
+    const std::vector<bool>& in_s, std::span<const Label> half_labels,
+    SearchBudget* budget) {
   if (half_labels.size() != 2 * g.edge_count()) return std::nullopt;
   const auto x_label = pi_delta_k.registry().find("X");
   if (!x_label) return std::nullopt;
@@ -160,6 +163,7 @@ std::optional<std::vector<std::uint32_t>> coloring_from_s_solution(
     }
   }
   while (live > 0) {
+    if (budget != nullptr && !budget->charge()) return std::nullopt;
     bool found = false;
     for (NodeId v = 0; v < g.node_count(); ++v) {
       if (!remaining[v]) continue;

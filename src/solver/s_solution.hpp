@@ -20,6 +20,7 @@
 #include "src/formalism/problem.hpp"
 #include "src/graph/graph.hpp"
 #include "src/lift/lift.hpp"
+#include "src/util/budget.hpp"
 
 namespace slocal {
 
@@ -39,10 +40,13 @@ bool check_s_solution(const Graph& g, const Problem& pi,
 /// make_coloring_problem(Δ', k). Returns an S-solution of Π_Δ(k)
 /// (`target` = make_coloring_problem(Δ, k)), or nullopt if the construction
 /// fails (i.e. the input was not a valid S-solution).
+/// Both constructions below accept an optional SearchBudget; a tripped
+/// budget returns nullopt with budget->exhausted() set, distinguishing
+/// "ran out of budget" from "input was not a valid S-solution".
 std::optional<HalfEdgeLabels> s_solution_from_lift(
     const Graph& g, const LiftedProblem& lift, std::size_t k,
     const Problem& target, const std::vector<bool>& in_s,
-    std::span<const std::size_t> lifted_half_labels);
+    std::span<const std::size_t> lifted_half_labels, SearchBudget* budget = nullptr);
 
 /// Lemma 5.10 (constructive). From an S-solution of Π_Δ(k) produces a
 /// proper coloring of the subgraph induced by S with colors in [0, 2k)
@@ -50,6 +54,7 @@ std::optional<HalfEdgeLabels> s_solution_from_lift(
 /// input is not a valid S-solution.
 std::optional<std::vector<std::uint32_t>> coloring_from_s_solution(
     const Graph& g, const Problem& pi_delta_k, std::size_t k,
-    const std::vector<bool>& in_s, std::span<const Label> half_labels);
+    const std::vector<bool>& in_s, std::span<const Label> half_labels,
+    SearchBudget* budget = nullptr);
 
 }  // namespace slocal

@@ -25,7 +25,7 @@ std::vector<std::uint32_t> local_input_masks(std::size_t degree, std::size_t max
 }  // namespace
 
 bool zero_round_white_algorithm_exists(const BipartiteGraph& g, const Problem& pi,
-                                       ZeroRoundStats* stats) {
+                                       ZeroRoundStats* stats, SearchBudget* budget) {
   const std::size_t delta_prime = pi.white_degree();
   const std::size_t r_prime = pi.black_degree();
   const std::size_t alphabet = pi.alphabet_size();
@@ -64,6 +64,7 @@ bool zero_round_white_algorithm_exists(const BipartiteGraph& g, const Problem& p
       if (bits == delta_prime) {
         std::vector<Label> prefix;
         auto dfs = [&](auto&& self, std::size_t depth) -> void {
+          if (budget != nullptr && !budget->charge()) return;
           const Configuration partial{std::vector<Label>(prefix)};
           const bool ok = depth == bits ? pi.white().contains(partial)
                                         : pi.white().extendable(partial);
@@ -144,6 +145,7 @@ bool zero_round_white_algorithm_exists(const BipartiteGraph& g, const Problem& p
           // Block bad label tuples for (v_j, T_j, e_j).
           std::vector<Label> prefix;
           auto dfs = [&](auto&& self2, std::size_t depth) -> void {
+            if (budget != nullptr && !budget->charge()) return;
             const Configuration partial{std::vector<Label>(prefix)};
             const bool ok = depth == r_prime ? pi.black().contains(partial)
                                              : pi.black().extendable(partial);
@@ -171,21 +173,37 @@ bool zero_round_white_algorithm_exists(const BipartiteGraph& g, const Problem& p
           return;
         }
         for (family[j] = 0; family[j] < mask_options[j].size(); ++family[j]) {
+          if (budget != nullptr && budget->halted()) return;
           self(self, j + 1);
         }
       };
       enumerate(enumerate, 0);
-      return true;
+      // Stop enumerating scenarios once the budget tripped.
+      return budget == nullptr || !budget->halted();
     });
   }
 
-  const SatResult result = solver.solve();
-  if (stats != nullptr) {
-    stats->variables = solver.var_count();
-    stats->clauses = clause_count;
-    stats->black_scenarios = scenario_count;
+  const auto fill_stats = [&](Verdict verdict) {
+    if (stats != nullptr) {
+      stats->variables = solver.var_count();
+      stats->clauses = clause_count;
+      stats->black_scenarios = scenario_count;
+      stats->verdict = verdict;
+    }
+  };
+  // A budget tripped mid-encoding leaves black scenarios unconstrained; a
+  // kSat model would be unsound, so report exhausted without solving.
+  if (budget != nullptr && budget->halted()) {
+    fill_stats(Verdict::kExhausted);
+    return false;
   }
-  assert(result != SatResult::kUnknown);
+  const SatResult result = solver.solve(0, budget);
+  assert(budget != nullptr || result != SatResult::kUnknown);
+  if (result == SatResult::kUnknown) {
+    fill_stats(Verdict::kExhausted);
+    return false;
+  }
+  fill_stats(result == SatResult::kSat ? Verdict::kYes : Verdict::kNo);
   return result == SatResult::kSat;
 }
 

@@ -23,6 +23,7 @@
 
 #include "src/formalism/problem.hpp"
 #include "src/graph/bipartite.hpp"
+#include "src/util/budget.hpp"
 
 namespace slocal {
 
@@ -30,13 +31,19 @@ struct ZeroRoundStats {
   std::size_t variables = 0;
   std::size_t clauses = 0;
   std::size_t black_scenarios = 0;  // realizable (b, E_b, T_1..T_r') families
+  /// kYes/kNo when decided; kExhausted when a budget tripped (scenario
+  /// enumeration or the SAT solve stopped early). Without a budget the
+  /// decision is always exact.
+  Verdict verdict = Verdict::kNo;
 };
 
 /// Decides whether a deterministic 0-round white algorithm bipartitely
 /// solving `pi` exists on support `g` for input graphs with white degree
 /// <= pi.white_degree() and black degree <= pi.black_degree().
-/// Exact (no budget); intended for small supports.
+/// Exact when `budget` is null; a tripped budget returns false with
+/// stats->verdict == kExhausted (never a wrong "does not exist").
 bool zero_round_white_algorithm_exists(const BipartiteGraph& g, const Problem& pi,
-                                       ZeroRoundStats* stats = nullptr);
+                                       ZeroRoundStats* stats = nullptr,
+                                       SearchBudget* budget = nullptr);
 
 }  // namespace slocal

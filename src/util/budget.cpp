@@ -1,0 +1,114 @@
+#include "src/util/budget.hpp"
+
+#include <cstdio>
+
+namespace slocal {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kYes:
+      return "yes";
+    case Verdict::kNo:
+      return "no";
+    case Verdict::kExhausted:
+      return "exhausted";
+  }
+  return "?";
+}
+
+const char* to_string(ExhaustReason r) {
+  switch (r) {
+    case ExhaustReason::kNone:
+      return "none";
+    case ExhaustReason::kCancelled:
+      return "cancelled";
+    case ExhaustReason::kDeadline:
+      return "deadline";
+    case ExhaustReason::kNodes:
+      return "node limit";
+    case ExhaustReason::kConflicts:
+      return "conflict limit";
+  }
+  return "?";
+}
+
+void SearchBudget::set_deadline_ms(double ms) {
+  if (ms <= 0.0) {
+    has_deadline_ = false;
+    return;
+  }
+  deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double, std::milli>(ms));
+  has_deadline_ = true;
+}
+
+void SearchBudget::trip(ExhaustReason why) {
+  std::uint8_t expected = 0;
+  // First reason wins; later trips keep the original diagnostic.
+  reason_.compare_exchange_strong(expected, static_cast<std::uint8_t>(why),
+                                  std::memory_order_acq_rel);
+  stopped_.store(true, std::memory_order_release);
+}
+
+bool SearchBudget::poll() {
+  const std::uint64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed);
+  if ((tick & kPollMask) != 0) return true;
+  if (parent_ != nullptr && parent_->halted()) {
+    const ExhaustReason why = parent_->reason();
+    trip(why == ExhaustReason::kNone ? ExhaustReason::kCancelled : why);
+    return false;
+  }
+  if (has_deadline_ && Clock::now() >= deadline_) {
+    trip(ExhaustReason::kDeadline);
+    return false;
+  }
+  return true;
+}
+
+bool SearchBudget::charge(std::uint64_t nodes) {
+  if (halted()) return false;
+  const std::uint64_t used = nodes_.fetch_add(nodes, std::memory_order_relaxed) + nodes;
+  if (node_limit_ != kUnlimited && used > node_limit_) {
+    trip(ExhaustReason::kNodes);
+    return false;
+  }
+  return poll();
+}
+
+bool SearchBudget::charge_conflicts(std::uint64_t conflicts) {
+  if (halted()) return false;
+  const std::uint64_t used =
+      conflicts_.fetch_add(conflicts, std::memory_order_relaxed) + conflicts;
+  if (conflict_limit_ != kUnlimited && used > conflict_limit_) {
+    trip(ExhaustReason::kConflicts);
+    return false;
+  }
+  return poll();
+}
+
+bool SearchBudget::keep_going() {
+  if (halted()) return false;
+  return poll();
+}
+
+double SearchBudget::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+}
+
+std::string SearchBudget::describe() const {
+  const auto counter = [](std::uint64_t used, std::uint64_t limit) {
+    std::string s = std::to_string(used);
+    if (limit != kUnlimited) s += "/" + std::to_string(limit);
+    return s;
+  };
+  std::string out = halted() ? "exhausted (" + std::string(to_string(reason())) + ")"
+                             : "live";
+  out += ": nodes=" + counter(nodes_used(), node_limit_);
+  out += " conflicts=" + counter(conflicts_used(), conflict_limit_);
+  char ms[32];
+  std::snprintf(ms, sizeof(ms), " elapsed=%.1fms", elapsed_ms());
+  out += ms;
+  return out;
+}
+
+}  // namespace slocal

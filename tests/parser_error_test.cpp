@@ -1,0 +1,176 @@
+// Parser hardening: malformed input must produce a structured error with a
+// line/column position — never an assertion failure, abort, or a silently
+// wrong problem. Covers truncated input, malformed tokens, duplicate
+// configurations, and alphabets past the SmallBitset capacity.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "src/formalism/parser.hpp"
+#include "src/util/bitset.hpp"
+
+namespace slocal {
+namespace {
+
+/// Expects a parse failure and returns the structured error.
+ParseError expect_constraint_error(const std::string& text) {
+  LabelRegistry registry;
+  ParseError error;
+  const auto parsed = parse_constraint(text, registry, &error);
+  EXPECT_FALSE(parsed.has_value()) << "input parsed unexpectedly: " << text;
+  EXPECT_FALSE(error.message.empty());
+  return error;
+}
+
+TEST(ParserError, TruncatedBracket) {
+  const ParseError error = expect_constraint_error("M O\n[P Q");
+  EXPECT_NE(error.message.find("unterminated"), std::string::npos);
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_EQ(error.column, 1u);
+}
+
+TEST(ParserError, TruncatedBracketMidLine) {
+  const ParseError error = expect_constraint_error("A [B C");
+  EXPECT_NE(error.message.find("unterminated"), std::string::npos);
+  EXPECT_EQ(error.line, 1u);
+  EXPECT_EQ(error.column, 3u);
+}
+
+TEST(ParserError, StrayClosingBracket) {
+  const ParseError error = expect_constraint_error("A] B");
+  EXPECT_NE(error.message.find("stray ']'"), std::string::npos);
+  EXPECT_EQ(error.line, 1u);
+  EXPECT_EQ(error.column, 2u);
+}
+
+TEST(ParserError, EmptyAlternatives) {
+  const ParseError error = expect_constraint_error("[] A");
+  EXPECT_NE(error.message.find("empty alternatives"), std::string::npos);
+  EXPECT_EQ(error.line, 1u);
+}
+
+TEST(ParserError, NestedBrackets) {
+  const ParseError error = expect_constraint_error("[[A]]");
+  EXPECT_NE(error.message.find("nested"), std::string::npos);
+}
+
+TEST(ParserError, BadExponents) {
+  for (const char* text : {"A^", "A^0", "A^x", "A^99999999999999999999999"}) {
+    const ParseError error = expect_constraint_error(text);
+    EXPECT_NE(error.message.find("exponent"), std::string::npos) << text;
+    EXPECT_EQ(error.line, 1u) << text;
+    EXPECT_EQ(error.column, 2u) << text;
+  }
+}
+
+TEST(ParserError, EmptyConstraint) {
+  for (const char* text : {"", "   \n  ", "# only a comment\n"}) {
+    const ParseError error = expect_constraint_error(text);
+    EXPECT_NE(error.message.find("no configurations"), std::string::npos) << text;
+    EXPECT_EQ(error.line, 0u);  // global error: no position
+  }
+}
+
+TEST(ParserError, SizeMismatchReportsLine) {
+  const ParseError error = expect_constraint_error("A B\n# comment\nA B C");
+  EXPECT_NE(error.message.find("size mismatch"), std::string::npos);
+  EXPECT_EQ(error.line, 3u);  // comment lines still count in numbering
+}
+
+TEST(ParserError, DuplicateConfiguration) {
+  const ParseError error = expect_constraint_error("M O\nP P\nM O");
+  EXPECT_NE(error.message.find("duplicate"), std::string::npos);
+  EXPECT_EQ(error.line, 3u);
+}
+
+TEST(ParserError, DuplicateUpToMultisetOrder) {
+  // Configurations are multisets: "O M" is the same configuration as "M O".
+  const ParseError error = expect_constraint_error("M O\nO M");
+  EXPECT_NE(error.message.find("duplicate"), std::string::npos);
+  EXPECT_EQ(error.line, 2u);
+}
+
+TEST(ParserError, CondensedLineAddingNothingNewIsDuplicate) {
+  // [A B] expands to {A, B}; a later plain "A" adds nothing.
+  const ParseError error = expect_constraint_error("[A B]\nA");
+  EXPECT_NE(error.message.find("duplicate"), std::string::npos);
+  EXPECT_EQ(error.line, 2u);
+}
+
+TEST(ParserError, CondensedOverlapWithNewExpansionIsAccepted) {
+  // [A C] re-adds A but also introduces A/C — not fully redundant.
+  LabelRegistry registry;
+  ParseError error;
+  const auto parsed = parse_constraint("A\n[A C]", registry, &error);
+  ASSERT_TRUE(parsed.has_value()) << error.to_string();
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(ParserError, OversizedAlphabet) {
+  // One more label than SmallBitset can index. Degree-1 lines keep each
+  // configuration small while the alphabet grows without bound.
+  std::string text;
+  for (std::size_t i = 0; i <= SmallBitset::kCapacity; ++i) {
+    text += "L" + std::to_string(i) + "\n";
+  }
+  const ParseError error = expect_constraint_error(text);
+  EXPECT_NE(error.message.find("alphabet larger than"), std::string::npos);
+  EXPECT_EQ(error.line, SmallBitset::kCapacity + 1);  // the 65th line
+}
+
+TEST(ParserError, AlphabetExactlyAtCapacityParses) {
+  std::string text;
+  for (std::size_t i = 0; i < SmallBitset::kCapacity; ++i) {
+    text += "L" + std::to_string(i) + "\n";
+  }
+  LabelRegistry registry;
+  ParseError error;
+  const auto parsed = parse_constraint(text, registry, &error);
+  ASSERT_TRUE(parsed.has_value()) << error.to_string();
+  EXPECT_EQ(registry.size(), SmallBitset::kCapacity);
+}
+
+TEST(ParserError, ConfigurationLongerThan64Positions) {
+  const ParseError error = expect_constraint_error("A^65");
+  EXPECT_NE(error.message.find("longer than 64"), std::string::npos);
+  EXPECT_EQ(error.line, 1u);
+}
+
+TEST(ParserError, ProblemTextMissingSeparator) {
+  ParseError error;
+  EXPECT_FALSE(parse_problem_text("t", "A B\nB A", &error).has_value());
+  EXPECT_NE(error.message.find("---"), std::string::npos);
+}
+
+TEST(ParserError, ProblemTextBlackErrorsUseAbsoluteLineNumbers) {
+  ParseError error;
+  const auto parsed =
+      parse_problem_text("t", "# white\nM O\n---\nO M\n[P\n", &error);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_NE(error.message.find("unterminated"), std::string::npos);
+  EXPECT_EQ(error.line, 5u);  // file-absolute, past the separator
+}
+
+TEST(ParserError, ProblemTextParsesValidInput) {
+  ParseError error;
+  const auto parsed =
+      parse_problem_text("mm3", "M O^2\nP^3\n---\nM [O P]^2\nO^3\n", &error);
+  ASSERT_TRUE(parsed.has_value()) << error.to_string();
+  EXPECT_EQ(parsed->white_degree(), 3u);
+  EXPECT_EQ(parsed->black_degree(), 3u);
+  EXPECT_EQ(parsed->alphabet_size(), 3u);
+}
+
+TEST(ParserError, ToStringFormatsPosition) {
+  ParseError error;
+  error.message = "boom";
+  EXPECT_EQ(error.to_string(), "boom");
+  error.line = 3;
+  EXPECT_EQ(error.to_string(), "line 3: boom");
+  error.column = 7;
+  EXPECT_EQ(error.to_string(), "line 3, column 7: boom");
+}
+
+}  // namespace
+}  // namespace slocal

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/formalism/parser.hpp"
@@ -15,6 +16,7 @@
 #include "src/problems/coloring_family.hpp"
 #include "src/problems/matching_family.hpp"
 #include "src/re/round_elimination.hpp"
+#include "src/re/sequence.hpp"
 
 namespace slocal {
 namespace {
@@ -156,6 +158,52 @@ TEST(REDeterminism, StatsAccumulateAcrossCalls) {
   EXPECT_GT(after_one, 0u);
   ASSERT_TRUE(apply_R(pi, options).has_value());
   EXPECT_EQ(stats.extendable_calls, 2 * after_one);
+}
+
+TEST(REDeterminism, ExtensionIndexSurvivesProblemCopies) {
+  // The memoized extension index is a shared_ptr cache: copying a Problem
+  // (as verify_lower_bound_sequence and the families do constantly) must
+  // carry the already-built index instead of forcing a rebuild.
+  const Problem pi = make_sinkless_orientation_problem(3);
+  EXPECT_FALSE(pi.black().extension_index_built());
+  ASSERT_TRUE(pi.black().build_extension_index());
+  EXPECT_TRUE(pi.black().extension_index_built());
+
+  const Problem copy = pi;  // NOLINT: the copy is the point
+  EXPECT_TRUE(copy.black().extension_index_built());
+  EXPECT_EQ(copy.black().extension_index_size(), pi.black().extension_index_size());
+
+  Problem moved = copy;
+  const Problem moved_to = std::move(moved);
+  EXPECT_TRUE(moved_to.black().extension_index_built());
+}
+
+TEST(REDeterminism, ExtensionIndexBuildCountFlatAcrossSequenceRuns) {
+  // Verifying the same sequence repeatedly must not rebuild the extension
+  // indexes of the caller-held problems: run 1 pays their cache misses and
+  // memoizes the index on the (shared, copy-surviving) constraint caches.
+  // Later runs only rebuild on the fresh intermediate problem that
+  // round_eliminate creates internally, so the build count drops after run
+  // 1 and then stays exactly flat.
+  const auto re = round_eliminate(make_sinkless_orientation_problem(3), {});
+  ASSERT_TRUE(re.has_value());
+  // A fresh Π_0: its index cache is cold, so run 1 provably builds it.
+  const std::vector<Problem> sequence = {make_sinkless_orientation_problem(3), *re};
+
+  auto builds_for_run = [&sequence]() {
+    REStats stats;
+    REOptions options;
+    options.stats = &stats;
+    const SequenceReport report = verify_lower_bound_sequence(sequence, options);
+    EXPECT_TRUE(report.valid);
+    return stats.extension_index_builds;
+  };
+  const std::uint64_t run1 = builds_for_run();
+  const std::uint64_t run2 = builds_for_run();
+  const std::uint64_t run3 = builds_for_run();
+  EXPECT_GT(run1, 0u);    // first run actually built something
+  EXPECT_LT(run2, run1);  // the input problems' indexes were memoized
+  EXPECT_EQ(run2, run3);  // and the count stays flat from then on
 }
 
 }  // namespace

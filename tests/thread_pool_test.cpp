@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/budget.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace slocal {
@@ -99,6 +100,49 @@ TEST(ThreadPool, ParallelForEmptyAndSingletonRanges) {
     singleton.fetch_add(1);
   });
   EXPECT_EQ(singleton.load(), 1);
+}
+
+TEST(ThreadPool, CancellationStress) {
+  // Pattern used by the portfolio and the parallel relaxation search: tasks
+  // poll a shared SearchBudget, one of them cancels it early, and run_batch
+  // must still retire every task (cancellation is cooperative, not an
+  // abort). Repeat many rounds; the pool stays reusable throughout. CI runs
+  // this under ASan/UBSan to prove no task or allocation leaks.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    SearchBudget budget;
+    constexpr std::size_t kTasks = 16;
+    std::atomic<std::size_t> started{0};
+    std::atomic<std::size_t> finished{0};
+    std::atomic<std::size_t> stopped_early{0};
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      tasks.push_back([&, i] {
+        started.fetch_add(1);
+        if (i == round % kTasks) budget.cancel();  // one task is the "winner"
+        for (int spin = 0; spin < 5000; ++spin) {
+          if (budget.halted()) {
+            stopped_early.fetch_add(1);
+            break;
+          }
+        }
+        finished.fetch_add(1);
+      });
+    }
+    pool.run_batch(std::move(tasks));
+    // The barrier holds even when the budget tripped mid-batch.
+    EXPECT_EQ(started.load(), kTasks);
+    EXPECT_EQ(finished.load(), kTasks);
+    EXPECT_GE(stopped_early.load(), 1u);
+    EXPECT_TRUE(budget.halted());
+    EXPECT_EQ(budget.reason(), ExhaustReason::kCancelled);
+  }
+  // Pool still healthy after the churn.
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tail;
+  for (int i = 0; i < 8; ++i) tail.push_back([&sum] { sum.fetch_add(1); });
+  pool.run_batch(std::move(tail));
+  EXPECT_EQ(sum.load(), 8);
 }
 
 TEST(ThreadPool, ResolveThreads) {

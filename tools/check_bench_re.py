@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_RE.json against the committed baseline.
+
+Only deterministic quantities are compared: the engine's perf counters are
+bit-identical across thread counts (see tests/re_determinism_test.cpp), so
+any drift is a real behavior change, and growth beyond 2x is treated as a
+performance regression. Wall-clock fields, thread counts, and the portfolio
+winner (a race) are reported but never gate.
+
+Usage: check_bench_re.py <current.json> <baseline.json>
+Exit codes: 0 ok, 1 regression/mismatch, 2 bad input.
+"""
+
+import json
+import sys
+
+# Counters that must not grow beyond REGRESSION_FACTOR x baseline.
+GATED_COUNTERS = [
+    "dfs_nodes",
+    "partials_deduped",
+    "extendable_calls",
+    "extension_index_entries",
+    "configs_enumerated",
+    "domination_tests",
+    "domination_skipped",
+    "relaxed_multisets",
+    "relaxed_witness_hits",
+    "relaxed_dfs_tests",
+]
+
+REGRESSION_FACTOR = 2.0
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def check_counters(name, current, baseline):
+    rc = 0
+    for key in GATED_COUNTERS:
+        if key not in baseline:
+            continue  # baseline predates this counter
+        cur, base = current.get(key, 0), baseline[key]
+        if base == 0:
+            if cur > 0:
+                print(f"note: {name}.{key} appeared ({cur}, baseline 0)")
+            continue
+        ratio = cur / base
+        if ratio > REGRESSION_FACTOR:
+            rc |= fail(
+                f"{name}.{key} regressed {ratio:.2f}x ({base} -> {cur}, "
+                f"limit {REGRESSION_FACTOR}x)"
+            )
+        else:
+            print(f"ok: {name}.{key} {base} -> {cur} ({ratio:.2f}x)")
+    return rc
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            current = json.load(f)
+        with open(argv[2]) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot load inputs: {e}")
+        return 2
+
+    rc = 0
+    if current.get("bench") != "bench_re":
+        return fail("current file is not a bench_re report")
+
+    rc |= check_counters("e2_totals", current["e2_totals"], baseline["e2_totals"])
+
+    cur_rows = {(r["delta"], r["x"], r["y"]): r for r in current["e2_rows"]}
+    for base_row in baseline["e2_rows"]:
+        key = (base_row["delta"], base_row["x"], base_row["y"])
+        row = cur_rows.get(key)
+        if row is None:
+            rc |= fail(f"row {key} missing from current report")
+            continue
+        # Correctness flags must never flip off.
+        for flag in ("computed", "relaxation_verified"):
+            if base_row[flag] and not row[flag]:
+                rc |= fail(f"row {key}: {flag} flipped true -> false")
+        rc |= check_counters(f"row {key}", row["stats"], base_row["stats"])
+
+    demo = current.get("budget_demo")
+    base_demo = baseline.get("budget_demo")
+    if demo and base_demo:
+        if not demo["exhausted"]:
+            rc |= fail("budget_demo no longer exhausts under its node cap")
+        rc |= check_counters(
+            "budget_demo",
+            {"dfs_nodes": demo["dfs_nodes_at_exhaustion"]},
+            {"dfs_nodes": base_demo["dfs_nodes_at_exhaustion"]},
+        )
+
+    portfolio = current.get("portfolio_demo")
+    if portfolio:
+        print(
+            f"info: portfolio verdict={portfolio['verdict']} "
+            f"winner={portfolio['winner']} (not gated: the winner is a race)"
+        )
+        if portfolio["verdict"] != "yes":
+            rc |= fail("portfolio_demo verdict is not 'yes'")
+
+    print("bench_re counters within limits" if rc == 0 else "bench_re check FAILED")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
