@@ -3,29 +3,24 @@
 //
 // Runs the two independent deciders (direct 0-round algorithm search vs
 // lift materialization + labeling solver) over a corpus and reports the
-// agreement matrix; then times lift construction/materialization scaling.
+// agreement matrix; compares incremental vs from-scratch lift sweeps
+// (E3's scaling path); then times lift construction/materialization.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
 #include "src/graph/generators.hpp"
 #include "src/lift/lift.hpp"
+#include "src/lift/sweep.hpp"
 #include "src/problems/classic.hpp"
 #include "src/problems/coloring_family.hpp"
 #include "src/problems/matching_family.hpp"
-#include "src/solver/edge_labeling.hpp"
 #include "src/solver/zero_round.hpp"
 #include "src/util/combinatorics.hpp"
 #include "src/util/rng.hpp"
 
 namespace slocal {
 namespace {
-
-bool lift_solvable(const BipartiteGraph& g, const Problem& pi) {
-  const LiftedProblem lift(pi, g.white_degree(0), g.black_degree(0));
-  const auto explicit_problem = lift.materialize();
-  return explicit_problem && solve_bipartite_labeling(g, *explicit_problem).has_value();
-}
 
 void print_table() {
   std::printf(
@@ -56,7 +51,7 @@ void print_table() {
     const auto support = random_biregular(4, 3, 4, 3, rng);
     if (!support) continue;
     const bool direct = zero_round_white_algorithm_exists(*support, pi);
-    const bool lifted = lift_solvable(*support, pi);
+    const bool lifted = lift_solvable(*support, pi) == Verdict::kYes;
     if (direct != lifted) {
       ++disagree;
     } else if (direct) {
@@ -85,6 +80,44 @@ void print_table() {
   std::printf("\n");
 }
 
+/// E3 scaling path: the same Δ=3, r=1 sweep over nested gadget supports,
+/// once through the incremental engine and once from scratch, verdicts
+/// cross-checked.
+void print_sweep_comparison() {
+  const Problem base = make_maximal_matching_problem(3);
+  const std::size_t big_delta = 3, big_r = 1;
+  const auto supports = make_gadget_supports(big_delta, big_r, 1, 8);
+
+  LiftSweepOptions inc;
+  inc.incremental = true;
+  inc.certify_cores = true;
+  const LiftSweepResult incremental =
+      run_lift_sweep(base, big_delta, big_r, supports, inc);
+  LiftSweepOptions scr;
+  scr.incremental = false;
+  const LiftSweepResult scratch =
+      run_lift_sweep(base, big_delta, big_r, supports, scr);
+
+  std::printf("E3b incremental vs from-scratch lift sweep (Δ=3, r=1, %s)\n",
+              base.name().c_str());
+  std::printf("%8s | %9s | %12s | %12s | %9s | %9s\n", "gadgets", "verdicts",
+              "inc clauses+", "scr clauses", "inc ms", "scr ms");
+  bool all_match = true;
+  for (std::size_t i = 0; i < supports.size(); ++i) {
+    const LiftSweepStep& a = incremental.steps[i];
+    const LiftSweepStep& b = scratch.steps[i];
+    const bool match = a.verdict == b.verdict;
+    all_match = all_match && match;
+    std::printf("%8zu | %9s | %12zu | %12zu | %9.3f | %9.3f\n", i + 1,
+                match ? to_string(a.verdict) : "MISMATCH", a.new_clauses,
+                b.new_clauses, a.wall_ms, b.wall_ms);
+  }
+  std::printf("  totals: clauses %zu vs %zu, wall %.3f ms vs %.3f ms (%s)\n\n",
+              incremental.total_clauses, scratch.total_clauses,
+              incremental.total_wall_ms, scratch.total_wall_ms,
+              all_match ? "verdicts agree" : "VERDICTS DISAGREE — investigate!");
+}
+
 void BM_lift_construct(benchmark::State& state) {
   const Problem base = make_coloring_problem(3, static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
@@ -103,6 +136,22 @@ void BM_lift_materialize(benchmark::State& state) {
 }
 BENCHMARK(BM_lift_materialize)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
 
+void BM_lift_sweep(benchmark::State& state) {
+  const Problem base = make_maximal_matching_problem(3);
+  const auto supports =
+      make_gadget_supports(3, 1, 1, static_cast<std::size_t>(state.range(0)));
+  LiftSweepOptions options;
+  options.incremental = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_lift_sweep(base, 3, 1, supports, options));
+  }
+}
+BENCHMARK(BM_lift_sweep)
+    ->Args({6, 1})
+    ->Args({6, 0})
+    ->ArgNames({"gadgets", "incremental"})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_zero_round_decider(benchmark::State& state) {
   const Problem so = make_sinkless_orientation_problem(2);
   const BipartiteGraph g = make_bipartite_cycle(static_cast<std::size_t>(state.range(0)));
@@ -117,6 +166,7 @@ BENCHMARK(BM_zero_round_decider)->Arg(3)->Arg(5)->Arg(8)->Unit(benchmark::kMilli
 
 int main(int argc, char** argv) {
   slocal::print_table();
+  slocal::print_sweep_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -19,6 +19,7 @@
 
 #include "src/formalism/relaxation.hpp"
 #include "src/graph/generators.hpp"
+#include "src/lift/sweep.hpp"
 #include "src/problems/classic.hpp"
 #include "src/problems/coloring_family.hpp"
 #include "src/problems/matching_family.hpp"
@@ -94,9 +95,24 @@ struct PortfolioDemo {
   double wall_ms = 0.0;
 };
 
+/// E2f — the incremental lift sweep vs the from-scratch baseline on the E3
+/// workload (lift_{3,1}(MM_3) over nested gadget supports). The gated
+/// invariant is verdicts_match; the tracked payoff is clauses/wall-time
+/// saved by assumption-guarded reuse.
+struct SweepDemo {
+  std::size_t big_delta = 3, big_r = 1;
+  std::size_t supports = 0;
+  bool verdicts_match = false;
+  std::size_t incremental_clauses = 0, scratch_clauses = 0;
+  std::uint64_t incremental_conflicts = 0, scratch_conflicts = 0;
+  double incremental_wall_ms = 0.0, scratch_wall_ms = 0.0;
+  std::size_t cores_certified = 0;
+};
+
 void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                 double table_wall_ms, double serial_table_wall_ms,
-                const BudgetDemo& budget_demo, const PortfolioDemo& portfolio_demo) {
+                const BudgetDemo& budget_demo, const PortfolioDemo& portfolio_demo,
+                const SweepDemo& sweep_demo) {
   std::FILE* f = std::fopen("BENCH_RE.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write BENCH_RE.json\n");
@@ -105,7 +121,7 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"bench_re\",\n"
-               "  \"schema_version\": 2,\n"
+               "  \"schema_version\": 3,\n"
                "  \"hardware_threads\": %u,\n"
                "  \"e2_table_wall_ms\": %.3f,\n"
                "  \"e2_table_serial_wall_ms\": %.3f,\n"
@@ -152,11 +168,31 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                "    \"nodes\": %llu,\n"
                "    \"conflicts\": %llu,\n"
                "    \"wall_ms\": %.3f\n"
-               "  }\n}\n",
+               "  },\n",
                portfolio_demo.verdict.c_str(), portfolio_demo.winner.c_str(),
                static_cast<unsigned long long>(portfolio_demo.nodes),
                static_cast<unsigned long long>(portfolio_demo.conflicts),
                portfolio_demo.wall_ms);
+  std::fprintf(f,
+               "  \"incremental_sweep_demo\": {\n"
+               "    \"big_delta\": %zu, \"big_r\": %zu,\n"
+               "    \"supports\": %zu,\n"
+               "    \"verdicts_match\": %s,\n"
+               "    \"incremental_clauses\": %zu,\n"
+               "    \"scratch_clauses\": %zu,\n"
+               "    \"incremental_conflicts\": %llu,\n"
+               "    \"scratch_conflicts\": %llu,\n"
+               "    \"incremental_wall_ms\": %.3f,\n"
+               "    \"scratch_wall_ms\": %.3f,\n"
+               "    \"cores_certified\": %zu\n"
+               "  }\n}\n",
+               sweep_demo.big_delta, sweep_demo.big_r, sweep_demo.supports,
+               sweep_demo.verdicts_match ? "true" : "false",
+               sweep_demo.incremental_clauses, sweep_demo.scratch_clauses,
+               static_cast<unsigned long long>(sweep_demo.incremental_conflicts),
+               static_cast<unsigned long long>(sweep_demo.scratch_conflicts),
+               sweep_demo.incremental_wall_ms, sweep_demo.scratch_wall_ms,
+               sweep_demo.cores_certified);
   std::fclose(f);
   std::printf("wrote BENCH_RE.json\n\n");
 }
@@ -294,8 +330,56 @@ void print_table() {
         portfolio_demo.wall_ms);
   }
 
+  // E2f: incremental lift sweep vs from-scratch baseline on the E3 workload.
+  SweepDemo sweep_demo;
+  {
+    const Problem mm = make_maximal_matching_problem(3);
+    const auto supports =
+        make_gadget_supports(sweep_demo.big_delta, sweep_demo.big_r, 1, 8);
+    sweep_demo.supports = supports.size();
+
+    LiftSweepOptions inc;
+    inc.incremental = true;
+    inc.certify_cores = true;
+    const LiftSweepResult a = run_lift_sweep(mm, sweep_demo.big_delta,
+                                             sweep_demo.big_r, supports, inc);
+    LiftSweepOptions scr;
+    scr.incremental = false;
+    const LiftSweepResult b = run_lift_sweep(mm, sweep_demo.big_delta,
+                                             sweep_demo.big_r, supports, scr);
+
+    sweep_demo.verdicts_match =
+        a.lift_materialized && b.lift_materialized && a.steps.size() == b.steps.size();
+    for (std::size_t i = 0; sweep_demo.verdicts_match && i < a.steps.size(); ++i) {
+      sweep_demo.verdicts_match = a.steps[i].verdict == b.steps[i].verdict &&
+                                  a.steps[i].verdict != Verdict::kExhausted;
+    }
+    for (const LiftSweepStep& step : a.steps) {
+      if (step.verdict == Verdict::kNo && step.core_check == Verdict::kNo) {
+        ++sweep_demo.cores_certified;
+      }
+    }
+    sweep_demo.incremental_clauses = a.total_clauses;
+    sweep_demo.scratch_clauses = b.total_clauses;
+    sweep_demo.incremental_conflicts = a.total_conflicts;
+    sweep_demo.scratch_conflicts = b.total_conflicts;
+    sweep_demo.incremental_wall_ms = a.total_wall_ms;
+    sweep_demo.scratch_wall_ms = b.total_wall_ms;
+    std::printf(
+        "E2f incremental sweep, lift_{%zu,%zu}(MM_3) over %zu gadget supports: "
+        "verdicts %s | clauses %zu vs %zu | conflicts %llu vs %llu | "
+        "wall %.2f ms vs %.2f ms | cores certified %zu\n\n",
+        sweep_demo.big_delta, sweep_demo.big_r, sweep_demo.supports,
+        sweep_demo.verdicts_match ? "match" : "DIVERGE",
+        sweep_demo.incremental_clauses, sweep_demo.scratch_clauses,
+        static_cast<unsigned long long>(sweep_demo.incremental_conflicts),
+        static_cast<unsigned long long>(sweep_demo.scratch_conflicts),
+        sweep_demo.incremental_wall_ms, sweep_demo.scratch_wall_ms,
+        sweep_demo.cores_certified);
+  }
+
   write_json(rows, totals, table_wall_ms, serial_table_wall_ms, budget_demo,
-             portfolio_demo);
+             portfolio_demo, sweep_demo);
 }
 
 void BM_re_matching(benchmark::State& state) {

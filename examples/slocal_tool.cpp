@@ -13,6 +13,13 @@
 //                                           cycle:<h> | complete:<a>x<b>
 //   slocal_tool zero      <file> <support>  0-round Supported-LOCAL decision
 //   slocal_tool portfolio <file> <support>  race backtracking vs CDCL seeds
+//   slocal_tool sweep     <file> <Δ> <r> <family>
+//                                           lift_{Δ,r} solvability across a
+//                                           support family, incrementally
+//                                           (one SAT solver, assumption
+//                                           literals per support; --scratch
+//                                           re-encodes each size instead):
+//                                           gadgets:<lo>..<hi> | cycles:<lo>..<hi>
 //
 // Budget flags (accepted anywhere after the command):
 //   --timeout-ms=N   wall-clock limit for the command's searches
@@ -33,6 +40,7 @@
 #include "src/graph/generators.hpp"
 #include "src/graph/hypergraph.hpp"
 #include "src/lift/lift.hpp"
+#include "src/lift/sweep.hpp"
 #include "src/re/round_elimination.hpp"
 #include "src/solver/edge_labeling.hpp"
 #include "src/solver/portfolio.hpp"
@@ -227,7 +235,13 @@ int cmd_portfolio(const Problem& pi, const BipartiteGraph& support,
                   const BudgetFlags& flags) {
   PortfolioOptions options;
   options.timeout_ms = flags.timeout_ms;
-  if (flags.max_nodes > 0) options.node_budget = flags.max_nodes;
+  if (flags.max_nodes > 0) {
+    // --max-nodes caps every engine in the race: backtracking nodes and
+    // CDCL conflicts are each a search-step analogue, so an unwinnable
+    // budget yields kExhausted (exit 3) instead of a free unlimited solve.
+    options.node_budget = flags.max_nodes;
+    options.conflict_budget = flags.max_nodes;
+  }
   const PortfolioResult result = solve_labeling_portfolio(support, pi, options);
   std::printf("portfolio: %s", to_string(result.verdict));
   if (!result.winner.empty()) std::printf(" (winner: %s)", result.winner.c_str());
@@ -250,10 +264,86 @@ int cmd_portfolio(const Problem& pi, const BipartiteGraph& support,
   return 0;
 }
 
+/// Parses "gadgets:<lo>..<hi>" / "cycles:<lo>..<hi>" into a support family
+/// laid out for incremental reuse (src/lift/sweep.hpp).
+std::optional<std::vector<BipartiteGraph>> load_family(const std::string& spec,
+                                                       std::size_t big_delta,
+                                                       std::size_t big_r) {
+  const auto parse_range = [](const char* body, std::size_t* lo, std::size_t* hi) {
+    char* end = nullptr;
+    *lo = std::strtoul(body, &end, 10);
+    if (end == nullptr || std::strncmp(end, "..", 2) != 0) return false;
+    *hi = std::strtoul(end + 2, nullptr, 10);
+    return *lo >= 1 && *hi >= *lo;
+  };
+  std::size_t lo = 0, hi = 0;
+  if (spec.rfind("gadgets:", 0) == 0 && parse_range(spec.c_str() + 8, &lo, &hi)) {
+    return make_gadget_supports(big_delta, big_r, lo, hi);
+  }
+  if (spec.rfind("cycles:", 0) == 0 && parse_range(spec.c_str() + 7, &lo, &hi)) {
+    if (big_delta == 2 && big_r == 2 && lo >= 2) return make_cycle_supports(lo, hi);
+    std::fprintf(stderr, "cycles family needs Δ = r = 2 and lo >= 2\n");
+    return std::nullopt;
+  }
+  std::fprintf(stderr,
+               "bad family spec '%s' (want gadgets:<lo>..<hi> or "
+               "cycles:<lo>..<hi>)\n",
+               spec.c_str());
+  return std::nullopt;
+}
+
+int cmd_sweep(const Problem& pi, std::size_t big_delta, std::size_t big_r,
+              const std::string& family_spec, bool scratch,
+              const BudgetFlags& flags) {
+  if (big_delta < pi.white_degree() || big_r < pi.black_degree()) {
+    std::fprintf(stderr, "lift targets must dominate the problem degrees\n");
+    return 1;
+  }
+  const auto supports = load_family(family_spec, big_delta, big_r);
+  if (!supports) return 1;
+
+  SearchBudget budget_storage;
+  LiftSweepOptions options;
+  options.incremental = !scratch;
+  options.certify_cores = !scratch;
+  options.budget = flags.configure(budget_storage);
+  const LiftSweepResult result =
+      run_lift_sweep(pi, big_delta, big_r, *supports, options);
+  if (!result.lift_materialized) {
+    std::fprintf(stderr, "lift too large to materialize\n");
+    return 1;
+  }
+
+  std::printf("lift_{%zu,%zu}(%s) sweep over %s (%s)\n", big_delta, big_r,
+              pi.name().c_str(), family_spec.c_str(),
+              scratch ? "from scratch" : "incremental");
+  bool exhausted = false;
+  for (std::size_t i = 0; i < result.steps.size(); ++i) {
+    const LiftSweepStep& step = result.steps[i];
+    std::printf("  support %zu (%zu edges): %s", i + 1, step.edges,
+                to_string(step.verdict));
+    if (step.verdict == Verdict::kNo && step.core_nodes > 0) {
+      std::printf(" (core: %zu nodes%s)", step.core_nodes,
+                  step.core_check == Verdict::kNo ? ", certified" : "");
+    }
+    std::printf(" [clauses+=%zu wall=%.2fms]\n", step.new_clauses, step.wall_ms);
+    exhausted = exhausted || step.verdict == Verdict::kExhausted;
+  }
+  std::printf("total: %zu clauses, %llu conflicts, %.2f ms\n", result.total_clauses,
+              static_cast<unsigned long long>(result.total_conflicts),
+              result.total_wall_ms);
+  if (exhausted) {
+    if (options.budget != nullptr) return report_exhausted(budget_storage);
+    std::fprintf(stderr, "budget exhausted\n");
+    return kExitExhausted;
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: slocal_tool print|re|fixed|lift|solve|zero|portfolio "
-               "<file> [args] [--timeout-ms=N] [--max-nodes=N]\n");
+               "usage: slocal_tool print|re|fixed|lift|solve|zero|portfolio|sweep "
+               "<file> [args] [--timeout-ms=N] [--max-nodes=N] [--scratch]\n");
   return 64;
 }
 
@@ -262,12 +352,15 @@ int usage() {
 int main(int argc, char** argv) {
   // Split budget flags from positional arguments.
   BudgetFlags flags;
+  bool scratch = false;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
       flags.timeout_ms = std::strtoull(argv[i] + 13, nullptr, 10);
     } else if (std::strncmp(argv[i], "--max-nodes=", 12) == 0) {
       flags.max_nodes = std::strtoull(argv[i] + 12, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--scratch") == 0) {
+      scratch = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -282,6 +375,10 @@ int main(int argc, char** argv) {
   if (cmd == "lift" && args.size() >= 4) {
     return cmd_lift(*pi, std::strtoul(args[2], nullptr, 10),
                     std::strtoul(args[3], nullptr, 10));
+  }
+  if (cmd == "sweep" && args.size() >= 5) {
+    return cmd_sweep(*pi, std::strtoul(args[2], nullptr, 10),
+                     std::strtoul(args[3], nullptr, 10), args[4], scratch, flags);
   }
   if ((cmd == "solve" || cmd == "zero" || cmd == "portfolio") && args.size() >= 3) {
     const auto support = load_support(args[2]);

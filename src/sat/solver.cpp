@@ -32,6 +32,7 @@ Var SatSolver::new_var() {
 
 void SatSolver::add_clause(std::vector<Lit> lits) {
   if (unsat_) return;
+  assert(trail_limits_.empty() && "clauses may only be added at decision level 0");
   // Normalize: sort, dedupe, drop tautologies and false-at-root literals.
   std::sort(lits.begin(), lits.end(),
             [](Lit a, Lit b) { return a.code() < b.code(); });
@@ -212,6 +213,32 @@ void SatSolver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
   if (learned.size() > 1) std::swap(learned[1], learned[swap_pos]);
 }
 
+void SatSolver::analyze_final(Lit failed) {
+  failed_assumptions_.clear();
+  failed_assumptions_.push_back(failed);
+  // ~failed holds at the root: the clauses alone already refute `failed`;
+  // no other assumption participates.
+  if (trail_limits_.empty() || level_[failed.var()] == 0) return;
+  // Walk the trail above level 0 from the top, expanding reasons. A marked
+  // literal with no reason is a decision, and every decision at this point
+  // is an assumption (analyze_final only runs while assumptions are being
+  // established, before any heuristic branching) — it joins the core.
+  seen_[failed.var()] = 1;
+  for (std::size_t i = trail_.size(); i-- > trail_limits_[0];) {
+    const Lit x = trail_[i];
+    if (!seen_[x.var()]) continue;
+    if (reason_[x.var()] == kNoReason) {
+      failed_assumptions_.push_back(x);
+    } else {
+      for (const Lit q : clauses_[reason_[x.var()]].lits) {
+        if (level_[q.var()] > 0) seen_[q.var()] = 1;
+      }
+    }
+    seen_[x.var()] = 0;
+  }
+  seen_[failed.var()] = 0;
+}
+
 void SatSolver::backtrack(int target_level) {
   while (static_cast<int>(trail_limits_.size()) > target_level) {
     const std::size_t limit = trail_limits_.back();
@@ -263,6 +290,7 @@ void SatSolver::reduce_learned() {
     if (clauses_[cr].learned && clauses_[cr].lits.size() > 2) learned.push_back(cr);
   }
   if (learned.size() < 2000) return;
+  ++learned_gc_runs_;
   std::sort(learned.begin(), learned.end(), [&](ClauseRef a, ClauseRef b) {
     return clauses_[a].activity < clauses_[b].activity;
   });
@@ -283,11 +311,21 @@ void SatSolver::reduce_learned() {
     if (drop[cr]) {
       clauses_[cr].lits.clear();
       clauses_[cr].lits.shrink_to_fit();
+      --learned_count_;
     }
   }
 }
 
+void SatSolver::save_model() { model_ = assigns_; }
+
 SatResult SatSolver::solve(std::uint64_t conflict_budget, SearchBudget* budget) {
+  return solve_under_assumptions({}, conflict_budget, budget);
+}
+
+SatResult SatSolver::solve_under_assumptions(std::span<const Lit> assumptions,
+                                             std::uint64_t conflict_budget,
+                                             SearchBudget* budget) {
+  failed_assumptions_.clear();
   if (unsat_) return SatResult::kUnsat;
   if (budget != nullptr && !budget->keep_going()) return SatResult::kUnknown;
   if (propagate() != kNoReason) {
@@ -304,6 +342,7 @@ SatResult SatSolver::solve(std::uint64_t conflict_budget, SearchBudget* budget) 
       ++conflicts_;
       ++conflicts_since_restart;
       if (trail_limits_.empty()) {
+        // Conflict below every assumption: the clauses alone are UNSAT.
         unsat_ = true;
         return SatResult::kUnsat;
       }
@@ -323,6 +362,7 @@ SatResult SatSolver::solve(std::uint64_t conflict_budget, SearchBudget* budget) 
       } else {
         const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
         clauses_.push_back(Clause{learned, true, clause_inc_});
+        ++learned_count_;
         attach(cr);
         enqueue(learned[0], cr);
       }
@@ -339,8 +379,38 @@ SatResult SatSolver::solve(std::uint64_t conflict_budget, SearchBudget* budget) 
         backtrack(0);
         return SatResult::kUnknown;
       }
+      // Establish the next pending assumption before any heuristic branch
+      // (restarts and deep backjumps may have popped earlier ones — they are
+      // re-established here, never re-learned).
+      bool enqueued_assumption = false;
+      bool assumption_failed = false;
+      while (trail_limits_.size() < assumptions.size()) {
+        const Lit p = assumptions[trail_limits_.size()];
+        const std::uint8_t v = lit_value(p);
+        if (v == kTrue) {
+          trail_limits_.push_back(trail_.size());  // already implied: dummy level
+        } else if (v == kFalse) {
+          analyze_final(p);
+          assumption_failed = true;
+          break;
+        } else {
+          trail_limits_.push_back(trail_.size());
+          enqueue(p, kNoReason);
+          enqueued_assumption = true;
+          break;
+        }
+      }
+      if (assumption_failed) {
+        backtrack(0);
+        return SatResult::kUnsat;
+      }
+      if (enqueued_assumption) continue;
       const auto branch = pick_branch();
-      if (!branch) return SatResult::kSat;
+      if (!branch) {
+        save_model();
+        backtrack(0);
+        return SatResult::kSat;
+      }
       trail_limits_.push_back(trail_.size());
       enqueue(*branch, kNoReason);
     }
@@ -348,8 +418,8 @@ SatResult SatSolver::solve(std::uint64_t conflict_budget, SearchBudget* budget) 
 }
 
 bool SatSolver::value(Var v) const {
-  assert(assigns_[v] != kUndef);
-  return assigns_[v] == kTrue;
+  assert(v < model_.size() && model_[v] != kUndef);
+  return model_[v] == kTrue;
 }
 
 }  // namespace slocal

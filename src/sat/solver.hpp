@@ -1,4 +1,4 @@
-// A compact CDCL SAT solver.
+// A compact incremental CDCL SAT solver.
 //
 // The framework reduces its central graph-theoretic question — "does
 // problem Ψ (typically lift(Π')) admit a solution on support graph G?" —
@@ -6,11 +6,21 @@
 // external solver is assumed; this is a self-contained implementation of
 // the standard architecture: two-watched-literal propagation, first-UIP
 // conflict analysis with clause learning, VSIDS-style activity ordering,
-// geometric restarts, and learned-clause reduction.
+// geometric restarts, and activity-based learned-clause reduction.
+//
+// The solver is *incremental* in the MiniSat sense: clauses can be added
+// between solve calls (learned clauses are retained across them), and
+// solve_under_assumptions() decides satisfiability under a conjunction of
+// assumption literals without committing them — an UNSAT answer comes with
+// failed_assumptions(), a subset of the assumptions whose conjunction the
+// clause set refutes. Lift sweeps (src/solver/cnf_encoding.hpp) use this to
+// encode a family of supports once and flip per-support constraints on and
+// off through assumption-guarded clauses.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/util/budget.hpp"
@@ -48,8 +58,10 @@ class SatSolver {
   std::size_t var_count() const { return assigns_.size(); }
 
   /// Adds a clause (empty clause makes the formula trivially UNSAT;
-  /// duplicate and opposite literals are handled). Must not be called
-  /// after solve() has returned kUnsat.
+  /// duplicate and opposite literals are handled). May be called between
+  /// solve calls — the solver always returns to decision level 0 — but not
+  /// after solve() has returned kUnsat with no assumptions (the formula is
+  /// then permanently contradictory).
   void add_clause(std::vector<Lit> lits);
 
   /// Solves, optionally under a conflict budget (0 = unlimited) and/or a
@@ -60,6 +72,21 @@ class SatSolver {
   /// conflict totals.
   SatResult solve(std::uint64_t conflict_budget = 0, SearchBudget* budget = nullptr);
 
+  /// Solves under the conjunction of `assumptions` without committing them:
+  /// the solver state (clauses, learned clauses, activities) survives the
+  /// call and further solves may use different assumptions. kUnsat means
+  /// the clauses refute the assumption conjunction; failed_assumptions()
+  /// then holds a subset of `assumptions` that already suffices (empty iff
+  /// the clause set is unsatisfiable on its own). Budgets as in solve().
+  SatResult solve_under_assumptions(std::span<const Lit> assumptions,
+                                    std::uint64_t conflict_budget = 0,
+                                    SearchBudget* budget = nullptr);
+
+  /// After solve_under_assumptions() returned kUnsat: an unsatisfiable core
+  /// over the assumption literals (their conjunction is refuted by the
+  /// clauses alone when empty). Invalidated by the next solve call.
+  std::span<const Lit> failed_assumptions() const { return failed_assumptions_; }
+
   /// Diversifies the branching heuristic for portfolio racing: seed != 0
   /// perturbs variable activities by a tiny deterministic per-variable
   /// jitter (breaking ties differently per seed) and derives decision
@@ -68,12 +95,17 @@ class SatSolver {
   /// stays copyable, so one encoded instance can be cloned per seed.
   void set_branch_seed(std::uint64_t seed);
 
-  /// Model access after kSat.
+  /// Model access after kSat (the model of the most recent kSat solve; it
+  /// survives later clause additions until the next solve call).
   bool value(Var v) const;
 
   std::uint64_t conflicts() const { return conflicts_; }
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t propagations() const { return propagations_; }
+  /// Learned clauses currently retained (survivors of the activity GC).
+  std::size_t learned_clauses() const { return learned_count_; }
+  /// Activity-based learned-clause GC sweeps run so far.
+  std::uint64_t learned_gc_runs() const { return learned_gc_runs_; }
 
  private:
   enum : std::uint8_t { kTrue = 0, kFalse = 1, kUndef = 2 };
@@ -96,12 +128,16 @@ class SatSolver {
   void enqueue(Lit l, ClauseRef reason);
   ClauseRef propagate();  // returns conflicting clause or kNoReason
   void analyze(ClauseRef conflict, std::vector<Lit>& learned, int& backtrack_level);
+  /// Fills failed_assumptions_ with the assumptions that imply ~failed
+  /// (plus `failed` itself) — the assumption-level analogue of analyze().
+  void analyze_final(Lit failed);
   void backtrack(int level);
   void bump_var(Var v);
   void decay_activities();
   std::optional<Lit> pick_branch();
   void attach(ClauseRef cr);
   void reduce_learned();
+  void save_model();
 
   std::vector<Clause> clauses_;
   std::vector<std::vector<ClauseRef>> watches_;  // indexed by literal code
@@ -121,7 +157,11 @@ class SatSolver {
   std::uint64_t conflicts_ = 0;
   std::uint64_t decisions_ = 0;
   std::uint64_t propagations_ = 0;
+  std::size_t learned_count_ = 0;
+  std::uint64_t learned_gc_runs_ = 0;
 
+  std::vector<std::uint8_t> model_;  // assigns_ snapshot of the last kSat
+  std::vector<Lit> failed_assumptions_;
   std::vector<std::uint8_t> seen_;  // scratch for analyze()
 };
 

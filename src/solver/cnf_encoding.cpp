@@ -1,5 +1,6 @@
 #include "src/solver/cnf_encoding.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/graph/hypergraph.hpp"
@@ -10,31 +11,35 @@ namespace {
 
 /// Emits blocking clauses for a constrained node: for each minimal bad
 /// prefix over the node's incident edges (in order), the clause saying
-/// "not all of these selections together". Charges `budget` per DFS node
-/// and stops early once it trips (the caller discards the encoding).
+/// "not all of these selections together". `incident_vars[i]` is the
+/// per-label variable block of the node's i-th incident edge. When `guard`
+/// is given, it is appended to every clause (the selector-literal idiom:
+/// pass the negation of an activation variable, assume the variable to
+/// activate the constraint). Charges `budget` per DFS node and stops early
+/// once it trips (the caller discards the encoding).
 void block_bad_prefixes(SatSolver& solver, const Constraint& constraint,
-                        const std::vector<EdgeId>& incident,
-                        const std::vector<std::vector<Var>>& edge_label_vars,
+                        const std::vector<const std::vector<Var>*>& incident_vars,
                         std::size_t alphabet, std::size_t& clause_count,
-                        SearchBudget* budget) {
+                        SearchBudget* budget, const Lit* guard = nullptr) {
   std::vector<Label> prefix;
-  prefix.reserve(incident.size());
+  prefix.reserve(incident_vars.size());
   auto dfs = [&](auto&& self, std::size_t depth) -> void {
     if (budget != nullptr && !budget->charge()) return;
     const Configuration partial{std::vector<Label>(prefix)};
-    const bool ok = depth == incident.size() ? constraint.contains(partial)
-                                             : constraint.extendable(partial);
+    const bool ok = depth == incident_vars.size() ? constraint.contains(partial)
+                                                  : constraint.extendable(partial);
     if (!ok) {
       std::vector<Lit> clause;
-      clause.reserve(depth);
+      clause.reserve(depth + (guard != nullptr ? 1 : 0));
       for (std::size_t i = 0; i < depth; ++i) {
-        clause.push_back(Lit::negative(edge_label_vars[incident[i]][prefix[i]]));
+        clause.push_back(Lit::negative((*incident_vars[i])[prefix[i]]));
       }
+      if (guard != nullptr) clause.push_back(*guard);
       solver.add_clause(std::move(clause));
       ++clause_count;
       return;  // minimal prefix blocked; no need to extend
     }
-    if (depth == incident.size()) return;
+    if (depth == incident_vars.size()) return;
     for (std::size_t l = 0; l < alphabet; ++l) {
       prefix.push_back(static_cast<Label>(l));
       self(self, depth + 1);
@@ -42,6 +47,26 @@ void block_bad_prefixes(SatSolver& solver, const Constraint& constraint,
     }
   };
   dfs(dfs, 0);
+}
+
+/// Creates the per-label variable block and exactly-one clauses for one
+/// edge (at least one + pairwise at-most-one).
+std::vector<Var> make_edge_vars(SatSolver& solver, std::size_t alphabet,
+                                std::size_t& clause_count) {
+  std::vector<Var> vars(alphabet);
+  for (std::size_t l = 0; l < alphabet; ++l) vars[l] = solver.new_var();
+  std::vector<Lit> at_least;
+  at_least.reserve(alphabet);
+  for (std::size_t l = 0; l < alphabet; ++l) at_least.push_back(Lit::positive(vars[l]));
+  solver.add_clause(std::move(at_least));
+  ++clause_count;
+  for (std::size_t a = 0; a < alphabet; ++a) {
+    for (std::size_t b = a + 1; b < alphabet; ++b) {
+      solver.add_clause({Lit::negative(vars[a]), Lit::negative(vars[b])});
+      ++clause_count;
+    }
+  }
+  return vars;
 }
 
 }  // namespace
@@ -55,34 +80,23 @@ std::optional<LabelingCnf> encode_bipartite_labeling(const BipartiteGraph& g,
   std::vector<std::vector<Var>>& x = cnf.edge_label_vars;
   x.resize(g.edge_count());
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    x[e].resize(alphabet);
-    for (std::size_t l = 0; l < alphabet; ++l) x[e][l] = solver.new_var();
-    // Exactly-one: at least one + pairwise at-most-one.
-    std::vector<Lit> at_least;
-    at_least.reserve(alphabet);
-    for (std::size_t l = 0; l < alphabet; ++l) at_least.push_back(Lit::positive(x[e][l]));
-    solver.add_clause(std::move(at_least));
-    ++cnf.clause_count;
-    for (std::size_t a = 0; a < alphabet; ++a) {
-      for (std::size_t b = a + 1; b < alphabet; ++b) {
-        solver.add_clause({Lit::negative(x[e][a]), Lit::negative(x[e][b])});
-        ++cnf.clause_count;
-      }
-    }
+    x[e] = make_edge_vars(solver, alphabet, cnf.clause_count);
   }
+  const auto block_node = [&](const Constraint& constraint,
+                              std::span<const EdgeId> incident) {
+    std::vector<const std::vector<Var>*> incident_vars;
+    incident_vars.reserve(incident.size());
+    for (const EdgeId e : incident) incident_vars.push_back(&x[e]);
+    block_bad_prefixes(solver, constraint, incident_vars, alphabet,
+                       cnf.clause_count, budget);
+  };
   for (NodeId w = 0; w < g.white_count(); ++w) {
     if (g.white_degree(w) != pi.white_degree()) continue;
-    const auto span = g.white_incident(w);
-    block_bad_prefixes(solver, pi.white(),
-                       std::vector<EdgeId>(span.begin(), span.end()), x, alphabet,
-                       cnf.clause_count, budget);
+    block_node(pi.white(), g.white_incident(w));
   }
   for (NodeId b = 0; b < g.black_count(); ++b) {
     if (g.black_degree(b) != pi.black_degree()) continue;
-    const auto span = g.black_incident(b);
-    block_bad_prefixes(solver, pi.black(),
-                       std::vector<EdgeId>(span.begin(), span.end()), x, alphabet,
-                       cnf.clause_count, budget);
+    block_node(pi.black(), g.black_incident(b));
   }
   // A budget tripped mid-encoding leaves blocking clauses missing; the
   // formula is an under-constraint and must not be solved.
@@ -128,6 +142,155 @@ std::optional<std::vector<Label>> solve_graph_halfedge_labeling_sat(
     SatLabelingStats* stats, SearchBudget* budget) {
   return solve_bipartite_labeling_sat(Hypergraph::from_graph(g).incidence_graph(), pi,
                                       conflict_budget, stats, budget);
+}
+
+IncrementalLabelingSweep::IncrementalLabelingSweep(Problem pi) : pi_(std::move(pi)) {
+  // The bad-prefix DFS re-tests the same partial multisets across nodes and
+  // supports; the hashed extension index turns those into O(1) lookups.
+  pi_.white().build_extension_index();
+  pi_.black().build_extension_index();
+}
+
+const std::vector<Var>& IncrementalLabelingSweep::edge_vars(NodeId w, NodeId b) {
+  const EdgeKey key = edge_key(w, b);
+  const auto it = edge_vars_.find(key);
+  if (it != edge_vars_.end()) return it->second;
+  return edge_vars_.emplace(key, make_edge_vars(solver_, pi_.alphabet_size(),
+                                                clause_count_))
+      .first->second;
+}
+
+bool IncrementalLabelingSweep::encode_support(const BipartiteGraph& g,
+                                              std::vector<Lit>* assumptions,
+                                              std::vector<NodeRef>* owners,
+                                              Step* step, SearchBudget* budget) {
+  const std::size_t alphabet = pi_.alphabet_size();
+  // Edge structure first, so node encodings below can take stable pointers
+  // into edge_vars_ (unordered_map never invalidates element references).
+  for (const BiEdge& e : g.edges()) edge_vars(e.white, e.black);
+
+  const auto encode_node = [&](bool white, NodeId node,
+                               std::span<const EdgeId> incident) -> bool {
+    const Constraint& constraint = white ? pi_.white() : pi_.black();
+    std::pair<bool, std::vector<EdgeKey>> key;
+    key.first = white;
+    key.second.reserve(incident.size());
+    for (const EdgeId e : incident) {
+      key.second.push_back(edge_key(g.edge(e).white, g.edge(e).black));
+    }
+    std::sort(key.second.begin(), key.second.end());
+    const auto it = guards_.find(key);
+    Var guard;
+    if (it != guards_.end()) {
+      guard = it->second;
+      if (step != nullptr) ++step->reused_guards;
+    } else {
+      guard = solver_.new_var();
+      std::vector<const std::vector<Var>*> incident_vars;
+      incident_vars.reserve(incident.size());
+      for (const EdgeKey k : key.second) incident_vars.push_back(&edge_vars_.at(k));
+      const Lit deactivate = Lit::negative(guard);
+      block_bad_prefixes(solver_, constraint, incident_vars, alphabet, clause_count_,
+                         budget, &deactivate);
+      // A tripped budget aborted the DFS mid-instance: abandon this guard
+      // (its partial clauses stay vacuous — the guard is never assumed and
+      // never registered, so a later retry re-encodes under a fresh one).
+      if (budget != nullptr && budget->halted()) return false;
+      guards_.emplace(std::move(key), guard);
+      if (step != nullptr) ++step->new_guards;
+    }
+    assumptions->push_back(Lit::positive(guard));
+    owners->push_back(NodeRef{white, node});
+    return true;
+  };
+
+  for (NodeId w = 0; w < g.white_count(); ++w) {
+    if (g.white_degree(w) != pi_.white_degree()) continue;
+    if (!encode_node(true, w, g.white_incident(w))) return false;
+  }
+  for (NodeId b = 0; b < g.black_count(); ++b) {
+    if (g.black_degree(b) != pi_.black_degree()) continue;
+    if (!encode_node(false, b, g.black_incident(b))) return false;
+  }
+  return budget == nullptr || !budget->halted();
+}
+
+IncrementalLabelingSweep::Step IncrementalLabelingSweep::solve_support(
+    const BipartiteGraph& g, SearchBudget* budget) {
+  Step step;
+  const std::size_t clauses_before = clause_count_;
+  const std::uint64_t conflicts_before = solver_.conflicts();
+  std::vector<Lit> assumptions;
+  std::vector<NodeRef> owners;
+  if (!encode_support(g, &assumptions, &owners, &step, budget)) {
+    step.new_clauses = clause_count_ - clauses_before;
+    return step;  // kExhausted, stats.result stays kUnknown
+  }
+  step.new_clauses = clause_count_ - clauses_before;
+
+  const SatResult result = solver_.solve_under_assumptions(assumptions, 0, budget);
+  step.stats.variables = solver_.var_count();
+  step.stats.clauses = clause_count_;
+  step.stats.conflicts = solver_.conflicts() - conflicts_before;
+  step.stats.result = result;
+  if (result == SatResult::kSat) {
+    step.verdict = Verdict::kYes;
+    std::vector<Label> labels(g.edge_count(), 0);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const std::vector<Var>& vars =
+          edge_vars_.at(edge_key(g.edge(e).white, g.edge(e).black));
+      for (std::size_t l = 0; l < pi_.alphabet_size(); ++l) {
+        if (solver_.value(vars[l])) {
+          labels[e] = static_cast<Label>(l);
+          break;
+        }
+      }
+    }
+    step.labels = std::move(labels);
+  } else if (result == SatResult::kUnsat) {
+    step.verdict = Verdict::kNo;
+    const auto failed = solver_.failed_assumptions();
+    last_core_.assign(failed.begin(), failed.end());
+    for (const Lit l : failed) {
+      for (std::size_t i = 0; i < assumptions.size(); ++i) {
+        if (assumptions[i] == l) {
+          step.core.push_back(owners[i]);
+          break;
+        }
+      }
+    }
+  }
+  return step;
+}
+
+Verdict IncrementalLabelingSweep::check_last_core(SearchBudget* budget) {
+  switch (solver_.solve_under_assumptions(last_core_, 0, budget)) {
+    case SatResult::kUnsat:
+      return Verdict::kNo;  // the core alone is contradictory, as claimed
+    case SatResult::kSat:
+      return Verdict::kYes;  // core refuted — a solver bug
+    case SatResult::kUnknown:
+      break;
+  }
+  return Verdict::kExhausted;
+}
+
+std::optional<LabelingCnf> IncrementalLabelingSweep::snapshot(
+    const BipartiteGraph& g, std::vector<Lit>* assumptions, SearchBudget* budget) {
+  assumptions->clear();
+  std::vector<NodeRef> owners;
+  if (!encode_support(g, assumptions, &owners, nullptr, budget)) {
+    assumptions->clear();
+    return std::nullopt;
+  }
+  LabelingCnf cnf;
+  cnf.solver = solver_;
+  cnf.clause_count = clause_count_;
+  cnf.edge_label_vars.resize(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    cnf.edge_label_vars[e] = edge_vars_.at(edge_key(g.edge(e).white, g.edge(e).black));
+  }
+  return cnf;
 }
 
 }  // namespace slocal

@@ -27,14 +27,20 @@ PortfolioResult solve_labeling_portfolio(const BipartiteGraph& g, const Problem&
 
   // Encode once; every CDCL copy races the same clauses. The encoding runs
   // under a child budget so its DFS nodes do not pollute the race's
-  // backtracking-node counter.
-  SearchBudget encode_budget;
-  encode_budget.chain_to(&race);
-  std::optional<LabelingCnf> cnf = encode_bipartite_labeling(g, pi, &encode_budget);
-  if (!cnf.has_value()) {
-    result.reason = race.halted() ? race.reason() : encode_budget.reason();
-    result.wall_ms = race.elapsed_ms();
-    return result;  // kExhausted before the race even started
+  // backtracking-node counter. A caller-supplied pre-encoded instance
+  // (incremental sweep snapshot) skips this step entirely.
+  std::optional<LabelingCnf> local_cnf;
+  const LabelingCnf* cnf = options.encoded;
+  if (cnf == nullptr) {
+    SearchBudget encode_budget;
+    encode_budget.chain_to(&race);
+    local_cnf = encode_bipartite_labeling(g, pi, &encode_budget);
+    if (!local_cnf.has_value()) {
+      result.reason = race.halted() ? race.reason() : encode_budget.reason();
+      result.wall_ms = race.elapsed_ms();
+      return result;  // kExhausted before the race even started
+    }
+    cnf = &*local_cnf;
   }
 
   std::mutex claim;
@@ -70,7 +76,8 @@ PortfolioResult solve_labeling_portfolio(const BipartiteGraph& g, const Problem&
     tasks.push_back([&, seed] {
       LabelingCnf copy = *cnf;  // SatSolver is copyable by design
       copy.solver.set_branch_seed(static_cast<std::uint64_t>(seed));
-      const SatResult sat = copy.solver.solve(options.conflict_budget, &race);
+      const SatResult sat = copy.solver.solve_under_assumptions(
+          options.assumptions, options.conflict_budget, &race);
       if (sat == SatResult::kSat) {
         offer(Verdict::kYes, decode_bipartite_labeling(copy, alphabet),
               "sat[" + std::to_string(seed) + "]");

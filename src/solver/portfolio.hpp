@@ -21,6 +21,7 @@
 
 #include "src/formalism/problem.hpp"
 #include "src/graph/bipartite.hpp"
+#include "src/solver/cnf_encoding.hpp"
 #include "src/util/budget.hpp"
 
 namespace slocal {
@@ -41,6 +42,14 @@ struct PortfolioOptions {
   /// Optional external budget: cancelling it (or its deadline) stops the
   /// whole race.
   SearchBudget* budget = nullptr;
+  /// Pre-encoded instance (e.g. IncrementalLabelingSweep::snapshot): skips
+  /// the in-call encoding and races copies of *encoded, each solving under
+  /// `assumptions` (the guard literals activating g's constraints). Must
+  /// outlive the call, agree with (g, pi), and have edge_label_vars indexed
+  /// by g's edge ids. The backtracking engine is unaffected — it answers
+  /// the same question directly on (g, pi).
+  const LabelingCnf* encoded = nullptr;
+  std::vector<Lit> assumptions;
 };
 
 struct PortfolioResult {

@@ -1,0 +1,105 @@
+// Drives the differential oracle (tests/diff_oracle.hpp): four independent
+// engines must agree on every seeded instance, incremental UNSAT answers
+// must carry certified failed-assumption cores, and the incremental lift
+// sweep must reproduce the from-scratch sweep verdict-for-verdict while
+// encoding strictly fewer clauses.
+#include "tests/diff_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/lift/sweep.hpp"
+#include "src/problems/classic.hpp"
+
+namespace slocal {
+namespace {
+
+TEST(DiffOracle, TwoHundredSeededInstancesAgreeAcrossAllFourEngines) {
+  DiffOracleOptions options;  // 200 instances, seed 1
+  const DiffOracleReport report = run_diff_oracle(options);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GE(report.instances, 200);
+  // The corpus must actually exercise both verdicts, the brute-force
+  // cross-check, and the UNSAT-core certification path.
+  EXPECT_GT(report.yes, 20) << report.summary();
+  EXPECT_GT(report.no, 20) << report.summary();
+  EXPECT_GT(report.brute_checked, 50) << report.summary();
+  EXPECT_GT(report.cores_certified, 10) << report.summary();
+}
+
+TEST(DiffOracle, ReportIsDeterministicForAGivenSeed) {
+  DiffOracleOptions options;
+  options.instances = 60;
+  options.seed = 7;
+  const DiffOracleReport a = run_diff_oracle(options);
+  const DiffOracleReport b = run_diff_oracle(options);
+  EXPECT_EQ(a.summary(), b.summary());
+  EXPECT_TRUE(a.ok()) << a.summary();
+}
+
+TEST(DiffOracle, IndependentSeedsAllPass) {
+  for (const std::uint64_t seed : {11u, 222u, 3333u}) {
+    DiffOracleOptions options;
+    options.instances = 40;
+    options.seed = seed;
+    const DiffOracleReport report = run_diff_oracle(options);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.summary();
+  }
+}
+
+TEST(DiffOracle, LiftSweepIncrementalMatchesScratchOnGadgets) {
+  // The E3 acceptance instance: a Δ=3, r=1 lift sweep over 6 nested gadget
+  // supports. Incremental and from-scratch paths must agree step for step,
+  // and the incremental path must reuse (strictly fewer distinct clauses).
+  const Problem base = make_maximal_matching_problem(3);
+  const auto supports = make_gadget_supports(3, 1, 1, 6);
+  ASSERT_EQ(supports.size(), 6u);
+  LiftSweepOptions inc;
+  inc.incremental = true;
+  inc.certify_cores = true;
+  const LiftSweepResult a = run_lift_sweep(base, 3, 1, supports, inc);
+  LiftSweepOptions scr;
+  scr.incremental = false;
+  const LiftSweepResult b = run_lift_sweep(base, 3, 1, supports, scr);
+  ASSERT_TRUE(a.lift_materialized);
+  ASSERT_TRUE(b.lift_materialized);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].verdict, b.steps[i].verdict) << "support " << i;
+    EXPECT_NE(a.steps[i].verdict, Verdict::kExhausted) << "support " << i;
+  }
+  EXPECT_LT(a.total_clauses, b.total_clauses);
+  // Steps after the first reuse every guard of the nested prefix.
+  for (std::size_t i = 1; i < a.steps.size(); ++i) {
+    EXPECT_GT(a.steps[i].reused_guards, 0u) << "support " << i;
+  }
+}
+
+TEST(DiffOracle, LiftSweepCertifiesCoresOnMixedVerdictFamily) {
+  // Proper 2-coloring over growing cycles alternates SAT/UNSAT with the
+  // cycle parity; every kNo step must carry a certified non-empty core.
+  const Problem c2 = make_proper_coloring_problem(2, 2);
+  const auto supports = make_cycle_supports(2, 8);
+  LiftSweepOptions inc;
+  inc.incremental = true;
+  inc.certify_cores = true;
+  const LiftSweepResult a = run_lift_sweep(c2, 2, 2, supports, inc);
+  LiftSweepOptions scr;
+  scr.incremental = false;
+  const LiftSweepResult b = run_lift_sweep(c2, 2, 2, supports, scr);
+  ASSERT_TRUE(a.lift_materialized);
+  ASSERT_EQ(a.steps.size(), supports.size());
+  int no_steps = 0;
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].verdict, b.steps[i].verdict) << "support " << i;
+    if (a.steps[i].verdict == Verdict::kNo) {
+      ++no_steps;
+      EXPECT_GT(a.steps[i].core_nodes, 0u) << "support " << i;
+      EXPECT_EQ(a.steps[i].core_check, Verdict::kNo) << "support " << i;
+    }
+  }
+  // C_h is 2-colorable iff h is even: halves 3, 5, 7 must be kNo.
+  EXPECT_EQ(no_steps, 3);
+}
+
+}  // namespace
+}  // namespace slocal

@@ -3,10 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "src/formalism/parser.hpp"
 #include "src/graph/generators.hpp"
+#include "src/problems/classic.hpp"
+#include "src/problems/verifiers.hpp"
+#include "src/solver/cnf_encoding.hpp"
 #include "src/solver/edge_labeling.hpp"
+#include "src/util/combinatorics.hpp"
 #include "src/util/rng.hpp"
 
 namespace slocal {
@@ -62,6 +67,104 @@ TEST(Fuzz, SolverOnEdgelessSupport) {
   const auto labels = solve_bipartite_labeling(g, *p);
   ASSERT_TRUE(labels.has_value());
   EXPECT_TRUE(labels->empty());
+}
+
+// ---------------------------------------------------------------------------
+// Encoder fuzzing: random (problem, support) pairs through the full CNF
+// path — encode, solve, decode, and semantic re-check with the independent
+// verifier. The encoder must never crash, and every kSat model must decode
+// to a labeling the non-SAT checker accepts.
+// ---------------------------------------------------------------------------
+
+/// A random small problem; nullopt when a sampled constraint came out empty.
+std::optional<Problem> fuzz_problem(std::size_t dw, std::size_t db,
+                                    std::size_t alphabet, Rng& rng) {
+  LabelRegistry reg;
+  for (std::size_t l = 0; l < alphabet; ++l) {
+    reg.intern(std::string(1, static_cast<char>('A' + l)));
+  }
+  Constraint white(dw), black(db);
+  const auto fill = [&](Constraint& c, std::size_t d, double p) {
+    for_each_multiset(alphabet, d, [&](const std::vector<std::size_t>& pick) {
+      if (rng.chance(p)) {
+        std::vector<Label> labels(pick.begin(), pick.end());
+        c.add(Configuration(std::move(labels)));
+      }
+      return true;
+    });
+  };
+  fill(white, dw, 0.25 + 0.5 * rng.uniform());
+  fill(black, db, 0.25 + 0.5 * rng.uniform());
+  if (white.empty() || black.empty()) return std::nullopt;
+  return Problem("fuzz-cnf", reg, white, black);
+}
+
+TEST(Fuzz, CnfEncoderRoundTripAgreesWithBacktrackingSolver) {
+  Rng rng(20260806);
+  int checked = 0, solvable = 0;
+  while (checked < 150) {
+    const std::size_t dw = 2 + static_cast<std::size_t>(rng.below(2));
+    const std::size_t db = 2 + static_cast<std::size_t>(rng.below(2));
+    const std::size_t alphabet = 2 + static_cast<std::size_t>(rng.below(2));
+    const auto pi = fuzz_problem(dw, db, alphabet, rng);
+    if (!pi) continue;
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.below(2));
+    const auto g = random_biregular(db * m, dw, dw * m, db, rng);
+    if (!g) continue;
+    ++checked;
+
+    const auto cnf = encode_bipartite_labeling(*g, *pi);
+    ASSERT_TRUE(cnf.has_value());
+    auto solver = cnf->solver;  // keep the encoding reusable
+    const SatResult sat = solver.solve();
+    ASSERT_NE(sat, SatResult::kUnknown);
+
+    bool exhausted = false;
+    const auto reference = solve_bipartite_labeling(*g, *pi, {}, &exhausted);
+    ASSERT_FALSE(exhausted);
+    EXPECT_EQ(sat == SatResult::kSat, reference.has_value())
+        << "encoder and backtracking disagree on " << pi->to_string();
+
+    if (sat == SatResult::kSat) {
+      ++solvable;
+      // Decode against the original encoding and re-check independently.
+      LabelingCnf solved = *cnf;
+      solved.solver = solver;
+      const auto labels = decode_bipartite_labeling(solved, pi->alphabet_size());
+      EXPECT_TRUE(check_bipartite_labeling(*g, *pi, labels))
+          << "decoded labeling fails the verifier for " << pi->to_string();
+    }
+  }
+  // The corpus must exercise both branches of the round trip.
+  EXPECT_GT(solvable, 10);
+  EXPECT_LT(solvable, checked);
+}
+
+TEST(Fuzz, CnfEncoderModelsDecodeToSemanticMaximalMatchings) {
+  // Fixed problem, fuzzed supports: every SAT model of the MM_3 encoding
+  // must decode — via the semantic verifier, not the constraint tables —
+  // to an actual maximal matching of the support.
+  const Problem mm = make_maximal_matching_problem(3);
+  const auto m_label = mm.registry().find("M");
+  ASSERT_TRUE(m_label.has_value());
+  Rng rng(6082026);
+  int decoded = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    // MM_3 constrains nodes of degree exactly 3 on both sides, so the
+    // support must be 3-regular bipartite.
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.below(4));
+    const auto g = random_biregular(n, 3, n, 3, rng);
+    if (!g) continue;
+    SatLabelingStats stats;
+    const auto labels = solve_bipartite_labeling_sat(*g, mm, 0, &stats);
+    ASSERT_NE(stats.result, SatResult::kUnknown);
+    if (!labels) continue;
+    const auto matched = decode_maximal_matching_labeling(*g, *labels, *m_label);
+    EXPECT_TRUE(matched.has_value())
+        << "SAT model is not a semantic maximal matching (trial " << trial << ")";
+    ++decoded;
+  }
+  EXPECT_GT(decoded, 20);
 }
 
 }  // namespace

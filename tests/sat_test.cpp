@@ -187,5 +187,167 @@ TEST(Sat, StatsAreTracked) {
   EXPECT_GT(s.decisions() + s.propagations(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Metamorphic properties: transformations with a known effect on the verdict,
+// checked over seeded random instances. These guard exactly the invariants
+// the incremental lift sweep leans on (clause addition between solves,
+// assumptions-as-removable-units, order independence).
+// ---------------------------------------------------------------------------
+
+/// A random k-SAT instance over fresh variables of `s`.
+std::vector<std::vector<Lit>> random_instance(SatSolver& s, Rng& rng,
+                                              std::size_t num_vars,
+                                              std::size_t num_clauses) {
+  std::vector<Var> vars;
+  for (std::size_t v = 0; v < num_vars; ++v) vars.push_back(s.new_var());
+  std::vector<std::vector<Lit>> clauses;
+  for (std::size_t c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> clause;
+    const std::size_t width = 2 + static_cast<std::size_t>(rng.below(2));
+    for (std::size_t k = 0; k < width; ++k) {
+      const Var v = vars[rng.below(num_vars)];
+      clause.push_back(rng.chance(0.5) ? pos(v) : neg(v));
+    }
+    clauses.push_back(clause);
+    s.add_clause(clause);
+  }
+  return clauses;
+}
+
+TEST(SatMetamorphic, AddingModelSatisfiedClausesNeverFlipsToUnsat) {
+  Rng rng(41);
+  for (int instance = 0; instance < 100; ++instance) {
+    SatSolver s;
+    const std::size_t num_vars = 6 + static_cast<std::size_t>(rng.below(5));
+    random_instance(s, rng, num_vars, num_vars * 3);
+    if (s.solve() != SatResult::kSat) continue;
+    std::vector<bool> model;
+    for (Var v = 0; v < num_vars; ++v) model.push_back(s.value(v));
+    // Any clause containing one model-true literal keeps the model a model,
+    // so satisfiability must survive adding a batch of them mid-stream.
+    for (int extra = 0; extra < 20; ++extra) {
+      std::vector<Lit> clause;
+      const Var anchor = static_cast<Var>(rng.below(num_vars));
+      clause.push_back(model[anchor] ? pos(anchor) : neg(anchor));
+      for (int k = 0; k < 2; ++k) {
+        const Var v = static_cast<Var>(rng.below(num_vars));
+        clause.push_back(rng.chance(0.5) ? pos(v) : neg(v));
+      }
+      rng.shuffle(clause);
+      s.add_clause(std::move(clause));
+    }
+    EXPECT_EQ(s.solve(), SatResult::kSat) << "instance " << instance;
+  }
+}
+
+TEST(SatMetamorphic, ClauseAndVariablePermutationPreservesVerdict) {
+  Rng rng(42);
+  for (int instance = 0; instance < 100; ++instance) {
+    SatSolver original;
+    const std::size_t num_vars = 5 + static_cast<std::size_t>(rng.below(6));
+    auto clauses = random_instance(original, rng, num_vars, num_vars * 4);
+    const SatResult expected = original.solve();
+    ASSERT_NE(expected, SatResult::kUnknown);
+
+    // Rename variables by a random permutation, shuffle clause order and
+    // literal order within each clause: an isomorphic formula.
+    std::vector<Var> perm(num_vars);
+    for (std::size_t v = 0; v < num_vars; ++v) perm[v] = static_cast<Var>(v);
+    rng.shuffle(perm);
+    SatSolver renamed;
+    for (std::size_t v = 0; v < num_vars; ++v) renamed.new_var();
+    rng.shuffle(clauses);
+    for (auto& clause : clauses) {
+      rng.shuffle(clause);
+      std::vector<Lit> mapped;
+      for (const Lit l : clause) {
+        mapped.push_back(l.negated() ? neg(perm[l.var()]) : pos(perm[l.var()]));
+      }
+      renamed.add_clause(std::move(mapped));
+    }
+    EXPECT_EQ(renamed.solve(), expected) << "instance " << instance;
+  }
+}
+
+TEST(SatMetamorphic, AssumptionsAreEquivalentToUnitClauses) {
+  Rng rng(43);
+  for (int instance = 0; instance < 100; ++instance) {
+    SatSolver assumed;
+    const std::size_t num_vars = 5 + static_cast<std::size_t>(rng.below(6));
+    const auto clauses = random_instance(assumed, rng, num_vars, num_vars * 3);
+    const SatResult base = assumed.solve();
+    ASSERT_NE(base, SatResult::kUnknown);
+    if (base == SatResult::kUnsat) continue;  // no clause additions after that
+
+    std::vector<Lit> assumptions;
+    for (std::size_t k = 0, n = 1 + rng.below(4); k < n; ++k) {
+      const Var v = static_cast<Var>(rng.below(num_vars));
+      assumptions.push_back(rng.chance(0.5) ? pos(v) : neg(v));
+    }
+
+    const SatResult under = assumed.solve_under_assumptions(assumptions);
+    ASSERT_NE(under, SatResult::kUnknown);
+
+    // Mirror solver: the same formula with the assumptions as hard units.
+    SatSolver units;
+    for (std::size_t v = 0; v < num_vars; ++v) units.new_var();
+    for (const auto& clause : clauses) units.add_clause(clause);
+    for (const Lit a : assumptions) units.add_clause({a});
+    EXPECT_EQ(units.solve(), under) << "instance " << instance;
+
+    if (under == SatResult::kUnsat) {
+      // The failed-assumption core must be a subset of the assumptions and
+      // must refute the formula on its own when re-added as units.
+      SatSolver core_check;
+      for (std::size_t v = 0; v < num_vars; ++v) core_check.new_var();
+      for (const auto& clause : clauses) core_check.add_clause(clause);
+      for (const Lit c : assumed.failed_assumptions()) {
+        bool found = false;
+        for (const Lit a : assumptions) found = found || a == c;
+        EXPECT_TRUE(found) << "core literal outside the assumptions";
+        core_check.add_clause({c});
+      }
+      EXPECT_EQ(core_check.solve(), SatResult::kUnsat) << "instance " << instance;
+    }
+
+    // Assumptions were not committed: the solver must still report the
+    // base formula satisfiable afterwards.
+    EXPECT_EQ(assumed.solve(), SatResult::kSat) << "instance " << instance;
+  }
+}
+
+TEST(SatMetamorphic, IncrementalSolveMatchesFromScratchAtEveryPrefix) {
+  Rng rng(44);
+  for (int instance = 0; instance < 40; ++instance) {
+    const std::size_t num_vars = 5 + static_cast<std::size_t>(rng.below(5));
+    SatSolver incremental;
+    std::vector<Var> vars;
+    for (std::size_t v = 0; v < num_vars; ++v) vars.push_back(incremental.new_var());
+    std::vector<std::vector<Lit>> so_far;
+    for (int chunk = 0; chunk < 6; ++chunk) {
+      for (std::size_t c = 0; c < num_vars; ++c) {
+        std::vector<Lit> clause;
+        for (int k = 0; k < 3; ++k) {
+          const Var v = vars[rng.below(num_vars)];
+          clause.push_back(rng.chance(0.5) ? pos(v) : neg(v));
+        }
+        so_far.push_back(clause);
+        incremental.add_clause(clause);
+      }
+      // The incremental solver (with its retained learned clauses) must
+      // agree with a fresh solver and with brute force at every prefix.
+      SatSolver fresh;
+      for (std::size_t v = 0; v < num_vars; ++v) fresh.new_var();
+      for (const auto& clause : so_far) fresh.add_clause(clause);
+      const SatResult got = incremental.solve();
+      EXPECT_EQ(got, fresh.solve()) << "instance " << instance << " chunk " << chunk;
+      const bool expected = brute_force_sat(num_vars, so_far);
+      EXPECT_EQ(got, expected ? SatResult::kSat : SatResult::kUnsat)
+          << "instance " << instance << " chunk " << chunk;
+      if (got == SatResult::kUnsat) break;  // no clause additions after that
+    }
+  }
+}
+
 }  // namespace
 }  // namespace slocal

@@ -1,0 +1,73 @@
+// End-to-end regression tests for the slocal_tool binary's exit-code
+// contract, driven through a real process spawn. The contract is what
+// scripts and CI pipelines key on: 0 = solvable, 2 = proven unsolvable,
+// 3 = budget exhausted (kExitExhausted — no verdict, never a wrong one),
+// 1 = bad input, 64 = usage error.
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+/// Runs `slocal_tool <args>` with stdout/stderr discarded; returns the
+/// process exit code (-1 if the tool did not exit normally).
+int run_tool(const std::string& args) {
+  const std::string cmd =
+      std::string("'") + SLOCAL_TOOL_PATH + "' " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+std::string problem(const char* name) {
+  return std::string("'") + SLOCAL_PROBLEM_DIR + "/" + name + "' ";
+}
+
+TEST(ToolCli, PortfolioReportsSolvableOnEvenCycle) {
+  EXPECT_EQ(run_tool("portfolio " + problem("two_coloring.txt") + "cycle:4"), 0);
+}
+
+TEST(ToolCli, PortfolioReportsUnsolvableOnOddCycle) {
+  EXPECT_EQ(run_tool("portfolio " + problem("two_coloring.txt") + "cycle:3"), 2);
+}
+
+TEST(ToolCli, PortfolioExitsThreeWhenBudgetExhausts) {
+  // An unwinnable budget: deciding MM_3 on K_{3,3} needs more than one
+  // backtracking node and more than one CDCL conflict under every branching
+  // seed, so each engine in the race trips its cap and the tool must report
+  // exit 3 rather than pretending --max-nodes was honored.
+  EXPECT_EQ(run_tool("portfolio " + problem("maximal_matching_3.txt") +
+                     "complete:3x3 --max-nodes=1"),
+            3);
+}
+
+TEST(ToolCli, SweepDecidesCycleFamilyIncrementallyAndFromScratch) {
+  const std::string args = "sweep " + problem("two_coloring.txt") + "2 2 cycles:2..6";
+  EXPECT_EQ(run_tool(args), 0);
+  EXPECT_EQ(run_tool(args + " --scratch"), 0);
+}
+
+TEST(ToolCli, SweepExitsThreeWhenBudgetExhausts) {
+  EXPECT_EQ(run_tool("sweep " + problem("two_coloring.txt") +
+                     "2 2 cycles:2..6 --max-nodes=1"),
+            3);
+}
+
+TEST(ToolCli, SweepRejectsNonDominatingLiftTargets) {
+  // maximal_matching_3 has black degree 2; r = 1 cannot host the lift.
+  EXPECT_EQ(run_tool("sweep " + problem("maximal_matching_3.txt") +
+                     "3 1 gadgets:1..3"),
+            1);
+}
+
+TEST(ToolCli, UsageAndInputErrors) {
+  EXPECT_EQ(run_tool(""), 64);
+  EXPECT_EQ(run_tool("frobnicate " + problem("two_coloring.txt") + "cycle:4"), 64);
+  EXPECT_EQ(run_tool("portfolio " + problem("no_such_problem.txt") + "cycle:4"), 1);
+  EXPECT_EQ(run_tool("portfolio " + problem("two_coloring.txt") + "pentagon"), 1);
+}
+
+}  // namespace

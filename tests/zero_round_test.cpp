@@ -4,10 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "src/graph/generators.hpp"
-#include "src/lift/lift.hpp"
+#include "src/lift/sweep.hpp"
 #include "src/problems/classic.hpp"
 #include "src/problems/coloring_family.hpp"
-#include "src/solver/edge_labeling.hpp"
 #include "src/solver/zero_round.hpp"
 #include "src/util/combinatorics.hpp"
 #include "src/util/rng.hpp"
@@ -15,15 +14,12 @@
 namespace slocal {
 namespace {
 
-/// Decides lift solvability by materializing lift_{Δ,r}(Π) (Δ, r from the
-/// biregular support) and running the backtracking solver.
-bool lift_solvable(const BipartiteGraph& g, const Problem& pi) {
-  const std::size_t big_delta = g.white_degree(0);
-  const std::size_t big_r = g.black_degree(0);
-  const LiftedProblem lift(pi, big_delta, big_r);
-  const auto explicit_problem = lift.materialize();
-  EXPECT_TRUE(explicit_problem.has_value());
-  return solve_bipartite_labeling(g, *explicit_problem).has_value();
+/// The library decider (src/lift/sweep.hpp), collapsed to bool for the
+/// equivalence checks below; kExhausted would be a test failure anyway.
+bool lift_solvable_bool(const BipartiteGraph& g, const Problem& pi) {
+  const Verdict v = lift_solvable(g, pi);
+  EXPECT_NE(v, Verdict::kExhausted);
+  return v == Verdict::kYes;
 }
 
 TEST(ZeroRound, SinklessOrientationSolvableWhenSupportKnown) {
@@ -33,7 +29,7 @@ TEST(ZeroRound, SinklessOrientationSolvableWhenSupportKnown) {
   const BipartiteGraph g = make_bipartite_cycle(4);
   const Problem so = make_sinkless_orientation_problem(2);
   EXPECT_TRUE(zero_round_white_algorithm_exists(g, so));
-  EXPECT_TRUE(lift_solvable(g, so));
+  EXPECT_TRUE(lift_solvable_bool(g, so));
 }
 
 TEST(ZeroRound, TwoColoringDependsOnIncidenceParity) {
@@ -46,13 +42,13 @@ TEST(ZeroRound, TwoColoringDependsOnIncidenceParity) {
   {
     const BipartiteGraph even = make_bipartite_cycle(4);
     const bool direct = zero_round_white_algorithm_exists(even, c2);
-    EXPECT_EQ(direct, lift_solvable(even, c2));
+    EXPECT_EQ(direct, lift_solvable_bool(even, c2));
     EXPECT_TRUE(direct);
   }
   {
     const BipartiteGraph odd = make_bipartite_cycle(3);
     const bool direct = zero_round_white_algorithm_exists(odd, c2);
-    EXPECT_EQ(direct, lift_solvable(odd, c2));
+    EXPECT_EQ(direct, lift_solvable_bool(odd, c2));
     EXPECT_FALSE(direct);
   }
 }
@@ -64,7 +60,7 @@ TEST(ZeroRound, MaximalMatchingNotZeroRoundSolvable) {
   const BipartiteGraph g = make_bipartite_cycle(4);
   const Problem mm = make_maximal_matching_problem(2);
   const bool direct = zero_round_white_algorithm_exists(g, mm);
-  const bool lifted = lift_solvable(g, mm);
+  const bool lifted = lift_solvable_bool(g, mm);
   EXPECT_EQ(direct, lifted);
 }
 
@@ -106,7 +102,7 @@ TEST(ZeroRound, Theorem32EquivalenceOnRandomCorpus) {
     }
 
     const bool direct = zero_round_white_algorithm_exists(g, pi);
-    const bool lifted = lift_solvable(g, pi);
+    const bool lifted = lift_solvable_bool(g, pi);
     EXPECT_EQ(direct, lifted) << "trial " << trial << "\n"
                               << pi.to_string();
     (direct ? yes : no)++;

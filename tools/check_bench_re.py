@@ -109,6 +109,40 @@ def main(argv):
         if portfolio["verdict"] != "yes":
             rc |= fail("portfolio_demo verdict is not 'yes'")
 
+    sweep = current.get("incremental_sweep_demo")
+    base_sweep = baseline.get("incremental_sweep_demo")
+    if sweep:
+        # Hard gate: the incremental path must return the same verdict as
+        # from-scratch on every support of the sweep (schema v3).
+        if not sweep["verdicts_match"]:
+            rc |= fail("incremental_sweep_demo: incremental/scratch verdicts diverge")
+        if sweep["incremental_clauses"] >= sweep["scratch_clauses"]:
+            rc |= fail(
+                "incremental_sweep_demo: no clause reuse "
+                f"({sweep['incremental_clauses']} >= {sweep['scratch_clauses']})"
+            )
+        print(
+            f"info: incremental sweep clauses "
+            f"{sweep['incremental_clauses']}/{sweep['scratch_clauses']}, wall "
+            f"{sweep['incremental_wall_ms']:.2f}/{sweep['scratch_wall_ms']:.2f} ms "
+            f"(wall not gated)"
+        )
+        if base_sweep:
+            base_clauses = base_sweep["incremental_clauses"]
+            ratio = sweep["incremental_clauses"] / base_clauses if base_clauses else 1.0
+            if ratio > REGRESSION_FACTOR:
+                rc |= fail(
+                    "incremental_sweep_demo.incremental_clauses regressed "
+                    f"{ratio:.2f}x ({base_clauses} -> {sweep['incremental_clauses']})"
+                )
+            else:
+                print(
+                    f"ok: incremental_sweep_demo.incremental_clauses "
+                    f"{base_clauses} -> {sweep['incremental_clauses']} ({ratio:.2f}x)"
+                )
+    elif base_sweep:
+        rc |= fail("incremental_sweep_demo missing from current report")
+
     print("bench_re counters within limits" if rc == 0 else "bench_re check FAILED")
     return rc
 
