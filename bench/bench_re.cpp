@@ -17,12 +17,14 @@
 #include <thread>
 #include <vector>
 
+#include "src/formalism/canonical.hpp"
 #include "src/formalism/relaxation.hpp"
 #include "src/graph/generators.hpp"
 #include "src/lift/sweep.hpp"
 #include "src/problems/classic.hpp"
 #include "src/problems/coloring_family.hpp"
 #include "src/problems/matching_family.hpp"
+#include "src/re/re_cache.hpp"
 #include "src/re/round_elimination.hpp"
 #include "src/re/sequence.hpp"
 #include "src/solver/portfolio.hpp"
@@ -109,10 +111,29 @@ struct SweepDemo {
   std::size_t cores_certified = 0;
 };
 
+/// E2g — the cross-step RE cache on the E2 sequence set (Corollary 4.6
+/// matching sequence), verified with cache off, cache on (cold), and cache
+/// on (warm, same cache again). The gated invariants are verdicts_match,
+/// an all-hit warm run with 0 DFS nodes, and the warm/cold wall ratio; plus
+/// intra-run short-circuiting on a fixed-point chain (Π_4(3) repeated under
+/// fresh renamings, the Lemma 5.4 workload).
+struct CacheDemo {
+  std::size_t steps = 0;
+  bool verdicts_match = false;
+  std::uint64_t cold_hits = 0, cold_misses = 0;
+  std::uint64_t warm_hits = 0, warm_misses = 0;
+  std::uint64_t warm_dfs_nodes = 0;
+  double off_wall_ms = 0.0, cold_wall_ms = 0.0, warm_wall_ms = 0.0;
+  double warm_canonical_ms = 0.0;
+  std::size_t chain_steps = 0;
+  std::uint64_t chain_hits = 0;  // steps answered within one cold chain run
+  std::uint64_t chain_dfs_nodes_after_first = 0;
+};
+
 void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                 double table_wall_ms, double serial_table_wall_ms,
                 const BudgetDemo& budget_demo, const PortfolioDemo& portfolio_demo,
-                const SweepDemo& sweep_demo) {
+                const SweepDemo& sweep_demo, const CacheDemo& cache_demo) {
   std::FILE* f = std::fopen("BENCH_RE.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write BENCH_RE.json\n");
@@ -121,7 +142,7 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"bench_re\",\n"
-               "  \"schema_version\": 3,\n"
+               "  \"schema_version\": 4,\n"
                "  \"hardware_threads\": %u,\n"
                "  \"e2_table_wall_ms\": %.3f,\n"
                "  \"e2_table_serial_wall_ms\": %.3f,\n"
@@ -185,7 +206,7 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                "    \"incremental_wall_ms\": %.3f,\n"
                "    \"scratch_wall_ms\": %.3f,\n"
                "    \"cores_certified\": %zu\n"
-               "  }\n}\n",
+               "  },\n",
                sweep_demo.big_delta, sweep_demo.big_r, sweep_demo.supports,
                sweep_demo.verdicts_match ? "true" : "false",
                sweep_demo.incremental_clauses, sweep_demo.scratch_clauses,
@@ -193,6 +214,34 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                static_cast<unsigned long long>(sweep_demo.scratch_conflicts),
                sweep_demo.incremental_wall_ms, sweep_demo.scratch_wall_ms,
                sweep_demo.cores_certified);
+  std::fprintf(f,
+               "  \"re_cache_demo\": {\n"
+               "    \"steps\": %zu,\n"
+               "    \"verdicts_match\": %s,\n"
+               "    \"cold_hits\": %llu,\n"
+               "    \"cold_misses\": %llu,\n"
+               "    \"warm_hits\": %llu,\n"
+               "    \"warm_misses\": %llu,\n"
+               "    \"warm_dfs_nodes\": %llu,\n"
+               "    \"off_wall_ms\": %.3f,\n"
+               "    \"cold_wall_ms\": %.3f,\n"
+               "    \"warm_wall_ms\": %.3f,\n"
+               "    \"warm_canonical_ms\": %.3f,\n"
+               "    \"chain_steps\": %zu,\n"
+               "    \"chain_hits\": %llu,\n"
+               "    \"chain_dfs_nodes_after_first\": %llu\n"
+               "  }\n}\n",
+               cache_demo.steps, cache_demo.verdicts_match ? "true" : "false",
+               static_cast<unsigned long long>(cache_demo.cold_hits),
+               static_cast<unsigned long long>(cache_demo.cold_misses),
+               static_cast<unsigned long long>(cache_demo.warm_hits),
+               static_cast<unsigned long long>(cache_demo.warm_misses),
+               static_cast<unsigned long long>(cache_demo.warm_dfs_nodes),
+               cache_demo.off_wall_ms, cache_demo.cold_wall_ms,
+               cache_demo.warm_wall_ms, cache_demo.warm_canonical_ms,
+               cache_demo.chain_steps,
+               static_cast<unsigned long long>(cache_demo.chain_hits),
+               static_cast<unsigned long long>(cache_demo.chain_dfs_nodes_after_first));
   std::fclose(f);
   std::printf("wrote BENCH_RE.json\n\n");
 }
@@ -378,8 +427,92 @@ void print_table() {
         sweep_demo.cores_certified);
   }
 
+  // E2g: the cross-step RE cache on the E2 sequence set, cold vs warm, plus
+  // intra-run short-circuiting on a renamed fixed-point chain.
+  CacheDemo cache_demo;
+  {
+    const auto problems = matching_lower_bound_sequence(4, 0, 1, 2);
+    cache_demo.steps = problems.size() - 1;
+    const auto run = [&](RECache* cache, REStats* stats) {
+      REOptions options;
+      options.max_configurations = 5'000'000;
+      options.cache = cache;
+      options.stats = stats;
+      const auto t0 = std::chrono::steady_clock::now();
+      const SequenceReport report = verify_lower_bound_sequence(problems, options);
+      const double wall =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                    t0)
+              .count();
+      return std::pair<SequenceReport, double>{report, wall};
+    };
+
+    REStats off_stats;
+    const auto [off, off_wall] = run(nullptr, &off_stats);
+    cache_demo.off_wall_ms = off_wall;
+
+    RECache cache;
+    REStats cold_stats;
+    const auto [cold, cold_wall] = run(&cache, &cold_stats);
+    cache_demo.cold_wall_ms = cold_wall;
+    cache_demo.cold_hits = cold_stats.cache_hits;
+    cache_demo.cold_misses = cold_stats.cache_misses;
+
+    REStats warm_stats;
+    const auto [warm, warm_wall] = run(&cache, &warm_stats);
+    cache_demo.warm_wall_ms = warm_wall;
+    cache_demo.warm_hits = warm_stats.cache_hits;
+    cache_demo.warm_misses = warm_stats.cache_misses;
+    cache_demo.warm_dfs_nodes = warm_stats.dfs_nodes;
+    cache_demo.warm_canonical_ms = warm_stats.canonical_ms;
+
+    cache_demo.verdicts_match = off.to_string() == cold.to_string() &&
+                                off.to_string() == warm.to_string();
+
+    // Fixed-point chain: Π_4(3) (Lemma 5.4) repeated under label rotations;
+    // every step after the first must short-circuit within one cold run.
+    const Problem fp = make_coloring_problem(4, 3);
+    std::vector<Problem> chain = {fp};
+    for (std::size_t i = 1; i < 6; ++i) {
+      std::vector<Label> rot(fp.alphabet_size());
+      for (std::size_t l = 0; l < rot.size(); ++l) {
+        rot[l] = static_cast<Label>((l + i) % rot.size());
+      }
+      chain.push_back(apply_renaming(fp, rot));
+    }
+    cache_demo.chain_steps = chain.size() - 1;
+    RECache chain_cache;
+    REStats chain_stats;
+    REOptions chain_options;
+    chain_options.cache = &chain_cache;
+    chain_options.stats = &chain_stats;
+    const SequenceReport chain_report =
+        verify_lower_bound_sequence(chain, chain_options);
+    cache_demo.chain_hits = chain_stats.cache_hits;
+    for (const SequenceStepReport& step : chain_report.steps) {
+      if (step.index > 1) cache_demo.chain_dfs_nodes_after_first += step.re_dfs_nodes;
+    }
+
+    std::printf(
+        "E2g RE cache, matching sequence (Δ=4, k=2): wall off %.2f ms, "
+        "cold %.2f ms, warm %.2f ms | cold hit/miss %llu/%llu, warm %llu/%llu "
+        "(dfs_nodes=%llu, canon %.2f ms) | verdicts %s\n"
+        "    fixed-point chain Π_4(3) x%zu: %llu intra-run hits, %llu dfs nodes "
+        "after first step\n\n",
+        cache_demo.off_wall_ms, cache_demo.cold_wall_ms, cache_demo.warm_wall_ms,
+        static_cast<unsigned long long>(cache_demo.cold_hits),
+        static_cast<unsigned long long>(cache_demo.cold_misses),
+        static_cast<unsigned long long>(cache_demo.warm_hits),
+        static_cast<unsigned long long>(cache_demo.warm_misses),
+        static_cast<unsigned long long>(cache_demo.warm_dfs_nodes),
+        cache_demo.warm_canonical_ms,
+        cache_demo.verdicts_match ? "match" : "DIVERGE", cache_demo.chain_steps + 1,
+        static_cast<unsigned long long>(cache_demo.chain_hits),
+        static_cast<unsigned long long>(cache_demo.chain_dfs_nodes_after_first));
+  }
+
   write_json(rows, totals, table_wall_ms, serial_table_wall_ms, budget_demo,
-             portfolio_demo, sweep_demo);
+             portfolio_demo, sweep_demo, cache_demo);
 }
 
 void BM_re_matching(benchmark::State& state) {

@@ -20,6 +20,19 @@
 //                                           literals per support; --scratch
 //                                           re-encodes each size instead):
 //                                           gadgets:<lo>..<hi> | cycles:<lo>..<hi>
+//   slocal_tool sequence  <file> [<file>...] verify Π_0, Π_1, ... as a lower
+//                                           bound sequence (each Π_i must be
+//                                           a relaxation of RE(Π_{i-1})).
+//                                           --repeat=N appends N extra copies
+//                                           of the last problem (fixed-point
+//                                           chains from a single file);
+//                                           --re-cache=PATH loads the RE
+//                                           cache from PATH if it exists and
+//                                           saves it back after the run, so
+//                                           repeated invocations warm-start
+//                                           (a corrupt cache file is rejected
+//                                           with exit 2 — never a wrong
+//                                           verdict).
 //
 // Budget flags (accepted anywhere after the command):
 //   --timeout-ms=N   wall-clock limit for the command's searches
@@ -41,7 +54,9 @@
 #include "src/graph/hypergraph.hpp"
 #include "src/lift/lift.hpp"
 #include "src/lift/sweep.hpp"
+#include "src/re/re_cache.hpp"
 #include "src/re/round_elimination.hpp"
+#include "src/re/sequence.hpp"
 #include "src/solver/edge_labeling.hpp"
 #include "src/solver/portfolio.hpp"
 #include "src/solver/zero_round.hpp"
@@ -340,10 +355,75 @@ int cmd_sweep(const Problem& pi, std::size_t big_delta, std::size_t big_r,
   return 0;
 }
 
+int cmd_sequence(std::vector<Problem> problems, std::size_t repeat,
+                 const std::string& cache_path, const BudgetFlags& flags) {
+  for (std::size_t i = 0; i < repeat; ++i) problems.push_back(problems.back());
+  if (problems.size() < 2) {
+    std::fprintf(stderr, "sequence needs at least two problems "
+                         "(give more files or --repeat=N)\n");
+    return 1;
+  }
+
+  RECache cache;
+  const bool use_cache = !cache_path.empty();
+  if (use_cache) {
+    // Warm-start from an existing cache file; a missing file is a cold run,
+    // but an unreadable or corrupt one is a hard error (exit 2) so a bad
+    // cache can never silently degrade into a wrong or uncached verdict.
+    std::ifstream probe(cache_path);
+    if (probe.good()) {
+      std::string error;
+      if (!cache.load(cache_path, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+      }
+    }
+  }
+
+  SearchBudget budget_storage;
+  REOptions options;
+  options.max_nodes = flags.max_nodes;
+  if (flags.timeout_ms > 0) {
+    budget_storage.set_deadline_ms(static_cast<double>(flags.timeout_ms));
+    options.budget = &budget_storage;
+  }
+  REStats stats;
+  options.stats = &stats;
+  if (use_cache) options.cache = &cache;
+
+  const SequenceReport report = verify_lower_bound_sequence(problems, options);
+  std::printf("%s", report.to_string().c_str());
+  if (use_cache) {
+    const RECacheCounters c = cache.counters();
+    std::printf("re-cache: entries=%zu hits=%llu misses=%llu\n", c.entries,
+                static_cast<unsigned long long>(c.hits),
+                static_cast<unsigned long long>(c.misses));
+    std::string error;
+    if (!cache.save(cache_path, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+  }
+  std::printf("stats: %s\n", stats.to_string().c_str());
+
+  bool exhausted = false;
+  for (const SequenceStepReport& step : report.steps) {
+    exhausted = exhausted || step.re_budget_exhausted ||
+                step.relaxation_verdict == Verdict::kExhausted;
+  }
+  if (exhausted) {
+    if (options.budget != nullptr) return report_exhausted(budget_storage);
+    std::fprintf(stderr, "budget exhausted\n");
+    return kExitExhausted;
+  }
+  return report.valid ? 0 : 2;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: slocal_tool print|re|fixed|lift|solve|zero|portfolio|sweep "
-               "<file> [args] [--timeout-ms=N] [--max-nodes=N] [--scratch]\n");
+               "usage: slocal_tool print|re|fixed|lift|solve|zero|portfolio|"
+               "sweep|sequence <file> [args] [--timeout-ms=N] [--max-nodes=N] "
+               "[--scratch] [--repeat=N] [--re-cache=PATH]\n");
   return 64;
 }
 
@@ -353,6 +433,8 @@ int main(int argc, char** argv) {
   // Split budget flags from positional arguments.
   BudgetFlags flags;
   bool scratch = false;
+  std::size_t repeat = 0;
+  std::string re_cache_path;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
@@ -361,12 +443,25 @@ int main(int argc, char** argv) {
       flags.max_nodes = std::strtoull(argv[i] + 12, nullptr, 10);
     } else if (std::strcmp(argv[i], "--scratch") == 0) {
       scratch = true;
+    } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      repeat = std::strtoul(argv[i] + 9, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--re-cache=", 11) == 0) {
+      re_cache_path = argv[i] + 11;
     } else {
       args.push_back(argv[i]);
     }
   }
   if (args.size() < 2) return usage();
   const std::string cmd = args[0];
+  if (cmd == "sequence") {
+    std::vector<Problem> problems;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const auto p = load_problem(args[i]);
+      if (!p) return 1;
+      problems.push_back(*p);
+    }
+    return cmd_sequence(std::move(problems), repeat, re_cache_path, flags);
+  }
   const auto pi = load_problem(args[1]);
   if (!pi) return 1;
   if (cmd == "print") return cmd_print(*pi);

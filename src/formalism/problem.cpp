@@ -5,6 +5,8 @@
 #include <cassert>
 #include <map>
 
+#include "src/formalism/canonical.hpp"
+
 namespace slocal {
 
 Problem::Problem(std::string name, LabelRegistry registry, Constraint white,
@@ -83,8 +85,8 @@ bool search_bijection(const Problem& a, const Problem& b,
 
 }  // namespace
 
-std::optional<std::vector<Label>> equivalent_up_to_renaming(const Problem& a,
-                                                            const Problem& b) {
+std::optional<std::vector<Label>> equivalent_up_to_renaming_bruteforce(
+    const Problem& a, const Problem& b) {
   if (a.alphabet_size() != b.alphabet_size()) return std::nullopt;
   if (a.white().size() != b.white().size() || a.black().size() != b.black().size()) {
     return std::nullopt;
@@ -127,7 +129,21 @@ Problem drop_unused_labels(const Problem& p) {
   for (const auto& c : p.white().members()) white.add(remap(c, remap_table));
   Constraint black(p.black_degree());
   for (const auto& c : p.black().members()) black.add(remap(c, remap_table));
-  return Problem(p.name(), std::move(reg), std::move(white), std::move(black));
+  Problem compact(p.name(), std::move(reg), std::move(white), std::move(black));
+
+  // Reindex the survivors canonically so the result's constraint structure
+  // depends only on the renaming class of the input, not on which indices
+  // happened to be used. Names still travel with their labels.
+  const CanonicalForm cf = canonicalize(compact);
+  std::vector<Label> inverse(cf.perm.size(), 0);
+  for (std::size_t l = 0; l < cf.perm.size(); ++l) {
+    inverse[cf.perm[l]] = static_cast<Label>(l);
+  }
+  LabelRegistry named;
+  for (std::size_t c = 0; c < cf.perm.size(); ++c) {
+    named.intern(compact.registry().name(inverse[c]));
+  }
+  return Problem(p.name(), std::move(named), cf.problem.white(), cf.problem.black());
 }
 
 }  // namespace slocal

@@ -48,13 +48,24 @@ class Problem {
 };
 
 /// Does a label bijection exist mapping Π1's constraints exactly onto Π2's?
-/// Returns one witness bijection (indexed by Π1 labels) if so. Backtracking
-/// with occurrence-signature pruning; intended for small alphabets.
+/// Returns one witness bijection (indexed by Π1 labels) if so. Implemented
+/// by comparing canonical forms (src/formalism/canonical.cpp): both sides
+/// canonicalize once and the witness is the composition through the shared
+/// canonical labeling.
 std::optional<std::vector<Label>> equivalent_up_to_renaming(const Problem& a,
                                                             const Problem& b);
 
-/// Removes labels that appear in neither constraint, compacting indices.
-/// Returns the cleaned problem (names preserved for surviving labels).
+/// The pre-canonicalization implementation: backtracking bijection search
+/// with occurrence-signature pruning. Kept as an independent test oracle for
+/// `equivalent_up_to_renaming`; intended for small alphabets only.
+std::optional<std::vector<Label>> equivalent_up_to_renaming_bruteforce(
+    const Problem& a, const Problem& b);
+
+/// Removes labels that appear in neither constraint and reindexes the
+/// survivors in canonical order (names preserved for surviving labels), so
+/// renaming-equivalent inputs yield structurally identical constraint sets.
+/// (The old used-label-order reindexing made two renaming-equivalent
+/// problems disagree after dropping.)
 Problem drop_unused_labels(const Problem& p);
 
 }  // namespace slocal

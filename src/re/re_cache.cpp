@@ -1,0 +1,240 @@
+#include "src/re/re_cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace slocal {
+
+namespace {
+
+std::uint64_t fnv1a_step(std::uint64_t h, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (v >> shift) & 0xFFu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Content checksum of an entry: FNV-1a over the numeric stream of both
+/// problems (sizes then sorted configurations). Detects any bit flip in the
+/// structural payload of a persisted entry.
+std::uint64_t entry_checksum(const Problem& input, const Problem& result) {
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto add_problem = [&](const Problem& p) {
+    h = fnv1a_step(h, p.alphabet_size());
+    h = fnv1a_step(h, p.white_degree());
+    h = fnv1a_step(h, p.black_degree());
+    for (const Constraint* c : {&p.white(), &p.black()}) {
+      h = fnv1a_step(h, c->size());
+      for (const Configuration& cfg : c->sorted_members()) {
+        for (const Label l : cfg.labels()) h = fnv1a_step(h, l);
+      }
+    }
+  };
+  add_problem(input);
+  add_problem(result);
+  return h;
+}
+
+void write_problem(std::ostream& out, const Problem& p) {
+  out << "problem " << p.alphabet_size() << ' ' << p.white_degree() << ' '
+      << p.black_degree() << ' ' << p.white().size() << ' ' << p.black().size()
+      << '\n';
+  const auto write_side = [&](char tag, const Constraint& c) {
+    for (const Configuration& cfg : c.sorted_members()) {
+      out << tag;
+      for (const Label l : cfg.labels()) out << ' ' << static_cast<unsigned>(l);
+      out << '\n';
+    }
+  };
+  write_side('w', p.white());
+  write_side('b', p.black());
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Parses one serialized problem; every count and label is range-checked.
+bool read_problem(std::istream& in, const std::string& name, Problem* out,
+                  std::string* error) {
+  std::string tag;
+  std::size_t n = 0, dw = 0, db = 0, nw = 0, nb = 0;
+  if (!(in >> tag >> n >> dw >> db >> nw >> nb) || tag != "problem") {
+    return fail(error, "re-cache: malformed problem header");
+  }
+  // Same cap as the parser's 64-label alphabet limit.
+  if (n > 64) return fail(error, "re-cache: alphabet size out of range");
+  if (dw == 0 || db == 0 || dw > 64 || db > 64) {
+    return fail(error, "re-cache: degree out of range");
+  }
+  LabelRegistry reg;
+  for (std::size_t c = 0; c < n; ++c) reg.intern(std::to_string(c));
+  const auto read_side = [&](char want, std::size_t degree, std::size_t count,
+                             Constraint* side) {
+    *side = Constraint(degree);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string row_tag;
+      if (!(in >> row_tag) || row_tag.size() != 1 || row_tag[0] != want) {
+        return fail(error, "re-cache: malformed configuration row");
+      }
+      std::vector<Label> labels(degree);
+      for (std::size_t k = 0; k < degree; ++k) {
+        unsigned v = 0;
+        if (!(in >> v) || v >= n) {
+          return fail(error, "re-cache: label out of range");
+        }
+        labels[k] = static_cast<Label>(v);
+      }
+      if (!side->add(Configuration(std::move(labels)))) {
+        return fail(error, "re-cache: duplicate configuration");
+      }
+    }
+    return true;
+  };
+  Constraint white, black;
+  if (!read_side('w', dw, nw, &white)) return false;
+  if (!read_side('b', db, nb, &black)) return false;
+  *out = Problem(name, std::move(reg), std::move(white), std::move(black));
+  return true;
+}
+
+}  // namespace
+
+std::optional<Problem> RECache::lookup(const CanonicalForm& input) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = table_.find(input.fingerprint);
+  if (it != table_.end()) {
+    for (const Entry& entry : it->second) {
+      if (same_constraints(entry.input, input.problem)) {
+        ++hits_;
+        return entry.result;
+      }
+    }
+    ++collisions_;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void RECache::insert(const CanonicalForm& input, const Problem& canonical_result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry>& bucket = table_[input.fingerprint];
+  for (const Entry& entry : bucket) {
+    if (same_constraints(entry.input, input.problem)) return;
+  }
+  bucket.push_back(Entry{input.problem, canonical_result});
+  ++insertions_;
+  ++entries_;
+}
+
+RECacheCounters RECache::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RECacheCounters c;
+  c.hits = hits_;
+  c.misses = misses_;
+  c.insertions = insertions_;
+  c.collisions = collisions_;
+  c.entries = entries_;
+  return c;
+}
+
+std::size_t RECache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+bool RECache::save(const std::string& path, std::string* error) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "slocal-re-cache 1\n";
+  out << "entries " << entries_ << '\n';
+  for (const auto& [fingerprint, bucket] : table_) {
+    for (const Entry& entry : bucket) {
+      char header[64];
+      std::snprintf(header, sizeof(header), "entry %016llx %016llx\n",
+                    static_cast<unsigned long long>(fingerprint),
+                    static_cast<unsigned long long>(
+                        entry_checksum(entry.input, entry.result)));
+      out << header;
+      write_problem(out, entry.input);
+      write_problem(out, entry.result);
+    }
+  }
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return fail(error, "re-cache: cannot open '" + path + "' for writing");
+  file << out.str();
+  file.flush();
+  if (!file) return fail(error, "re-cache: write to '" + path + "' failed");
+  return true;
+}
+
+bool RECache::load(const std::string& path, std::string* error) {
+  std::ifstream file(path);
+  if (!file) return fail(error, "re-cache: cannot open '" + path + "'");
+  std::string magic;
+  int version = 0;
+  if (!(file >> magic >> version) || magic != "slocal-re-cache") {
+    return fail(error, "re-cache: '" + path + "' is not a cache file");
+  }
+  if (version != 1) {
+    return fail(error, "re-cache: unsupported version " + std::to_string(version));
+  }
+  std::string tag;
+  std::size_t count = 0;
+  if (!(file >> tag >> count) || tag != "entries") {
+    return fail(error, "re-cache: malformed entry count");
+  }
+
+  // Parse and validate everything before touching the live table, so a
+  // corrupt file leaves the cache exactly as it was.
+  std::vector<std::pair<CanonicalForm, Problem>> loaded;
+  loaded.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t fingerprint = 0, checksum = 0;
+    if (!(file >> tag >> std::hex >> fingerprint >> checksum >> std::dec) ||
+        tag != "entry") {
+      return fail(error, "re-cache: malformed entry header");
+    }
+    Problem input, result;
+    if (!read_problem(file, "cached-input", &input, error)) return false;
+    if (!read_problem(file, "cached-result", &result, error)) return false;
+    if (entry_checksum(input, result) != checksum) {
+      return fail(error, "re-cache: entry checksum mismatch (corrupt file)");
+    }
+    // The stored input must really be the canonical representative of its
+    // claimed class: recanonicalize and compare. This pins the on-disk
+    // format to the in-process canonicalization, so a cache produced by an
+    // incompatible build is rejected instead of silently mis-keyed.
+    CanonicalForm cf = canonicalize(input);
+    if (cf.fingerprint != fingerprint || !same_constraints(cf.problem, input)) {
+      return fail(error, "re-cache: entry is not in canonical form");
+    }
+    loaded.emplace_back(std::move(cf), std::move(result));
+  }
+  if (file >> tag) {
+    return fail(error, "re-cache: trailing data after last entry");
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [cf, result] : loaded) {
+    std::vector<Entry>& bucket = table_[cf.fingerprint];
+    bool present = false;
+    for (const Entry& entry : bucket) {
+      if (same_constraints(entry.input, cf.problem)) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      bucket.push_back(Entry{std::move(cf.problem), std::move(result)});
+      ++entries_;
+    }
+  }
+  return true;
+}
+
+}  // namespace slocal

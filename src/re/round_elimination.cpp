@@ -10,7 +10,9 @@
 #include <string>
 #include <unordered_set>
 
+#include "src/formalism/canonical.hpp"
 #include "src/formalism/diagram.hpp"
+#include "src/re/re_cache.hpp"
 #include "src/util/combinatorics.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -608,6 +610,9 @@ REStats& REStats::operator+=(const REStats& other) {
   relaxed_dfs_tests += other.relaxed_dfs_tests;
   extension_index_builds += other.extension_index_builds;
   budget_exhausted += other.budget_exhausted;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  canonical_ms += other.canonical_ms;
   threads_used = std::max(threads_used, other.threads_used);
   harden_ms += other.harden_ms;
   dominate_ms += other.dominate_ms;
@@ -623,7 +628,7 @@ std::string REStats::to_string() const {
       "threads=%zu | harden %.2f ms (dfs_nodes=%llu dedup=%llu extendable=%llu "
       "memo=%llu builds=%llu configs=%llu) | dominate %.2f ms (tests=%llu "
       "skipped=%llu) | relax %.2f ms (multisets=%llu witness=%llu dfs=%llu) | "
-      "exhausted=%llu | total %.2f ms",
+      "exhausted=%llu | cache hit=%llu miss=%llu canon %.2f ms | total %.2f ms",
       threads_used, harden_ms, static_cast<unsigned long long>(dfs_nodes),
       static_cast<unsigned long long>(partials_deduped),
       static_cast<unsigned long long>(extendable_calls),
@@ -635,7 +640,9 @@ std::string REStats::to_string() const {
       static_cast<unsigned long long>(relaxed_multisets),
       static_cast<unsigned long long>(relaxed_witness_hits),
       static_cast<unsigned long long>(relaxed_dfs_tests),
-      static_cast<unsigned long long>(budget_exhausted), total_ms);
+      static_cast<unsigned long long>(budget_exhausted),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), canonical_ms, total_ms);
   return std::string(buf);
 }
 
@@ -648,6 +655,32 @@ std::optional<REStep> apply_Rbar(const Problem& pi, const REOptions& options) {
 }
 
 std::optional<Problem> round_eliminate(const Problem& pi, const REOptions& options) {
+  if (options.cache != nullptr) {
+    const auto t_canon = Clock::now();
+    const CanonicalForm key = canonicalize(pi);
+    if (options.stats != nullptr) options.stats->canonical_ms += ms_since(t_canon);
+    if (auto cached = options.cache->lookup(key)) {
+      if (options.stats != nullptr) ++options.stats->cache_hits;
+      // The cached value is the canonical form of RE of this renaming
+      // class — a legal renaming of the true output. Only the derived name
+      // is restored; no search runs at all.
+      return Problem("RE(" + pi.name() + ")", cached->registry(),
+                     cached->white(), cached->black());
+    }
+    if (options.stats != nullptr) ++options.stats->cache_misses;
+    REOptions inner = options;
+    inner.cache = nullptr;
+    auto result = round_eliminate(pi, inner);
+    if (result) {
+      const auto t_store = Clock::now();
+      const CanonicalForm value = canonicalize(*result);
+      if (options.stats != nullptr) {
+        options.stats->canonical_ms += ms_since(t_store);
+      }
+      options.cache->insert(key, value.problem);
+    }
+    return result;
+  }
   const auto half = apply_R(pi, options);
   if (!half) return std::nullopt;
   auto full = apply_Rbar(half->problem, options);

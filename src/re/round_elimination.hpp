@@ -36,6 +36,8 @@
 
 namespace slocal {
 
+class RECache;
+
 /// Performance counters for one (or an accumulation of) R / R̄ application.
 /// All counters are exact and deterministic for a given input; the *_ms
 /// wall times are measured and vary run to run.
@@ -56,6 +58,10 @@ struct REStats {
   // Budgets.
   std::uint64_t extension_index_builds = 0;  ///< fresh index builds (cache misses)
   std::uint64_t budget_exhausted = 0;     ///< applications aborted by a budget
+  // Cross-step RE cache (REOptions::cache; see src/re/re_cache.hpp).
+  std::uint64_t cache_hits = 0;           ///< RE applications answered from cache
+  std::uint64_t cache_misses = 0;         ///< cache probes that fell through
+  double canonical_ms = 0.0;              ///< time spent canonicalizing for the cache
   // Execution.
   std::size_t threads_used = 0;           ///< max parallelism across merged calls
   double harden_ms = 0.0;
@@ -95,6 +101,13 @@ struct REOptions {
   SearchBudget* budget = nullptr;
   /// Optional perf-counter accumulator (see REStats); may be nullptr.
   REStats* stats = nullptr;
+  /// Optional cross-step RE cache (see src/re/re_cache.hpp). When set,
+  /// `round_eliminate` keys the whole application by the input's canonical
+  /// fingerprint: a hit returns the cached canonical output (a legal
+  /// renaming of the true result) without running either half-step; a miss
+  /// computes the normal result — bit-identical to the cache-off path — and
+  /// stores its canonical form. apply_R / apply_Rbar never consult it.
+  RECache* cache = nullptr;
 };
 
 /// Result of one half-step. `label_meaning[l]` is the subset of the *input*

@@ -39,6 +39,7 @@ SequenceReport verify_lower_bound_sequence(const std::vector<Problem>& problems,
     const auto re = round_eliminate(problems[i - 1], step_options);
     step.re_dfs_nodes = local.dfs_nodes;
     step.re_budget_exhausted = local.budget_exhausted > 0;
+    step.re_cache_hit = local.cache_hits > 0;
     if (options.stats != nullptr) *options.stats += local;
     if (re) {
       step.re_computed = true;

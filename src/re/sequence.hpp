@@ -33,6 +33,10 @@ struct SequenceStepReport {
   std::size_t re_black_size = 0;
   std::uint64_t re_dfs_nodes = 0;       // hardened-DFS nodes spent on this step
   std::uint64_t relaxation_nodes = 0;   // relaxation-search nodes on this step
+  /// True when REOptions::cache answered this step's RE application (then
+  /// re_dfs_nodes is 0 — no search ran). Not printed by to_string, so cache
+  /// on/off runs produce byte-identical reports.
+  bool re_cache_hit = false;
 };
 
 struct SequenceReport {

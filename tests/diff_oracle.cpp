@@ -4,6 +4,8 @@
 
 #include "src/graph/generators.hpp"
 #include "src/lift/sweep.hpp"
+#include "src/re/re_cache.hpp"
+#include "src/re/sequence.hpp"
 #include "src/solver/cnf_encoding.hpp"
 #include "src/solver/edge_labeling.hpp"
 #include "src/util/combinatorics.hpp"
@@ -36,6 +38,8 @@ std::optional<bool> brute_force_solvable(const BipartiteGraph& g, const Problem&
   return false;
 }
 
+}  // namespace
+
 /// A random problem in the zero_round_test corpus style: degrees and
 /// alphabet small enough that every engine (including brute force on the
 /// smaller supports) finishes instantly, constraints dense enough that both
@@ -65,6 +69,8 @@ std::optional<Problem> random_problem(std::size_t dw, std::size_t db,
   if (white.empty() || black.empty()) return std::nullopt;
   return Problem("diff-oracle", reg, white, black);
 }
+
+namespace {
 
 /// A support family for a (dw, db)-degree problem. Kinds 0/1 share node ids
 /// across the family (nested gadgets, growing cycles) so the incremental
@@ -97,6 +103,8 @@ std::string DiffOracleReport::summary() const {
                   " yes=" + std::to_string(yes) + " no=" + std::to_string(no) +
                   " brute_checked=" + std::to_string(brute_checked) +
                   " cores_certified=" + std::to_string(cores_certified) +
+                  " sequences=" + std::to_string(sequences) +
+                  " warm_steps=" + std::to_string(warm_steps) +
                   " failures=" + std::to_string(failures.size());
   for (const std::string& f : failures) s += "\n  " + f;
   return s;
@@ -186,6 +194,103 @@ DiffOracleReport run_diff_oracle(const DiffOracleOptions& options) {
     diff_check_family(*pi, family, options.max_brute_assignments, &report);
   }
   return report;
+}
+
+void diff_check_sequence_cache(const std::string& tag,
+                               const std::vector<Problem>& problems,
+                               const std::string& cache_file,
+                               DiffOracleReport* report) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ++report->sequences;
+    const auto fail = [&](const std::string& what) {
+      report->failures.push_back("sequence " + tag + " (threads=" +
+                                 std::to_string(threads) + "): " + what);
+    };
+
+    REOptions base;
+    base.threads = threads;
+    REStats off_stats;
+    base.stats = &off_stats;
+    const SequenceReport off = verify_lower_bound_sequence(problems, base);
+
+    RECache cache;
+    REOptions with_cache = base;
+    with_cache.cache = &cache;
+    REStats cold_stats;
+    with_cache.stats = &cold_stats;
+    const SequenceReport cold = verify_lower_bound_sequence(problems, with_cache);
+    REStats warm_stats;
+    with_cache.stats = &warm_stats;
+    const SequenceReport warm = verify_lower_bound_sequence(problems, with_cache);
+
+    // The rendered reports carry every verdict and size; they must be
+    // byte-identical across all cache modes. Node counters (the only
+    // allowed difference) are checked structurally below.
+    if (off.to_string() != cold.to_string()) {
+      fail("cache-off vs cache-cold reports differ:\n" + off.to_string() +
+           "vs\n" + cold.to_string());
+    }
+    if (off.to_string() != warm.to_string()) {
+      fail("cache-off vs cache-warm reports differ:\n" + off.to_string() +
+           "vs\n" + warm.to_string());
+    }
+
+    // A cold run starts empty, so its first step must miss; steps repeating
+    // an earlier step's renaming class legitimately hit within the run
+    // (that intra-run short-circuit is the point of cross-step caching), so
+    // cold search effort is bounded by — not equal to — cache-off effort.
+    if (!cold.steps.empty() && cold_stats.cache_misses == 0) {
+      fail("cold run never missed");
+    }
+    if (cold_stats.dfs_nodes > off_stats.dfs_nodes) {
+      fail("cold run searched more than cache-off");
+    }
+
+    // Once every RE application succeeded, the warm run must answer every
+    // step from the cache without any RE search at all.
+    bool all_re_ok = true;
+    for (const SequenceStepReport& step : off.steps) {
+      all_re_ok = all_re_ok && step.re_computed;
+    }
+    if (all_re_ok) {
+      if (warm_stats.dfs_nodes != 0) fail("warm run ran an RE search");
+      for (const SequenceStepReport& step : warm.steps) {
+        if (!step.re_cache_hit || step.re_dfs_nodes != 0) {
+          fail("warm step " + std::to_string(step.index) +
+               " was not answered from the cache");
+        } else {
+          ++report->warm_steps;
+        }
+      }
+    }
+
+    // Persistence round-trip: the warm cache must survive save + load and
+    // answer the whole sequence from disk state alone.
+    if (threads == 1 && !cache_file.empty() && all_re_ok) {
+      std::string error;
+      if (!cache.save(cache_file, &error)) {
+        fail("cache save failed: " + error);
+        continue;
+      }
+      RECache reloaded;
+      if (!reloaded.load(cache_file, &error)) {
+        fail("cache load failed: " + error);
+        continue;
+      }
+      REOptions from_disk = base;
+      from_disk.cache = &reloaded;
+      REStats disk_stats;
+      from_disk.stats = &disk_stats;
+      const SequenceReport persisted =
+          verify_lower_bound_sequence(problems, from_disk);
+      if (off.to_string() != persisted.to_string()) {
+        fail("reloaded-cache report differs from cache-off");
+      }
+      if (disk_stats.dfs_nodes != 0) {
+        fail("reloaded cache did not answer every step");
+      }
+    }
+  }
 }
 
 }  // namespace slocal

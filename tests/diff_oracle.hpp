@@ -18,12 +18,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/formalism/problem.hpp"
 #include "src/graph/bipartite.hpp"
+#include "src/util/rng.hpp"
 
 namespace slocal {
 
@@ -46,6 +48,8 @@ struct DiffOracleReport {
   int yes = 0, no = 0;      // agreed verdicts
   int brute_checked = 0;    // instances additionally decided by brute force
   int cores_certified = 0;  // incremental UNSAT cores re-solved to kNo
+  int sequences = 0;        // sequences cross-checked across RE-cache modes
+  int warm_steps = 0;       // warm-run steps answered from the cache (0 DFS)
   /// Human-readable engine disagreements / invalid witnesses; empty = pass.
   std::vector<std::string> failures;
 
@@ -61,5 +65,27 @@ void diff_check_family(const Problem& pi, std::span<const BipartiteGraph> suppor
 
 /// Runs the full seeded-random campaign described in the options.
 DiffOracleReport run_diff_oracle(const DiffOracleOptions& options = {});
+
+/// Seeded random problem over single-letter label names ("A".."P"), with
+/// constraint density drawn per side so the corpus covers dense and sparse
+/// instances. nullopt when a drawn constraint came out empty. Shared with
+/// the canonicalization property tests so both harnesses walk one corpus.
+std::optional<Problem> random_problem(std::size_t dw, std::size_t db,
+                                      std::size_t alphabet, Rng& rng);
+
+/// Cross-checks `verify_lower_bound_sequence` across RE-cache modes: cache
+/// off, cache on (cold), and cache on (warm, second run over the same
+/// cache), each at threads=1 and threads=4. Every run must render a
+/// byte-identical SequenceReport (to_string carries the verdicts and sizes;
+/// per-step node counters — the only permitted difference — are checked
+/// structurally instead: once every RE application succeeded, warm steps
+/// must be answered from the cache with 0 RE DFS nodes). When `cache_file`
+/// is non-empty the warm cache is additionally saved there, reloaded into a
+/// fresh cache, and the sequence re-verified from the reloaded copy to pin
+/// the persistence round-trip. Appends to `report`.
+void diff_check_sequence_cache(const std::string& tag,
+                               const std::vector<Problem>& problems,
+                               const std::string& cache_file,
+                               DiffOracleReport* report);
 
 }  // namespace slocal

@@ -6,6 +6,9 @@
 #include <sys/wait.h>
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -18,6 +21,21 @@ int run_tool(const std::string& args) {
   const std::string cmd =
       std::string("'") + SLOCAL_TOOL_PATH + "' " + args + " >/dev/null 2>&1";
   const int status = std::system(cmd.c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+/// Same, but captures stdout into *out.
+int run_tool_capture(const std::string& args, std::string* out) {
+  const std::string capture =
+      (std::filesystem::path(testing::TempDir()) / "tool_stdout.txt").string();
+  const std::string cmd = std::string("'") + SLOCAL_TOOL_PATH + "' " + args +
+                          " >'" + capture + "' 2>/dev/null";
+  const int status = std::system(cmd.c_str());
+  std::ifstream in(capture);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
   if (status == -1 || !WIFEXITED(status)) return -1;
   return WEXITSTATUS(status);
 }
@@ -61,6 +79,71 @@ TEST(ToolCli, SweepRejectsNonDominatingLiftTargets) {
   EXPECT_EQ(run_tool("sweep " + problem("maximal_matching_3.txt") +
                      "3 1 gadgets:1..3"),
             1);
+}
+
+TEST(ToolCli, SequenceVerifiesFixedPointChain) {
+  // two_coloring is an RE fixed point, so the repeated chain is a valid
+  // lower bound sequence (each Π_i is a relaxation of RE(Π_{i-1})).
+  EXPECT_EQ(run_tool("sequence " + problem("two_coloring.txt") + "--repeat=3"), 0);
+}
+
+TEST(ToolCli, SequenceRejectsNonRelaxationChain) {
+  // maximal_matching_3 is not a relaxation of RE(two_coloring): negative
+  // verdict, exit 2.
+  EXPECT_EQ(run_tool("sequence " + problem("two_coloring.txt") +
+                     problem("maximal_matching_3.txt")),
+            2);
+}
+
+TEST(ToolCli, SequenceNeedsAtLeastTwoProblems) {
+  EXPECT_EQ(run_tool("sequence " + problem("two_coloring.txt")), 1);
+}
+
+TEST(ToolCli, SequenceCacheColdRunWritesWarmRunHits) {
+  const std::string cache =
+      (std::filesystem::path(testing::TempDir()) / "cli_re_cache.txt").string();
+  std::filesystem::remove(cache);
+  const std::string args = "sequence " + problem("two_coloring.txt") +
+                           "--repeat=3 --re-cache='" + cache + "'";
+
+  // Cold run: verifies, writes the cache file, misses once (first step).
+  std::string out;
+  EXPECT_EQ(run_tool_capture(args, &out), 0);
+  EXPECT_NE(out.find("sequence: VALID"), std::string::npos) << out;
+  EXPECT_NE(out.find("misses=1"), std::string::npos) << out;
+  EXPECT_TRUE(std::filesystem::exists(cache));
+
+  // Warm run: same verdict, every step answered from the persisted cache.
+  EXPECT_EQ(run_tool_capture(args, &out), 0);
+  EXPECT_NE(out.find("sequence: VALID"), std::string::npos) << out;
+  EXPECT_NE(out.find("hits=3 misses=0"), std::string::npos) << out;
+  EXPECT_NE(out.find("dfs_nodes=0"), std::string::npos) << out;
+}
+
+TEST(ToolCli, SequenceRejectsCorruptCacheWithExitTwo) {
+  const std::string cache =
+      (std::filesystem::path(testing::TempDir()) / "cli_corrupt_cache.txt").string();
+  const std::string args = "sequence " + problem("two_coloring.txt") +
+                           "--repeat=3 --re-cache='" + cache + "'";
+  std::filesystem::remove(cache);
+  ASSERT_EQ(run_tool(args), 0);
+
+  // Flip one digit in the persisted file: the load must fail closed
+  // (exit 2, no verdict) rather than verify against damaged entries.
+  std::ifstream in(cache);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  const std::size_t digit = text.find_last_of("0123456789");
+  ASSERT_NE(digit, std::string::npos);
+  text[digit] = text[digit] == '0' ? '1' : '0';
+  std::ofstream(cache, std::ios::trunc) << text;
+
+  std::string out;
+  EXPECT_EQ(run_tool_capture(args, &out), 2);
+  // Never a wrong (or any) verdict from a corrupt cache: the tool bails
+  // before verification starts.
+  EXPECT_EQ(out.find("sequence:"), std::string::npos) << out;
 }
 
 TEST(ToolCli, UsageAndInputErrors) {

@@ -143,6 +143,55 @@ def main(argv):
     elif base_sweep:
         rc |= fail("incremental_sweep_demo missing from current report")
 
+    cache = current.get("re_cache_demo")
+    base_cache = baseline.get("re_cache_demo")
+    if cache:
+        # Hard gates (schema v4): caching must never change a verdict, and a
+        # warm run over an already-cached sequence must answer every RE step
+        # from the cache without any search.
+        if not cache["verdicts_match"]:
+            rc |= fail("re_cache_demo: verdicts diverge across cache modes")
+        if cache["warm_misses"] != 0:
+            rc |= fail(f"re_cache_demo: warm run missed {cache['warm_misses']} times")
+        if cache["warm_dfs_nodes"] != 0:
+            rc |= fail(
+                f"re_cache_demo: warm run searched {cache['warm_dfs_nodes']} "
+                "dfs nodes (expected 0)"
+            )
+        if cache["warm_hits"] != cache["steps"]:
+            rc |= fail(
+                f"re_cache_demo: warm hits {cache['warm_hits']} != "
+                f"steps {cache['steps']}"
+            )
+        if cache["chain_hits"] != cache["chain_steps"] - 1:
+            rc |= fail(
+                "re_cache_demo: fixed-point chain short-circuit broken "
+                f"({cache['chain_hits']} hits over {cache['chain_steps']} steps)"
+            )
+        if cache["chain_dfs_nodes_after_first"] != 0:
+            rc |= fail(
+                "re_cache_demo: chain steps after the first still searched "
+                f"({cache['chain_dfs_nodes_after_first']} dfs nodes)"
+            )
+        # The one wall-clock gate in this file: a warm run does a strict
+        # subset of the cold run's work (every RE search is skipped), so
+        # warm <= cold holds structurally, not just statistically.
+        if cache["warm_wall_ms"] > cache["cold_wall_ms"]:
+            rc |= fail(
+                f"re_cache_demo: warm run slower than cold "
+                f"({cache['warm_wall_ms']:.2f} > {cache['cold_wall_ms']:.2f} ms)"
+            )
+        else:
+            print(
+                f"ok: re_cache_demo warm/cold wall "
+                f"{cache['warm_wall_ms']:.2f}/{cache['cold_wall_ms']:.2f} ms "
+                f"({cache['warm_wall_ms'] / max(cache['cold_wall_ms'], 1e-9):.2f}x), "
+                f"off {cache['off_wall_ms']:.2f} ms, "
+                f"canonicalization {cache['warm_canonical_ms']:.2f} ms"
+            )
+    elif base_cache:
+        rc |= fail("re_cache_demo missing from current report")
+
     print("bench_re counters within limits" if rc == 0 else "bench_re check FAILED")
     return rc
 
