@@ -13,11 +13,16 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/cert/check.hpp"
+#include "src/cert/emit.hpp"
+#include "src/cert/format.hpp"
 #include "src/formalism/canonical.hpp"
+#include "src/formalism/parser.hpp"
 #include "src/formalism/relaxation.hpp"
 #include "src/graph/generators.hpp"
 #include "src/lift/sweep.hpp"
@@ -130,10 +135,32 @@ struct CacheDemo {
   std::uint64_t chain_dfs_nodes_after_first = 0;
 };
 
+/// E2h — proof certificates (src/cert): emission and independent checking
+/// on two of the acceptance instances — the Δ'=3 matching sequence
+/// (Corollary 4.6, configuration-mapping witnesses) and the C_3 lift-UNSAT
+/// claim (Theorem 3.2 side, DRAT refutation checked by RUP only). The gated
+/// invariants are the three validity flags; the tracked payoff is that
+/// checking stays far cheaper than emission (the checker re-derives
+/// witnesses and proofs, never re-runs the searches).
+struct CertDemo {
+  std::size_t sequence_steps = 0;
+  bool sequence_valid = false;
+  double sequence_emit_wall_ms = 0.0;
+  double sequence_check_wall_ms = 0.0;
+  std::size_t sequence_bytes = 0;
+  std::size_t lift_proof_steps = 0;
+  bool lift_valid = false;
+  double lift_emit_wall_ms = 0.0;
+  double lift_check_wall_ms = 0.0;
+  std::size_t lift_bytes = 0;
+  bool roundtrip_valid = false;  // save -> load -> recheck, both kinds
+};
+
 void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                 double table_wall_ms, double serial_table_wall_ms,
                 const BudgetDemo& budget_demo, const PortfolioDemo& portfolio_demo,
-                const SweepDemo& sweep_demo, const CacheDemo& cache_demo) {
+                const SweepDemo& sweep_demo, const CacheDemo& cache_demo,
+                const CertDemo& cert_demo) {
   std::FILE* f = std::fopen("BENCH_RE.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write BENCH_RE.json\n");
@@ -142,7 +169,7 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"bench_re\",\n"
-               "  \"schema_version\": 4,\n"
+               "  \"schema_version\": 5,\n"
                "  \"hardware_threads\": %u,\n"
                "  \"e2_table_wall_ms\": %.3f,\n"
                "  \"e2_table_serial_wall_ms\": %.3f,\n"
@@ -230,7 +257,7 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                "    \"chain_steps\": %zu,\n"
                "    \"chain_hits\": %llu,\n"
                "    \"chain_dfs_nodes_after_first\": %llu\n"
-               "  }\n}\n",
+               "  },\n",
                cache_demo.steps, cache_demo.verdicts_match ? "true" : "false",
                static_cast<unsigned long long>(cache_demo.cold_hits),
                static_cast<unsigned long long>(cache_demo.cold_misses),
@@ -242,6 +269,26 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                cache_demo.chain_steps,
                static_cast<unsigned long long>(cache_demo.chain_hits),
                static_cast<unsigned long long>(cache_demo.chain_dfs_nodes_after_first));
+  std::fprintf(f,
+               "  \"cert_demo\": {\n"
+               "    \"sequence_steps\": %zu,\n"
+               "    \"sequence_valid\": %s,\n"
+               "    \"sequence_emit_wall_ms\": %.3f,\n"
+               "    \"sequence_check_wall_ms\": %.3f,\n"
+               "    \"sequence_bytes\": %zu,\n"
+               "    \"lift_proof_steps\": %zu,\n"
+               "    \"lift_valid\": %s,\n"
+               "    \"lift_emit_wall_ms\": %.3f,\n"
+               "    \"lift_check_wall_ms\": %.3f,\n"
+               "    \"lift_bytes\": %zu,\n"
+               "    \"roundtrip_valid\": %s\n"
+               "  }\n}\n",
+               cert_demo.sequence_steps, cert_demo.sequence_valid ? "true" : "false",
+               cert_demo.sequence_emit_wall_ms, cert_demo.sequence_check_wall_ms,
+               cert_demo.sequence_bytes, cert_demo.lift_proof_steps,
+               cert_demo.lift_valid ? "true" : "false", cert_demo.lift_emit_wall_ms,
+               cert_demo.lift_check_wall_ms, cert_demo.lift_bytes,
+               cert_demo.roundtrip_valid ? "true" : "false");
   std::fclose(f);
   std::printf("wrote BENCH_RE.json\n\n");
 }
@@ -511,8 +558,80 @@ void print_table() {
         static_cast<unsigned long long>(cache_demo.chain_dfs_nodes_after_first));
   }
 
+  // E2h: certificate emission vs independent checking on the acceptance
+  // instances (Δ'=3 matching sequence; C_3 lift-UNSAT for 2-coloring).
+  CertDemo cert_demo;
+  {
+    const auto wall_since = [](std::chrono::steady_clock::time_point t0) {
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0)
+          .count();
+    };
+
+    const auto problems =
+        matching_lower_bound_sequence(3, 0, 1, matching_sequence_length(3, 0, 1));
+    REOptions options;
+    options.max_configurations = 5'000'000;
+    auto t0 = std::chrono::steady_clock::now();
+    const auto seq_cert = cert::make_sequence_certificate(problems, options);
+    cert_demo.sequence_emit_wall_ms = wall_since(t0);
+    if (seq_cert) {
+      cert_demo.sequence_steps = seq_cert->sequence.steps.size();
+      t0 = std::chrono::steady_clock::now();
+      const auto verdict = cert::check_certificate(*seq_cert);
+      cert_demo.sequence_check_wall_ms = wall_since(t0);
+      cert_demo.sequence_valid = verdict.status == cert::CertStatus::kValid;
+    }
+
+    const auto two_coloring = parse_problem("two_coloring", "A^2\nB^2", "A B");
+    std::optional<cert::Certificate> lift_cert;
+    if (two_coloring) {
+      t0 = std::chrono::steady_clock::now();
+      lift_cert = cert::make_lift_unsat_certificate(*two_coloring, 2, 2,
+                                                    make_bipartite_cycle(3));
+      cert_demo.lift_emit_wall_ms = wall_since(t0);
+    }
+    if (lift_cert) {
+      cert_demo.lift_proof_steps = lift_cert->lift.proof.steps.size();
+      t0 = std::chrono::steady_clock::now();
+      const auto verdict = cert::check_certificate(*lift_cert);
+      cert_demo.lift_check_wall_ms = wall_since(t0);
+      cert_demo.lift_valid = verdict.status == cert::CertStatus::kValid;
+    }
+
+    // Round-trip both kinds through the on-disk container and recheck.
+    cert_demo.roundtrip_valid = seq_cert.has_value() && lift_cert.has_value();
+    const std::pair<const char*, const std::optional<cert::Certificate>&> files[] = {
+        {"cert_demo_seq.cert", seq_cert}, {"cert_demo_lift.cert", lift_cert}};
+    for (const auto& [path, emitted] : files) {
+      if (!emitted) continue;
+      std::string error;
+      cert::Certificate reloaded;
+      const bool ok = cert::save_certificate(*emitted, path, &error) &&
+                      cert::load_certificate(path, &reloaded, &error) &&
+                      cert::check_certificate(reloaded).status ==
+                          cert::CertStatus::kValid;
+      if (!ok) cert_demo.roundtrip_valid = false;
+      std::error_code ec;
+      const auto bytes = std::filesystem::file_size(path, ec);
+      (path == files[0].first ? cert_demo.sequence_bytes : cert_demo.lift_bytes) =
+          ec ? 0 : static_cast<std::size_t>(bytes);
+    }
+
+    std::printf(
+        "E2h proof certificates: matching Δ'=3 sequence (%zu steps) emit %.2f ms, "
+        "check %.2f ms, %zu bytes, %s | C_3 lift-unsat (%zu DRAT steps) emit "
+        "%.2f ms, check %.2f ms, %zu bytes, %s | disk round-trip %s\n\n",
+        cert_demo.sequence_steps, cert_demo.sequence_emit_wall_ms,
+        cert_demo.sequence_check_wall_ms, cert_demo.sequence_bytes,
+        cert_demo.sequence_valid ? "VALID" : "INVALID", cert_demo.lift_proof_steps,
+        cert_demo.lift_emit_wall_ms, cert_demo.lift_check_wall_ms,
+        cert_demo.lift_bytes, cert_demo.lift_valid ? "VALID" : "INVALID",
+        cert_demo.roundtrip_valid ? "ok" : "BROKEN");
+  }
+
   write_json(rows, totals, table_wall_ms, serial_table_wall_ms, budget_demo,
-             portfolio_demo, sweep_demo, cache_demo);
+             portfolio_demo, sweep_demo, cache_demo, cert_demo);
 }
 
 void BM_re_matching(benchmark::State& state) {

@@ -1,0 +1,37 @@
+// cert_check — the standalone certificate verifier.
+//
+//   cert_check <certificate-file>
+//
+// Exit codes (the same contract slocal_tool check-cert follows):
+//   0  certificate is valid (the claim it records is verified)
+//   1  certificate is well-formed but INVALID (a witness or proof fails)
+//   2  file is malformed or corrupt (bad header, checksum, grammar, range)
+//  64  usage error
+//
+// This binary deliberately links only slocal_cert + slocal_formalism +
+// slocal_util (see examples/CMakeLists.txt): validation must not share code
+// with the engines whose answers it certifies.
+#include <cstdio>
+
+#include "src/cert/check.hpp"
+#include "src/cert/format.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: cert_check <certificate-file>\n");
+    return 64;
+  }
+  slocal::cert::Certificate cert;
+  std::string error;
+  if (!slocal::cert::load_certificate(argv[1], &cert, &error)) {
+    std::fprintf(stderr, "cert_check: %s\n", error.c_str());
+    return 2;
+  }
+  const slocal::cert::CertCheckResult result = slocal::cert::check_certificate(cert);
+  if (result.status != slocal::cert::CertStatus::kValid) {
+    std::fprintf(stderr, "cert_check: INVALID: %s\n", result.message.c_str());
+    return 1;
+  }
+  std::printf("cert_check: VALID (%s)\n", result.message.c_str());
+  return 0;
+}

@@ -33,6 +33,16 @@
 //                                           (a corrupt cache file is rejected
 //                                           with exit 2 — never a wrong
 //                                           verdict).
+//   slocal_tool check-cert <file>           validate a proof certificate
+//                                           (same verdicts and exit codes as
+//                                           the standalone cert_check binary)
+//
+// Certificate emission: `sequence --emit-cert=PATH` writes a sequence
+// certificate (fingerprints + relaxation witnesses per step) once the
+// sequence verifies; `sweep --emit-cert=PATH` writes a lift-unsat
+// certificate (CNF + DRAT refutation) for the first unsolvable support of
+// the sweep. Either certificate is validated independently by check-cert /
+// cert_check, which re-check witnesses and proofs without the engines.
 //
 // Budget flags (accepted anywhere after the command):
 //   --timeout-ms=N   wall-clock limit for the command's searches
@@ -48,6 +58,9 @@
 #include <string>
 #include <vector>
 
+#include "src/cert/check.hpp"
+#include "src/cert/emit.hpp"
+#include "src/cert/format.hpp"
 #include "src/formalism/diagram.hpp"
 #include "src/formalism/parser.hpp"
 #include "src/graph/generators.hpp"
@@ -307,9 +320,25 @@ std::optional<std::vector<BipartiteGraph>> load_family(const std::string& spec,
   return std::nullopt;
 }
 
+int cmd_check_cert(const char* path) {
+  cert::Certificate certificate;
+  std::string error;
+  if (!cert::load_certificate(path, &certificate, &error)) {
+    std::fprintf(stderr, "check-cert: %s\n", error.c_str());
+    return 2;
+  }
+  const cert::CertCheckResult result = cert::check_certificate(certificate);
+  if (result.status != cert::CertStatus::kValid) {
+    std::fprintf(stderr, "check-cert: INVALID: %s\n", result.message.c_str());
+    return 1;
+  }
+  std::printf("check-cert: VALID (%s)\n", result.message.c_str());
+  return 0;
+}
+
 int cmd_sweep(const Problem& pi, std::size_t big_delta, std::size_t big_r,
               const std::string& family_spec, bool scratch,
-              const BudgetFlags& flags) {
+              const std::string& emit_cert_path, const BudgetFlags& flags) {
   if (big_delta < pi.white_degree() || big_r < pi.black_degree()) {
     std::fprintf(stderr, "lift targets must dominate the problem degrees\n");
     return 1;
@@ -352,11 +381,43 @@ int cmd_sweep(const Problem& pi, std::size_t big_delta, std::size_t big_r,
     std::fprintf(stderr, "budget exhausted\n");
     return kExitExhausted;
   }
+  if (!emit_cert_path.empty()) {
+    // Certify the first unsolvable support: re-encode it from scratch with
+    // proof logging (the incremental sweep interleaves all supports through
+    // one solver, so its conflicts are not a per-support refutation).
+    std::size_t unsat_index = result.steps.size();
+    for (std::size_t i = 0; i < result.steps.size(); ++i) {
+      if (result.steps[i].verdict == Verdict::kNo) {
+        unsat_index = i;
+        break;
+      }
+    }
+    if (unsat_index == result.steps.size()) {
+      std::fprintf(stderr,
+                   "--emit-cert: no unsolvable support in the sweep, "
+                   "nothing to certify\n");
+      return 1;
+    }
+    const auto certificate = cert::make_lift_unsat_certificate(
+        pi, big_delta, big_r, (*supports)[unsat_index], options.budget);
+    if (!certificate.has_value()) {
+      std::fprintf(stderr, "--emit-cert: failed to build the certificate\n");
+      return 1;
+    }
+    std::string error;
+    if (!cert::save_certificate(*certificate, emit_cert_path, &error)) {
+      std::fprintf(stderr, "--emit-cert: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("certificate: lift-unsat for support %zu written to %s\n",
+                unsat_index + 1, emit_cert_path.c_str());
+  }
   return 0;
 }
 
 int cmd_sequence(std::vector<Problem> problems, std::size_t repeat,
-                 const std::string& cache_path, const BudgetFlags& flags) {
+                 const std::string& cache_path,
+                 const std::string& emit_cert_path, const BudgetFlags& flags) {
   for (std::size_t i = 0; i < repeat; ++i) problems.push_back(problems.back());
   if (problems.size() < 2) {
     std::fprintf(stderr, "sequence needs at least two problems "
@@ -391,7 +452,15 @@ int cmd_sequence(std::vector<Problem> problems, std::size_t repeat,
   options.stats = &stats;
   if (use_cache) options.cache = &cache;
 
-  const SequenceReport report = verify_lower_bound_sequence(problems, options);
+  // With --emit-cert the emitter drives the verification itself (one run,
+  // witnesses kept); without it the plain verifier keeps the lean path.
+  SequenceReport report;
+  std::optional<cert::Certificate> certificate;
+  if (emit_cert_path.empty()) {
+    report = verify_lower_bound_sequence(problems, options);
+  } else {
+    certificate = cert::make_sequence_certificate(problems, options, &report);
+  }
   std::printf("%s", report.to_string().c_str());
   if (use_cache) {
     const RECacheCounters c = cache.counters();
@@ -416,14 +485,52 @@ int cmd_sequence(std::vector<Problem> problems, std::size_t repeat,
     std::fprintf(stderr, "budget exhausted\n");
     return kExitExhausted;
   }
+  if (!emit_cert_path.empty()) {
+    if (!certificate.has_value()) {
+      std::fprintf(stderr,
+                   "--emit-cert: sequence did not verify, nothing to "
+                   "certify\n");
+      return 2;
+    }
+    std::string error;
+    if (!cert::save_certificate(*certificate, emit_cert_path, &error)) {
+      std::fprintf(stderr, "--emit-cert: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("certificate: sequence (%zu steps) written to %s\n",
+                report.steps.size(), emit_cert_path.c_str());
+  }
   return report.valid ? 0 : 2;
 }
 
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: slocal_tool <command> [args] [flags]\n"
+               "commands:\n"
+               "  print      <file>                  parse + constraints + diagrams\n"
+               "  re         <file> [steps]          apply round elimination\n"
+               "  fixed      <file>                  fixed-point check\n"
+               "  lift       <file> <D> <r>          materialize lift_{D,r}\n"
+               "  solve      <file> <support>        bipartite solvability\n"
+               "  zero       <file> <support>        0-round Supported-LOCAL decision\n"
+               "  portfolio  <file> <support>        race backtracking vs CDCL\n"
+               "  sweep      <file> <D> <r> <family> lift solvability sweep\n"
+               "  sequence   <file> [<file>...]      verify a lower-bound sequence\n"
+               "  check-cert <file>                  validate a proof certificate\n"
+               "flags:\n"
+               "  --timeout-ms=N --max-nodes=N       search budget (exit 3 when hit)\n"
+               "  --scratch                          sweep: re-encode each support\n"
+               "  --repeat=N                         sequence: repeat last problem\n"
+               "  --re-cache=PATH                    sequence: persistent RE cache\n"
+               "  --emit-cert=PATH                   sequence/sweep: write a proof\n"
+               "                                     certificate for check-cert /\n"
+               "                                     cert_check\n"
+               "exit codes: 0 ok/valid, 1 error/invalid, 2 unsolvable/not-fixed/\n"
+               "            malformed cert, 3 budget exhausted, 64 usage\n");
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: slocal_tool print|re|fixed|lift|solve|zero|portfolio|"
-               "sweep|sequence <file> [args] [--timeout-ms=N] [--max-nodes=N] "
-               "[--scratch] [--repeat=N] [--re-cache=PATH]\n");
+  print_usage(stderr);
   return 64;
 }
 
@@ -435,6 +542,7 @@ int main(int argc, char** argv) {
   bool scratch = false;
   std::size_t repeat = 0;
   std::string re_cache_path;
+  std::string emit_cert_path;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
@@ -447,12 +555,18 @@ int main(int argc, char** argv) {
       repeat = std::strtoul(argv[i] + 9, nullptr, 10);
     } else if (std::strncmp(argv[i], "--re-cache=", 11) == 0) {
       re_cache_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--emit-cert=", 12) == 0) {
+      emit_cert_path = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage(stdout);
+      return 0;
     } else {
       args.push_back(argv[i]);
     }
   }
   if (args.size() < 2) return usage();
   const std::string cmd = args[0];
+  if (cmd == "check-cert") return cmd_check_cert(args[1]);
   if (cmd == "sequence") {
     std::vector<Problem> problems;
     for (std::size_t i = 1; i < args.size(); ++i) {
@@ -460,7 +574,8 @@ int main(int argc, char** argv) {
       if (!p) return 1;
       problems.push_back(*p);
     }
-    return cmd_sequence(std::move(problems), repeat, re_cache_path, flags);
+    return cmd_sequence(std::move(problems), repeat, re_cache_path,
+                        emit_cert_path, flags);
   }
   const auto pi = load_problem(args[1]);
   if (!pi) return 1;
@@ -473,7 +588,8 @@ int main(int argc, char** argv) {
   }
   if (cmd == "sweep" && args.size() >= 5) {
     return cmd_sweep(*pi, std::strtoul(args[2], nullptr, 10),
-                     std::strtoul(args[3], nullptr, 10), args[4], scratch, flags);
+                     std::strtoul(args[3], nullptr, 10), args[4], scratch,
+                     emit_cert_path, flags);
   }
   if ((cmd == "solve" || cmd == "zero" || cmd == "portfolio") && args.size() >= 3) {
     const auto support = load_support(args[2]);

@@ -1,0 +1,44 @@
+// Semantic validation of certificates (the "small trusted checker").
+//
+// Trust story — what the checker re-derives and what it assumes:
+//
+//  * Relaxation witnesses are re-validated from the definition: every
+//    configuration is mapped and membership-checked against the target
+//    constraints (check_relaxation_label_map / check_relaxation_witness).
+//    The relaxation *search* is never re-run and none of its code is
+//    trusted.
+//  * DRAT proofs are re-validated by reverse unit propagation only
+//    (src/cert/drat.hpp) — no CDCL code is shared with the solver.
+//  * Canonical fingerprints are recomputed from the stored problems and
+//    compared against the recorded ones, binding the steps of a sequence
+//    together and pinning the certificate to the canonicalization the
+//    emitting build used.
+//  * Two bindings are *assumed*, not re-derived: that RE(Π_{i-1}) stored in
+//    a sequence step really is the round elimination of Π_{i-1} (the RE
+//    engine is cross-checked separately by the differential-testing
+//    oracle), and that a lift-unsat certificate's CNF really encodes
+//    "lift_{Δ,r}(Π) solvable on G" (re-deriving it would pull the whole
+//    encoder into the trusted base; the stored hash instead pins the CNF to
+//    the emitting encoder, so the proof cannot be swapped under the claim).
+//
+// check_certificate never answers "malformed" — structural damage is
+// load_certificate's job (exit 2); this layer decides valid (exit 0)
+// versus invalid (exit 1), with a message naming the failing step.
+#pragma once
+
+#include <string>
+
+#include "src/cert/format.hpp"
+
+namespace slocal::cert {
+
+enum class CertStatus { kValid, kInvalid };
+
+struct CertCheckResult {
+  CertStatus status = CertStatus::kInvalid;
+  std::string message;  // names the failing step on kInvalid
+};
+
+CertCheckResult check_certificate(const Certificate& cert);
+
+}  // namespace slocal::cert

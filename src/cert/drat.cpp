@@ -1,0 +1,200 @@
+#include "src/cert/drat.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace slocal::cert {
+
+namespace {
+
+/// Dense index of a DIMACS literal: variable v (1-based) maps to 2(v-1),
+/// its negation to 2(v-1)+1.
+std::size_t lit_index(std::int32_t lit) {
+  const std::size_t v = static_cast<std::size_t>(std::abs(lit));
+  return 2 * (v - 1) + (lit < 0 ? 1 : 0);
+}
+
+std::vector<std::int32_t> sorted_set(std::vector<std::int32_t> lits) {
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  return lits;
+}
+
+/// The checker's whole state: an explicit clause set with occurrence lists,
+/// and a single scratch assignment used (and fully undone) by every RUP
+/// query. Deleted clauses stay in `clauses` with active = false so clause
+/// ids in the occurrence lists never dangle.
+class RupChecker {
+ public:
+  explicit RupChecker(std::size_t num_vars)
+      : num_vars_(num_vars), occ_(2 * num_vars), value_(num_vars + 1, 0) {}
+
+  bool lit_ok(std::int32_t lit) const {
+    return lit != 0 && lit >= -static_cast<std::int32_t>(num_vars_) &&
+           lit <= static_cast<std::int32_t>(num_vars_);
+  }
+
+  void add_clause(const std::vector<std::int32_t>& lits) {
+    const std::size_t id = clauses_.size();
+    clauses_.push_back(Clause{lits, true});
+    for (const std::int32_t l : lits) occ_[lit_index(l)].push_back(id);
+    if (lits.size() <= 1) seeds_.push_back(id);
+    by_set_[sorted_set(lits)].push_back(id);
+  }
+
+  /// Deactivates one active clause with exactly this literal set.
+  bool remove_clause(const std::vector<std::int32_t>& lits) {
+    const auto it = by_set_.find(sorted_set(lits));
+    if (it == by_set_.end()) return false;
+    for (std::size_t& id : it->second) {
+      if (clauses_[id].active) {
+        clauses_[id].active = false;
+        std::swap(id, it->second.back());
+        it->second.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Reverse unit propagation: asserts the negation of every literal of
+  /// `clause`, propagates to fixpoint over the active clauses, and reports
+  /// whether a conflict was reached. The scratch assignment is always
+  /// restored before returning.
+  bool rup(const std::vector<std::int32_t>& clause) {
+    bool conflict = false;
+    for (const std::int32_t lit : clause) {
+      if (!assign(-lit)) {
+        conflict = true;  // clause is a tautology or repeats a refuted literal
+        break;
+      }
+    }
+    // Clauses that are unit (or empty) as written propagate unconditionally
+    // — the occurrence-driven loop below only wakes on falsified literals,
+    // so these have to be seeded explicitly.
+    for (std::size_t s = 0; !conflict && s < seeds_.size(); ++s) {
+      conflict = !examine(seeds_[s]);
+    }
+    std::size_t head = 0;
+    while (!conflict && head < trail_.size()) {
+      const std::int32_t lit = trail_[head++];  // newly true: wake ~lit clauses
+      for (const std::size_t id : occ_[lit_index(-lit)]) {
+        if (!examine(id)) {
+          conflict = true;
+          break;
+        }
+      }
+    }
+    for (const std::int32_t lit : trail_) value_[std::abs(lit)] = 0;
+    trail_.clear();
+    return conflict;
+  }
+
+ private:
+  struct Clause {
+    std::vector<std::int32_t> lits;
+    bool active = true;
+  };
+
+  std::int8_t value_of(std::int32_t lit) const {
+    const std::int8_t v = value_[std::abs(lit)];
+    return lit < 0 ? static_cast<std::int8_t>(-v) : v;
+  }
+
+  /// Makes `lit` true; false iff it is already false (a conflict).
+  bool assign(std::int32_t lit) {
+    std::int8_t& slot = value_[std::abs(lit)];
+    const std::int8_t want = lit > 0 ? 1 : -1;
+    if (slot == want) return true;
+    if (slot != 0) return false;
+    slot = want;
+    trail_.push_back(lit);
+    return true;
+  }
+
+  /// Propagates clause `id` under the current assignment: true = fine
+  /// (satisfied, still open, or propagated a unit), false = conflicting.
+  bool examine(std::size_t id) {
+    const Clause& c = clauses_[id];
+    if (!c.active) return true;
+    std::int32_t unassigned = 0;
+    std::size_t open = 0;
+    for (const std::int32_t l : c.lits) {
+      const std::int8_t v = value_of(l);
+      if (v > 0) return true;  // satisfied
+      if (v == 0) {
+        unassigned = l;
+        if (++open > 1) return true;  // two open literals: nothing to do
+      }
+    }
+    if (open == 0) return false;       // fully falsified
+    return assign(unassigned);         // unit: propagate (cannot fail: open)
+  }
+
+  std::size_t num_vars_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<std::size_t>> occ_;  // literal index -> clause ids
+  std::vector<std::size_t> seeds_;             // ids of size <= 1 clauses
+  std::map<std::vector<std::int32_t>, std::vector<std::size_t>> by_set_;
+  std::vector<std::int8_t> value_;  // 1-based by variable: -1/0/+1
+  std::vector<std::int32_t> trail_;
+};
+
+}  // namespace
+
+DratResult check_drat(const DratProof& proof, const std::vector<std::int32_t>& target,
+                      std::size_t num_vars) {
+  DratResult result;
+  RupChecker checker(num_vars);
+  for (std::size_t i = 0; i < proof.input_clauses.size(); ++i) {
+    for (const std::int32_t l : proof.input_clauses[i]) {
+      if (!checker.lit_ok(l)) {
+        result.message =
+            "drat: input clause " + std::to_string(i + 1) + " has a literal out of range";
+        return result;
+      }
+    }
+    checker.add_clause(proof.input_clauses[i]);
+  }
+  for (std::size_t i = 0; i < proof.steps.size(); ++i) {
+    const DratStep& step = proof.steps[i];
+    for (const std::int32_t l : step.lits) {
+      if (!checker.lit_ok(l)) {
+        result.message =
+            "drat: step " + std::to_string(i + 1) + " has a literal out of range";
+        return result;
+      }
+    }
+    if (step.is_delete) {
+      if (!checker.remove_clause(step.lits)) {
+        result.message = "drat: deletion step " + std::to_string(i + 1) +
+                         " matches no active clause";
+        return result;
+      }
+    } else {
+      if (!checker.rup(step.lits)) {
+        result.message = "drat: addition step " + std::to_string(i + 1) +
+                         " is not a reverse-unit-propagation consequence";
+        return result;
+      }
+      checker.add_clause(step.lits);
+    }
+  }
+  for (const std::int32_t l : target) {
+    if (!checker.lit_ok(l)) {
+      result.message = "drat: target clause has a literal out of range";
+      return result;
+    }
+  }
+  if (!checker.rup(target)) {
+    result.message =
+        "drat: target clause is not derived (not RUP over the final clause set)";
+    return result;
+  }
+  result.valid = true;
+  result.message = "drat: " + std::to_string(proof.steps.size()) + " steps verified";
+  return result;
+}
+
+}  // namespace slocal::cert

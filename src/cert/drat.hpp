@@ -1,0 +1,50 @@
+// A from-scratch RUP/DRAT proof checker.
+//
+// Validates an UNSAT derivation emitted by SatSolver's proof logging — but
+// shares no code with it: the only machinery here is unit propagation over
+// an explicit clause set, re-implemented independently (occurrence lists and
+// counters instead of the solver's two-watched-literal scheme, no conflict
+// analysis, no heuristics). Every addition step is checked by *reverse unit
+// propagation* (RUP): assert the negation of each of the step's literals,
+// propagate to fixpoint over the active clauses, and demand a conflict.
+// First-UIP learned clauses, assumption-core finalization clauses, and the
+// empty clause of a root refutation are all RUP consequences, so a trace
+// from a correct CDCL run always passes; a trace from a buggy or tampered
+// run fails at a named step.
+//
+// Literals use the DIMACS convention (variable v as v+1, negation as minus)
+// so the checker stays independent of src/sat/'s literal encoding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slocal::cert {
+
+struct DratStep {
+  bool is_delete = false;
+  std::vector<std::int32_t> lits;  // empty + !is_delete = the empty clause
+};
+
+struct DratProof {
+  std::vector<std::vector<std::int32_t>> input_clauses;
+  std::vector<DratStep> steps;
+};
+
+struct DratResult {
+  bool valid = false;
+  std::string message;  // on failure: names the offending step
+};
+
+/// Checks that `proof` derives `target` from its input clauses: deletions
+/// must match an active clause (same literal set), every addition must be
+/// RUP over the clauses active at that point, and `target` must be RUP over
+/// the final active set. `target` empty means a full refutation (the input
+/// clauses are unsatisfiable); a non-empty target is the assumption-core
+/// clause of an UNSAT-under-assumptions answer. Literals of value 0 or
+/// magnitude above `num_vars` are rejected.
+DratResult check_drat(const DratProof& proof, const std::vector<std::int32_t>& target,
+                      std::size_t num_vars);
+
+}  // namespace slocal::cert

@@ -361,6 +361,19 @@ std::optional<std::vector<Label>> relaxation_label_map(const Problem& pi,
   return find_relaxation_label_map(pi, pi_prime, options).map;
 }
 
+bool check_relaxation_label_map(const Problem& pi, const Problem& pi_prime,
+                                const std::vector<Label>& map) {
+  if (pi.white_degree() != pi_prime.white_degree() ||
+      pi.black_degree() != pi_prime.black_degree()) {
+    return false;
+  }
+  if (map.size() != pi.alphabet_size()) return false;
+  for (const Label l : map) {
+    if (l >= pi_prime.alphabet_size()) return false;
+  }
+  return label_map_valid(pi, pi_prime, map);
+}
+
 bool check_relaxation_witness(const Problem& pi, const Problem& pi_prime,
                               const ConfigMapping& mapping) {
   if (pi.white_degree() != pi_prime.white_degree() ||

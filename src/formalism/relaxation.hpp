@@ -84,6 +84,14 @@ WitnessResult find_relaxation_witness(const Problem& pi, const Problem& pi_prime
 std::optional<std::vector<Label>> relaxation_label_map(const Problem& pi,
                                                        const Problem& pi_prime);
 
+/// Verifies an explicit per-label map m: Σ(Π) -> Σ(Π') by direct definition
+/// checking (no search): m must cover Σ(Π), stay within Σ(Π'), and remap
+/// every white and black configuration of Π into the corresponding
+/// constraint of Π'. The certificate checker validates label-map witnesses
+/// with this instead of re-running find_relaxation_label_map.
+bool check_relaxation_label_map(const Problem& pi, const Problem& pi_prime,
+                                const std::vector<Label>& map);
+
 /// Verifies the paper's relaxation definition for an explicit mapping:
 /// images must be white configurations of Π', and for every black
 /// configuration {l1..ld} of Π, every choice over r(l1) x ... x r(ld) must

@@ -1,0 +1,86 @@
+#include "src/formalism/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+namespace slocal {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a_bytes(std::string_view data) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void write_problem(std::ostream& out, const Problem& p) {
+  out << "problem " << p.alphabet_size() << ' ' << p.white_degree() << ' '
+      << p.black_degree() << ' ' << p.white().size() << ' ' << p.black().size()
+      << '\n';
+  const auto write_side = [&](char tag, const Constraint& c) {
+    for (const Configuration& cfg : c.sorted_members()) {
+      out << tag;
+      for (const Label l : cfg.labels()) out << ' ' << static_cast<unsigned>(l);
+      out << '\n';
+    }
+  };
+  write_side('w', p.white());
+  write_side('b', p.black());
+}
+
+bool read_problem(std::istream& in, const std::string& name, Problem* out,
+                  std::string* error, const std::string& context) {
+  std::string tag;
+  std::size_t n = 0, dw = 0, db = 0, nw = 0, nb = 0;
+  if (!(in >> tag >> n >> dw >> db >> nw >> nb) || tag != "problem") {
+    return fail(error, context + ": malformed problem header");
+  }
+  // Same cap as the parser's 64-label alphabet limit.
+  if (n > 64) return fail(error, context + ": alphabet size out of range");
+  if (dw == 0 || db == 0 || dw > 64 || db > 64) {
+    return fail(error, context + ": degree out of range");
+  }
+  LabelRegistry reg;
+  for (std::size_t c = 0; c < n; ++c) reg.intern(std::to_string(c));
+  const auto read_side = [&](char want, std::size_t degree, std::size_t count,
+                             Constraint* side) {
+    *side = Constraint(degree);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string row_tag;
+      if (!(in >> row_tag) || row_tag.size() != 1 || row_tag[0] != want) {
+        return fail(error, context + ": malformed configuration row");
+      }
+      std::vector<Label> labels(degree);
+      for (std::size_t k = 0; k < degree; ++k) {
+        unsigned v = 0;
+        if (!(in >> v) || v >= n) {
+          return fail(error, context + ": label out of range");
+        }
+        labels[k] = static_cast<Label>(v);
+      }
+      if (!side->add(Configuration(std::move(labels)))) {
+        return fail(error, context + ": duplicate configuration");
+      }
+    }
+    return true;
+  };
+  Constraint white, black;
+  if (!read_side('w', dw, nw, &white)) return false;
+  if (!read_side('b', db, nb, &black)) return false;
+  *out = Problem(name, std::move(reg), std::move(white), std::move(black));
+  return true;
+}
+
+}  // namespace slocal

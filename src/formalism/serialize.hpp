@@ -1,0 +1,37 @@
+// Plain-text serialization of problems, shared by every on-disk format in
+// the repository (the RE cache, proof certificates). One problem is a
+// header line
+//
+//   problem <alphabet> <white-degree> <black-degree> <|W|> <|B|>
+//
+// followed by one `w ...` row per white configuration and one `b ...` row
+// per black configuration, labels as decimal indices in sorted member
+// order. read_problem range-checks every count and label against the same
+// caps the problem parser enforces, so a damaged stream is rejected with a
+// structured error instead of constructing an out-of-range problem.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "src/formalism/problem.hpp"
+
+namespace slocal {
+
+/// FNV-1a over raw bytes. Both on-disk formats (RE cache, certificates)
+/// checksum their entire payload with this, byte for byte, so any bit flip
+/// — including whitespace-preserving ones that token-stream parsing would
+/// absorb — fails the load before any content is interpreted.
+std::uint64_t fnv1a_bytes(std::string_view data);
+
+void write_problem(std::ostream& out, const Problem& p);
+
+/// Parses one serialized problem into *out, giving it `name` and a synthetic
+/// registry ("0".."n-1"). On failure returns false and, when `error` is
+/// non-null, stores a message prefixed with `context` (e.g. "re-cache").
+bool read_problem(std::istream& in, const std::string& name, Problem* out,
+                  std::string* error, const std::string& context);
+
+}  // namespace slocal

@@ -67,6 +67,9 @@ LiftSweepResult run_lift_sweep(const Problem& pi, std::size_t big_delta,
       step.core_nodes = raw.core.size();
       if (raw.verdict == Verdict::kNo && options.certify_cores) {
         step.core_check = sweep.check_last_core(options.budget);
+        if (step.core_check == Verdict::kNo) {
+          step.core_nodes_minimized = sweep.last_core().size();
+        }
       }
       step.wall_ms = ms_since(start);
       result.total_conflicts += step.conflicts;

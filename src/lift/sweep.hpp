@@ -57,6 +57,9 @@ struct LiftSweepStep {
   /// Verdict of the core re-solve when certify_cores is set (kNo =
   /// certified); kExhausted otherwise.
   Verdict core_check = Verdict::kExhausted;
+  /// Core size after the certified re-solve's deletion-based minimization
+  /// (<= core_nodes); 0 when the core was not certified.
+  std::size_t core_nodes_minimized = 0;
   double wall_ms = 0.0;
 };
 

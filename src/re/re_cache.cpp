@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "src/formalism/serialize.hpp"
+
 namespace slocal {
 
 namespace {
@@ -38,68 +40,9 @@ std::uint64_t entry_checksum(const Problem& input, const Problem& result) {
   return h;
 }
 
-void write_problem(std::ostream& out, const Problem& p) {
-  out << "problem " << p.alphabet_size() << ' ' << p.white_degree() << ' '
-      << p.black_degree() << ' ' << p.white().size() << ' ' << p.black().size()
-      << '\n';
-  const auto write_side = [&](char tag, const Constraint& c) {
-    for (const Configuration& cfg : c.sorted_members()) {
-      out << tag;
-      for (const Label l : cfg.labels()) out << ' ' << static_cast<unsigned>(l);
-      out << '\n';
-    }
-  };
-  write_side('w', p.white());
-  write_side('b', p.black());
-}
-
 bool fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
   return false;
-}
-
-/// Parses one serialized problem; every count and label is range-checked.
-bool read_problem(std::istream& in, const std::string& name, Problem* out,
-                  std::string* error) {
-  std::string tag;
-  std::size_t n = 0, dw = 0, db = 0, nw = 0, nb = 0;
-  if (!(in >> tag >> n >> dw >> db >> nw >> nb) || tag != "problem") {
-    return fail(error, "re-cache: malformed problem header");
-  }
-  // Same cap as the parser's 64-label alphabet limit.
-  if (n > 64) return fail(error, "re-cache: alphabet size out of range");
-  if (dw == 0 || db == 0 || dw > 64 || db > 64) {
-    return fail(error, "re-cache: degree out of range");
-  }
-  LabelRegistry reg;
-  for (std::size_t c = 0; c < n; ++c) reg.intern(std::to_string(c));
-  const auto read_side = [&](char want, std::size_t degree, std::size_t count,
-                             Constraint* side) {
-    *side = Constraint(degree);
-    for (std::size_t i = 0; i < count; ++i) {
-      std::string row_tag;
-      if (!(in >> row_tag) || row_tag.size() != 1 || row_tag[0] != want) {
-        return fail(error, "re-cache: malformed configuration row");
-      }
-      std::vector<Label> labels(degree);
-      for (std::size_t k = 0; k < degree; ++k) {
-        unsigned v = 0;
-        if (!(in >> v) || v >= n) {
-          return fail(error, "re-cache: label out of range");
-        }
-        labels[k] = static_cast<Label>(v);
-      }
-      if (!side->add(Configuration(std::move(labels)))) {
-        return fail(error, "re-cache: duplicate configuration");
-      }
-    }
-    return true;
-  };
-  Constraint white, black;
-  if (!read_side('w', dw, nw, &white)) return false;
-  if (!read_side('b', db, nb, &black)) return false;
-  *out = Problem(name, std::move(reg), std::move(white), std::move(black));
-  return true;
 }
 
 }  // namespace
@@ -150,7 +93,6 @@ std::size_t RECache::size() const {
 bool RECache::save(const std::string& path, std::string* error) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
-  out << "slocal-re-cache 1\n";
   out << "entries " << entries_ << '\n';
   for (const auto& [fingerprint, bucket] : table_) {
     for (const Entry& entry : bucket) {
@@ -164,28 +106,58 @@ bool RECache::save(const std::string& path, std::string* error) const {
       write_problem(out, entry.result);
     }
   }
-  std::ofstream file(path, std::ios::trunc);
+  // The header names the format, then a checksum line binds every byte of
+  // the payload that follows (format version 2; version 1 had per-entry
+  // checksums only, which left bytes outside the numeric stream — tags,
+  // whitespace, the entry count — unprotected against bit flips).
+  const std::string payload = out.str();
+  char checksum_line[40];
+  std::snprintf(checksum_line, sizeof(checksum_line), "checksum %016llx\n",
+                static_cast<unsigned long long>(fnv1a_bytes(payload)));
+  std::ofstream file(path, std::ios::trunc | std::ios::binary);
   if (!file) return fail(error, "re-cache: cannot open '" + path + "' for writing");
-  file << out.str();
+  file << "slocal-re-cache 2\n" << checksum_line << payload;
   file.flush();
   if (!file) return fail(error, "re-cache: write to '" + path + "' failed");
   return true;
 }
 
 bool RECache::load(const std::string& path, std::string* error) {
-  std::ifstream file(path);
+  std::ifstream file(path, std::ios::binary);
   if (!file) return fail(error, "re-cache: cannot open '" + path + "'");
   std::string magic;
-  int version = 0;
-  if (!(file >> magic >> version) || magic != "slocal-re-cache") {
+  if (!std::getline(file, magic)) {
     return fail(error, "re-cache: '" + path + "' is not a cache file");
   }
-  if (version != 1) {
-    return fail(error, "re-cache: unsupported version " + std::to_string(version));
+  if (magic != "slocal-re-cache 2") {
+    return fail(error, magic.rfind("slocal-re-cache", 0) == 0
+                           ? "re-cache: unsupported version ('" + magic + "')"
+                           : "re-cache: '" + path + "' is not a cache file");
   }
+  std::string checksum_text;
+  if (!std::getline(file, checksum_text) ||
+      checksum_text.size() != 9 + 16 ||
+      checksum_text.compare(0, 9, "checksum ") != 0) {
+    return fail(error, "re-cache: malformed checksum line");
+  }
+  std::uint64_t stored_checksum = 0;
+  {
+    std::istringstream hex(checksum_text.substr(9));
+    if (!(hex >> std::hex >> stored_checksum)) {
+      return fail(error, "re-cache: malformed checksum line");
+    }
+  }
+  std::ostringstream raw;
+  raw << file.rdbuf();
+  const std::string payload = raw.str();
+  if (fnv1a_bytes(payload) != stored_checksum) {
+    return fail(error, "re-cache: payload checksum mismatch (corrupt file)");
+  }
+
+  std::istringstream in(payload);
   std::string tag;
   std::size_t count = 0;
-  if (!(file >> tag >> count) || tag != "entries") {
+  if (!(in >> tag >> count) || tag != "entries") {
     return fail(error, "re-cache: malformed entry count");
   }
 
@@ -195,13 +167,13 @@ bool RECache::load(const std::string& path, std::string* error) {
   loaded.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     std::uint64_t fingerprint = 0, checksum = 0;
-    if (!(file >> tag >> std::hex >> fingerprint >> checksum >> std::dec) ||
+    if (!(in >> tag >> std::hex >> fingerprint >> checksum >> std::dec) ||
         tag != "entry") {
       return fail(error, "re-cache: malformed entry header");
     }
     Problem input, result;
-    if (!read_problem(file, "cached-input", &input, error)) return false;
-    if (!read_problem(file, "cached-result", &result, error)) return false;
+    if (!read_problem(in, "cached-input", &input, error, "re-cache")) return false;
+    if (!read_problem(in, "cached-result", &result, error, "re-cache")) return false;
     if (entry_checksum(input, result) != checksum) {
       return fail(error, "re-cache: entry checksum mismatch (corrupt file)");
     }
@@ -215,7 +187,7 @@ bool RECache::load(const std::string& path, std::string* error) {
     }
     loaded.emplace_back(std::move(cf), std::move(result));
   }
-  if (file >> tag) {
+  if (in >> tag) {
     return fail(error, "re-cache: trailing data after last entry");
   }
 

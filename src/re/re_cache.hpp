@@ -55,15 +55,17 @@ class RECache {
   RECacheCounters counters() const;
   std::size_t size() const;
 
-  /// Disk persistence: a line-oriented text format ("slocal-re-cache 1")
-  /// carrying each entry's fingerprint, a content checksum, and both
-  /// problems' constraint structure (canonical registries are synthetic, so
-  /// only structure is stored). `load` validates exhaustively — header,
+  /// Disk persistence: a line-oriented text format ("slocal-re-cache 2")
+  /// carrying a whole-payload checksum, then each entry's fingerprint, a
+  /// per-entry content checksum, and both problems' constraint structure
+  /// (canonical registries are synthetic, so only structure is stored).
+  /// `load` validates exhaustively — header, raw-byte payload checksum,
   /// counts, label ranges, per-entry checksum, and that the stored input
   /// really canonicalizes to its claimed fingerprint — and rejects the whole
   /// file (leaving the cache unchanged) on any mismatch, so a corrupt cache
-  /// can never produce a wrong verdict. Returns false with `*error` set on
-  /// failure.
+  /// can never produce a wrong verdict. Every single byte flip anywhere in
+  /// the file is detected (tests/fuzz_test.cpp flips them all). Returns
+  /// false with `*error` set on failure.
   bool save(const std::string& path, std::string* error = nullptr) const;
   bool load(const std::string& path, std::string* error = nullptr);
 

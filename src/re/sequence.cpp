@@ -24,7 +24,8 @@ std::string SequenceReport::to_string() const {
 }
 
 SequenceReport verify_lower_bound_sequence(const std::vector<Problem>& problems,
-                                           const REOptions& options) {
+                                           const REOptions& options,
+                                           bool keep_witnesses) {
   SequenceReport report;
   report.valid = true;
   for (std::size_t i = 1; i < problems.size(); ++i) {
@@ -56,7 +57,9 @@ SequenceReport verify_lower_bound_sequence(const std::vector<Problem>& problems,
           find_relaxation_label_map(*re, problems[i], map_options);
       step.relaxation_nodes += by_map.nodes;
       step.relaxation_verdict = by_map.verdict;
-      if (by_map.verdict != Verdict::kYes) {
+      if (by_map.verdict == Verdict::kYes) {
+        if (keep_witnesses) step.relaxation_map = by_map.map;
+      } else {
         // Exact bounded search for a configuration mapping. This subsumes
         // the label-map check, so its verdict overrides kNo from above.
         RelaxationOptions witness_options;
@@ -66,8 +69,12 @@ SequenceReport verify_lower_bound_sequence(const std::vector<Problem>& problems,
             find_relaxation_witness(*re, problems[i], witness_options);
         step.relaxation_nodes += by_witness.nodes;
         step.relaxation_verdict = by_witness.verdict;
+        if (keep_witnesses && by_witness.verdict == Verdict::kYes) {
+          step.relaxation_mapping = by_witness.mapping;
+        }
       }
       step.relaxation_found = step.relaxation_verdict == Verdict::kYes;
+      if (keep_witnesses) step.re_problem = *re;
     }
     report.valid = report.valid && step.re_computed && step.relaxation_found;
     report.steps.push_back(step);

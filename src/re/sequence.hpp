@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/formalism/problem.hpp"
+#include "src/formalism/relaxation.hpp"
 #include "src/re/round_elimination.hpp"
 
 namespace slocal {
@@ -37,6 +38,14 @@ struct SequenceStepReport {
   /// re_dfs_nodes is 0 — no search ran). Not printed by to_string, so cache
   /// on/off runs produce byte-identical reports.
   bool re_cache_hit = false;
+  /// Witness material, captured only when verify_lower_bound_sequence is
+  /// called with keep_witnesses = true (certificate emission): RE(Π_{i-1})
+  /// as computed, and whichever relaxation witness the search found. None
+  /// of this is printed by to_string, so reports stay byte-identical
+  /// across the flag.
+  std::optional<Problem> re_problem;
+  std::optional<std::vector<Label>> relaxation_map;
+  std::optional<ConfigMapping> relaxation_mapping;
 };
 
 struct SequenceReport {
@@ -50,8 +59,12 @@ struct SequenceReport {
 /// first, bounded exact search as fallback). The relaxation searches inherit
 /// options.threads and options.budget; a tripped budget marks the step
 /// exhausted (report invalid) but never flips a verified/refuted verdict.
+/// keep_witnesses additionally stores each step's RE problem and relaxation
+/// witness in the report (for certificate emission); verdicts, counters,
+/// and to_string output are identical either way.
 SequenceReport verify_lower_bound_sequence(const std::vector<Problem>& problems,
-                                           const REOptions& options = {});
+                                           const REOptions& options = {},
+                                           bool keep_witnesses = false);
 
 /// Theorem B.2's bound from a sequence length and support girth:
 /// min{2k, (g-4)/2} rounds (white algorithms, bipartite case).

@@ -30,9 +30,38 @@ Var SatSolver::new_var() {
   return v;
 }
 
+void SatSolver::start_proof() {
+  assert(clauses_.empty() && trail_.empty() && !unsat_ &&
+         "proof logging must start before any clause is added");
+  logging_ = true;
+}
+
+void SatSolver::log_step(bool is_delete, std::span<const Lit> lits) {
+  SatProof::Step step;
+  step.is_delete = is_delete;
+  step.lits.reserve(lits.size());
+  for (const Lit l : lits) {
+    const std::int32_t dimacs = static_cast<std::int32_t>(l.var()) + 1;
+    step.lits.push_back(l.negated() ? -dimacs : dimacs);
+  }
+  proof_.steps.push_back(std::move(step));
+}
+
 void SatSolver::add_clause(std::vector<Lit> lits) {
   if (unsat_) return;
   assert(trail_limits_.empty() && "clauses may only be added at decision level 0");
+  if (logging_) {
+    // Input clauses are logged verbatim: the stored clause below may be
+    // strengthened against root units or dropped entirely, but the proof
+    // must be checkable against what the caller asserted.
+    std::vector<std::int32_t> original;
+    original.reserve(lits.size());
+    for (const Lit l : lits) {
+      const std::int32_t dimacs = static_cast<std::int32_t>(l.var()) + 1;
+      original.push_back(l.negated() ? -dimacs : dimacs);
+    }
+    proof_.input_clauses.push_back(std::move(original));
+  }
   // Normalize: sort, dedupe, drop tautologies and false-at-root literals.
   std::sort(lits.begin(), lits.end(),
             [](Lit a, Lit b) { return a.code() < b.code(); });
@@ -51,16 +80,21 @@ void SatSolver::add_clause(std::vector<Lit> lits) {
   }
   if (kept.empty()) {
     unsat_ = true;
+    if (logging_) log_step(false, {});  // refutation complete: empty clause
     return;
   }
   if (kept.size() == 1) {
     if (lit_value(kept[0]) == kFalse) {
       unsat_ = true;
+      if (logging_) log_step(false, {});
       return;
     }
     if (lit_value(kept[0]) == kUndef) {
       enqueue(kept[0], kNoReason);
-      if (propagate() != kNoReason) unsat_ = true;
+      if (propagate() != kNoReason) {
+        unsat_ = true;
+        if (logging_) log_step(false, {});
+      }
     }
     return;
   }
@@ -309,6 +343,9 @@ void SatSolver::reduce_learned() {
   }
   for (ClauseRef cr = 0; cr < clauses_.size(); ++cr) {
     if (drop[cr]) {
+      // Watch-list maintenance permutes literals but never changes the set,
+      // so the deletion step matches the clause as it was logged on learning.
+      if (logging_) log_step(true, clauses_[cr].lits);
       clauses_[cr].lits.clear();
       clauses_[cr].lits.shrink_to_fit();
       --learned_count_;
@@ -330,6 +367,7 @@ SatResult SatSolver::solve_under_assumptions(std::span<const Lit> assumptions,
   if (budget != nullptr && !budget->keep_going()) return SatResult::kUnknown;
   if (propagate() != kNoReason) {
     unsat_ = true;
+    if (logging_) log_step(false, {});
     return SatResult::kUnsat;
   }
   std::uint64_t restart_limit = 100;
@@ -344,6 +382,7 @@ SatResult SatSolver::solve_under_assumptions(std::span<const Lit> assumptions,
       if (trail_limits_.empty()) {
         // Conflict below every assumption: the clauses alone are UNSAT.
         unsat_ = true;
+        if (logging_) log_step(false, {});
         return SatResult::kUnsat;
       }
       if (conflict_budget != 0 && conflicts_ > conflict_budget) {
@@ -356,6 +395,10 @@ SatResult SatSolver::solve_under_assumptions(std::span<const Lit> assumptions,
       }
       int backtrack_level = 0;
       analyze(conflict, learned, backtrack_level);
+      // First-UIP clauses (including reason-side minimization) are reverse-
+      // unit-propagation consequences of the clause database, so they are
+      // valid DRAT addition steps.
+      if (logging_) log_step(false, learned);
       backtrack(backtrack_level);
       if (learned.size() == 1) {
         enqueue(learned[0], kNoReason);
@@ -401,6 +444,15 @@ SatResult SatSolver::solve_under_assumptions(std::span<const Lit> assumptions,
         }
       }
       if (assumption_failed) {
+        // The assumption-core clause (¬a for every core assumption a) is
+        // itself a unit-propagation consequence of the clause database:
+        // asserting the whole core re-derives the contradiction by UP.
+        if (logging_) {
+          std::vector<Lit> core_clause;
+          core_clause.reserve(failed_assumptions_.size());
+          for (const Lit a : failed_assumptions_) core_clause.push_back(~a);
+          log_step(false, core_clause);
+        }
         backtrack(0);
         return SatResult::kUnsat;
       }
@@ -415,6 +467,35 @@ SatResult SatSolver::solve_under_assumptions(std::span<const Lit> assumptions,
       enqueue(*branch, kNoReason);
     }
   }
+}
+
+std::size_t SatSolver::minimize_core(std::uint64_t per_probe_conflicts,
+                                     SearchBudget* budget) {
+  std::vector<Lit> core(failed_assumptions_.begin(), failed_assumptions_.end());
+  const std::size_t original_size = core.size();
+  std::size_t i = 0;
+  while (i < core.size()) {
+    if (budget != nullptr && !budget->keep_going()) break;
+    std::vector<Lit> candidate;
+    candidate.reserve(core.size() - 1);
+    for (std::size_t j = 0; j < core.size(); ++j) {
+      if (j != i) candidate.push_back(core[j]);
+    }
+    if (solve_under_assumptions(candidate, per_probe_conflicts, budget) ==
+        SatResult::kUnsat) {
+      // Still UNSAT without core[i]; the returned core may be smaller than
+      // `candidate` (other literals dropped for free). Restart the scan:
+      // literals kept earlier can become droppable once this one is gone.
+      core.assign(failed_assumptions_.begin(), failed_assumptions_.end());
+      i = 0;
+    } else {
+      // kSat or budget-exhausted kUnknown: core[i] stays (never drop a
+      // literal on an unfinished probe — the result must remain a core).
+      ++i;
+    }
+  }
+  failed_assumptions_ = std::move(core);
+  return original_size - failed_assumptions_.size();
 }
 
 bool SatSolver::value(Var v) const {

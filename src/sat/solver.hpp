@@ -50,6 +50,29 @@ class Lit {
 
 enum class SatResult { kSat, kUnsat, kUnknown };
 
+/// Proof trace in DIMACS convention (variable v ↦ v+1, negation ↦ minus),
+/// accumulated by SatSolver when proof logging is on. `input_clauses` holds
+/// every clause handed to add_clause() in its *original* literal form (the
+/// solver stores root-simplified versions; the proof must reference what the
+/// caller actually asserted). `steps` holds the derivation: learned-clause
+/// additions (each checkable by reverse unit propagation over the clauses
+/// seen so far), deletions from learned-clause GC, and the finalization
+/// clause — the empty clause for a root refutation, or the assumption-core
+/// clause (¬a₁ ∨ … ∨ ¬aₖ) when solve_under_assumptions() answered kUnsat.
+struct SatProof {
+  struct Step {
+    bool is_delete = false;
+    std::vector<std::int32_t> lits;  // DIMACS-signed, empty = empty clause
+  };
+  std::vector<std::vector<std::int32_t>> input_clauses;
+  std::vector<Step> steps;
+
+  void clear() {
+    input_clauses.clear();
+    steps.clear();
+  }
+};
+
 class SatSolver {
  public:
   SatSolver() = default;
@@ -86,6 +109,29 @@ class SatSolver {
   /// over the assumption literals (their conjunction is refuted by the
   /// clauses alone when empty). Invalidated by the next solve call.
   std::span<const Lit> failed_assumptions() const { return failed_assumptions_; }
+
+  /// Deletion-based shrink of failed_assumptions(): for each core literal,
+  /// re-solves under the core minus that literal and adopts the (strictly
+  /// smaller) returned core whenever the answer is still kUnsat. Probes that
+  /// run out of budget keep the literal — the result is always an UNSAT core
+  /// and always a subset of the core held on entry, just not necessarily
+  /// minimal. `per_probe_conflicts` caps each re-solve (0 = unlimited);
+  /// `budget` is charged across all probes and stops the loop when spent.
+  /// Returns the number of literals removed. Must only be called while
+  /// failed_assumptions() is valid (directly after a kUnsat answer from
+  /// solve_under_assumptions, or after a previous minimize_core call).
+  std::size_t minimize_core(std::uint64_t per_probe_conflicts = 0,
+                            SearchBudget* budget = nullptr);
+
+  /// Turns on DRAT proof logging. Must be called before any clause is added:
+  /// input clauses have to be captured in original form (the solver stores
+  /// root-simplified versions and moves units straight onto the trail, so
+  /// they cannot be recovered later). The trace accumulates across solve
+  /// calls until clear_proof().
+  void start_proof();
+  bool proof_logging() const { return logging_; }
+  const SatProof& proof() const { return proof_; }
+  void clear_proof() { proof_.clear(); }
 
   /// Diversifies the branching heuristic for portfolio racing: seed != 0
   /// perturbs variable activities by a tiny deterministic per-variable
@@ -138,6 +184,7 @@ class SatSolver {
   void attach(ClauseRef cr);
   void reduce_learned();
   void save_model();
+  void log_step(bool is_delete, std::span<const Lit> lits);
 
   std::vector<Clause> clauses_;
   std::vector<std::vector<ClauseRef>> watches_;  // indexed by literal code
@@ -163,6 +210,9 @@ class SatSolver {
   std::vector<std::uint8_t> model_;  // assigns_ snapshot of the last kSat
   std::vector<Lit> failed_assumptions_;
   std::vector<std::uint8_t> seen_;  // scratch for analyze()
+
+  bool logging_ = false;
+  SatProof proof_;
 };
 
 }  // namespace slocal

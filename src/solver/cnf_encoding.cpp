@@ -9,6 +9,12 @@ namespace slocal {
 
 namespace {
 
+/// Conflict cap per deletion probe of check_last_core's core minimization.
+/// Cores are small (a handful of guard literals) and the refutation is
+/// already learned, so probes either finish in a few conflicts or are not
+/// worth pursuing.
+constexpr std::uint64_t kCoreProbeConflicts = 512;
+
 /// Emits blocking clauses for a constrained node: for each minimal bad
 /// prefix over the node's incident edges (in order), the clause saying
 /// "not all of these selections together". `incident_vars[i]` is the
@@ -73,9 +79,13 @@ std::vector<Var> make_edge_vars(SatSolver& solver, std::size_t alphabet,
 
 std::optional<LabelingCnf> encode_bipartite_labeling(const BipartiteGraph& g,
                                                      const Problem& pi,
-                                                     SearchBudget* budget) {
+                                                     SearchBudget* budget,
+                                                     bool log_proof) {
   LabelingCnf cnf;
   SatSolver& solver = cnf.solver;
+  // Proof logging has to be armed before the first clause goes in: the
+  // solver cannot reconstruct original clauses from its simplified store.
+  if (log_proof) solver.start_proof();
   const std::size_t alphabet = pi.alphabet_size();
   std::vector<std::vector<Var>>& x = cnf.edge_label_vars;
   x.resize(g.edge_count());
@@ -266,7 +276,13 @@ IncrementalLabelingSweep::Step IncrementalLabelingSweep::solve_support(
 Verdict IncrementalLabelingSweep::check_last_core(SearchBudget* budget) {
   switch (solver_.solve_under_assumptions(last_core_, 0, budget)) {
     case SatResult::kUnsat:
-      return Verdict::kNo;  // the core alone is contradictory, as claimed
+      // The core alone is contradictory, as claimed. Shrink it while the
+      // solver state is hot: a per-probe conflict cap keeps each deletion
+      // probe cheap, and an exhausted probe just keeps its literal.
+      solver_.minimize_core(kCoreProbeConflicts, budget);
+      last_core_.assign(solver_.failed_assumptions().begin(),
+                        solver_.failed_assumptions().end());
+      return Verdict::kNo;
     case SatResult::kSat:
       return Verdict::kYes;  // core refuted — a solver bug
     case SatResult::kUnknown:

@@ -49,10 +49,12 @@ struct LabelingCnf {
 /// Builds the CNF for "pi is solvable on g". The bad-prefix DFS charges
 /// `budget` (if given) per node; a tripped budget aborts the encoding and
 /// returns nullopt — a partial encoding must never be solved, since missing
-/// blocking clauses would make kSat unsound.
+/// blocking clauses would make kSat unsound. log_proof arms the solver's
+/// DRAT trace before the first clause is added (certificate emission).
 std::optional<LabelingCnf> encode_bipartite_labeling(const BipartiteGraph& g,
                                                      const Problem& pi,
-                                                     SearchBudget* budget = nullptr);
+                                                     SearchBudget* budget = nullptr,
+                                                     bool log_proof = false);
 
 /// Reads the edge labeling out of a solver in the kSat state.
 std::vector<Label> decode_bipartite_labeling(const LabelingCnf& cnf,
@@ -122,8 +124,14 @@ class IncrementalLabelingSweep {
 
   /// Certifies the most recent kNo step: re-solves assuming ONLY its
   /// failed-assumption core. kNo confirms the core is genuinely
-  /// contradictory; kYes refutes it (a solver bug); kExhausted = budget.
+  /// contradictory, and the core is then shrunk in place with
+  /// SatSolver::minimize_core (last_core() reflects the shrink); kYes
+  /// refutes it (a solver bug); kExhausted = budget.
   Verdict check_last_core(SearchBudget* budget = nullptr);
+
+  /// Guard literals of the most recent kNo step's core (minimized once
+  /// check_last_core has confirmed it).
+  std::span<const Lit> last_core() const { return last_core_; }
 
   /// Copyable snapshot of the accumulated solver restricted to `g` for
   /// portfolio racing: encodes any structure of `g` still missing, returns

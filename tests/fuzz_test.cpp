@@ -2,13 +2,23 @@
 // on malformed or adversarial inputs — they must fail cleanly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/cert/check.hpp"
+#include "src/cert/emit.hpp"
+#include "src/cert/format.hpp"
 #include "src/formalism/parser.hpp"
 #include "src/graph/generators.hpp"
 #include "src/problems/classic.hpp"
 #include "src/problems/verifiers.hpp"
+#include "src/re/re_cache.hpp"
+#include "src/re/sequence.hpp"
 #include "src/solver/cnf_encoding.hpp"
 #include "src/solver/edge_labeling.hpp"
 #include "src/util/combinatorics.hpp"
@@ -138,6 +148,123 @@ TEST(Fuzz, CnfEncoderRoundTripAgreesWithBacktrackingSolver) {
   // The corpus must exercise both branches of the round trip.
   EXPECT_GT(solvable, 10);
   EXPECT_LT(solvable, checked);
+}
+
+// ---------------------------------------------------------------------------
+// On-disk format corruption: both persisted formats (the RE cache and the
+// proof certificate container) carry a whole-payload raw-byte checksum, so
+// EVERY byte flip anywhere in the file must be rejected by the loader with
+// a structured error — never a crash, never a silently-accepted mutant.
+// The CI sanitize job runs this suite under ASan/UBSan.
+// ---------------------------------------------------------------------------
+
+std::string fuzz_temp(const char* name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Writes every single-byte mutant of `path` (three flip masks per byte;
+/// byte positions sampled with a stride for large files) to a scratch file
+/// and asserts `load` rejects each one with a non-empty error message.
+void expect_every_byte_flip_rejected(
+    const std::string& path,
+    const std::function<bool(const std::string&, std::string*)>& load) {
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty());
+  const std::string mutant_path = fuzz_temp("byte_flip_mutant.bin");
+  // Sample for large files: cap the number of probed offsets at ~768.
+  const std::size_t stride = std::max<std::size_t>(1, text.size() / 768);
+  std::size_t rejected = 0;
+  for (std::size_t offset = 0; offset < text.size(); offset += stride) {
+    for (const unsigned char mask : {0x01, 0x80, 0xFF}) {
+      std::string mutant = text;
+      mutant[offset] = static_cast<char>(
+          static_cast<unsigned char>(mutant[offset]) ^ mask);
+      std::ofstream(mutant_path, std::ios::trunc | std::ios::binary) << mutant;
+      std::string error;
+      EXPECT_FALSE(load(mutant_path, &error))
+          << "silently accepted a flip of byte " << offset << " (mask 0x"
+          << std::hex << static_cast<int>(mask) << ")";
+      EXPECT_FALSE(error.empty()) << "rejection without a structured error "
+                                  << "at byte " << offset;
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 3u);
+}
+
+TEST(Fuzz, ReCacheRejectsEveryByteFlip) {
+  // Populate a real cache through a sequence verification, persist it, then
+  // storm the file. The pristine file must still load afterwards (the storm
+  // never touches the original).
+  const auto p = parse_problem("two_coloring", "A^2\nB^2", "A B");
+  ASSERT_TRUE(p.has_value());
+  const std::vector<Problem> chain(3, *p);
+  RECache cache;
+  REOptions options;
+  options.cache = &cache;
+  ASSERT_TRUE(verify_lower_bound_sequence(chain, options).valid);
+  ASSERT_GT(cache.size(), 0u);
+
+  const std::string path = fuzz_temp("fuzz_re_cache.txt");
+  std::string error;
+  ASSERT_TRUE(cache.save(path, &error)) << error;
+
+  expect_every_byte_flip_rejected(path, [](const std::string& f, std::string* e) {
+    RECache probe;
+    return probe.load(f, e);
+  });
+
+  RECache pristine;
+  EXPECT_TRUE(pristine.load(path, &error)) << error;
+}
+
+TEST(Fuzz, SequenceCertificateRejectsEveryByteFlip) {
+  const auto p = parse_problem("two_coloring", "A^2\nB^2", "A B");
+  ASSERT_TRUE(p.has_value());
+  const std::vector<Problem> chain(3, *p);
+  const auto cert = cert::make_sequence_certificate(chain);
+  ASSERT_TRUE(cert.has_value());
+
+  const std::string path = fuzz_temp("fuzz_seq.cert");
+  std::string error;
+  ASSERT_TRUE(cert::save_certificate(*cert, path, &error)) << error;
+
+  expect_every_byte_flip_rejected(path, [](const std::string& f, std::string* e) {
+    cert::Certificate probe;
+    return cert::load_certificate(f, &probe, e);
+  });
+
+  cert::Certificate pristine;
+  EXPECT_TRUE(cert::load_certificate(path, &pristine, &error)) << error;
+  EXPECT_EQ(cert::check_certificate(pristine).status, cert::CertStatus::kValid);
+}
+
+TEST(Fuzz, LiftCertificateRejectsEveryByteFlip) {
+  const auto p = parse_problem("two_coloring", "A^2\nB^2", "A B");
+  ASSERT_TRUE(p.has_value());
+  const auto cert =
+      cert::make_lift_unsat_certificate(*p, 2, 2, make_bipartite_cycle(3));
+  ASSERT_TRUE(cert.has_value());
+
+  const std::string path = fuzz_temp("fuzz_lift.cert");
+  std::string error;
+  ASSERT_TRUE(cert::save_certificate(*cert, path, &error)) << error;
+
+  expect_every_byte_flip_rejected(path, [](const std::string& f, std::string* e) {
+    cert::Certificate probe;
+    return cert::load_certificate(f, &probe, e);
+  });
+
+  cert::Certificate pristine;
+  EXPECT_TRUE(cert::load_certificate(path, &pristine, &error)) << error;
+  EXPECT_EQ(cert::check_certificate(pristine).status, cert::CertStatus::kValid);
 }
 
 TEST(Fuzz, CnfEncoderModelsDecodeToSemanticMaximalMatchings) {

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/sat/solver.hpp"
+#include "src/util/budget.hpp"
 #include "src/util/rng.hpp"
 
 namespace slocal {
@@ -314,6 +315,86 @@ TEST(SatMetamorphic, AssumptionsAreEquivalentToUnitClauses) {
     // base formula satisfiable afterwards.
     EXPECT_EQ(assumed.solve(), SatResult::kSat) << "instance " << instance;
   }
+}
+
+TEST(Sat, MinimizeCoreDropsRedundantAssumptions) {
+  // Only a and b conflict; c and d are irrelevant, yet the first-found core
+  // may include them. Deletion-based minimization must strip the padding.
+  SatSolver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var(), d = s.new_var();
+  s.add_clause({neg(a), neg(b)});
+  const std::vector<Lit> assumptions = {pos(c), pos(a), pos(d), pos(b)};
+  ASSERT_EQ(s.solve_under_assumptions(assumptions), SatResult::kUnsat);
+  s.minimize_core();
+  const auto core = s.failed_assumptions();
+  ASSERT_EQ(core.size(), 2u);
+  for (const Lit l : core) {
+    EXPECT_TRUE(l == pos(a) || l == pos(b)) << "unexpected core literal";
+  }
+}
+
+TEST(Sat, MinimizedCoreStaysUnsatAndShrinksOnlyToSubsets) {
+  Rng rng(45);
+  int unsat_instances = 0;
+  for (int instance = 0; instance < 120; ++instance) {
+    SatSolver s;
+    const std::size_t num_vars = 5 + static_cast<std::size_t>(rng.below(6));
+    const auto clauses = random_instance(s, rng, num_vars, num_vars * 3);
+    if (s.solve() != SatResult::kSat) continue;  // want assumption-driven cores
+
+    std::vector<Lit> assumptions;
+    for (std::size_t v = 0; v < num_vars; ++v) {
+      assumptions.push_back(rng.chance(0.5) ? pos(static_cast<Var>(v))
+                                            : neg(static_cast<Var>(v)));
+    }
+    if (s.solve_under_assumptions(assumptions) != SatResult::kUnsat) continue;
+    ++unsat_instances;
+
+    const std::vector<Lit> original(s.failed_assumptions().begin(),
+                                    s.failed_assumptions().end());
+    s.minimize_core();
+    const std::vector<Lit> minimized(s.failed_assumptions().begin(),
+                                     s.failed_assumptions().end());
+
+    EXPECT_LE(minimized.size(), original.size());
+    for (const Lit m : minimized) {
+      bool in_original = false;
+      for (const Lit o : original) in_original = in_original || o == m;
+      EXPECT_TRUE(in_original) << "minimized core is not a subset";
+    }
+
+    // The minimized core must still refute the formula on its own.
+    SatSolver check;
+    for (std::size_t v = 0; v < num_vars; ++v) check.new_var();
+    for (const auto& clause : clauses) check.add_clause(clause);
+    for (const Lit m : minimized) check.add_clause({m});
+    EXPECT_EQ(check.solve(), SatResult::kUnsat) << "instance " << instance;
+
+    // Minimization must not poison later solves: the base formula is SAT.
+    EXPECT_EQ(s.solve(), SatResult::kSat) << "instance " << instance;
+  }
+  EXPECT_GE(unsat_instances, 10) << "seed produced too few UNSAT cores";
+}
+
+TEST(Sat, MinimizeCoreHonorsProbeBudget) {
+  // With a 1-conflict probe cap every probe returns kUnknown, so the core
+  // must be left exactly as found (kUnknown keeps the literal).
+  SatSolver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 8; ++i) v.push_back(s.new_var());
+  // Pairwise conflicts chained so probes need at least some search.
+  for (int i = 0; i + 1 < 8; ++i) s.add_clause({neg(v[i]), neg(v[i + 1])});
+  std::vector<Lit> assumptions;
+  for (int i = 0; i < 8; ++i) assumptions.push_back(pos(v[i]));
+  ASSERT_EQ(s.solve_under_assumptions(assumptions), SatResult::kUnsat);
+  const std::size_t before = s.failed_assumptions().size();
+  SearchBudget exhausted_budget;
+  exhausted_budget.set_node_limit(1);
+  exhausted_budget.charge(2);  // trips the node limit: budget is now halted
+  const std::size_t dropped = s.minimize_core(/*per_probe_conflicts=*/0,
+                                              &exhausted_budget);
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(s.failed_assumptions().size(), before);
 }
 
 TEST(SatMetamorphic, IncrementalSolveMatchesFromScratchAtEveryPrefix) {

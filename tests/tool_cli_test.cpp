@@ -153,4 +153,81 @@ TEST(ToolCli, UsageAndInputErrors) {
   EXPECT_EQ(run_tool("portfolio " + problem("two_coloring.txt") + "pentagon"), 1);
 }
 
+TEST(ToolCli, HelpExitsZeroAndMentionsEveryCommand) {
+  std::string out;
+  EXPECT_EQ(run_tool_capture("--help", &out), 0);
+  for (const char* cmd : {"print", "re", "fixed", "lift", "solve", "zero",
+                          "portfolio", "sweep", "sequence", "check-cert",
+                          "--emit-cert"}) {
+    EXPECT_NE(out.find(cmd), std::string::npos) << "--help misses " << cmd;
+  }
+}
+
+// -- Certificate emission and validation through the CLI. The 0/1/2 contract
+//    here must match the standalone cert_check binary's (tests/cert_test.cpp
+//    drives that one on the same files). --
+
+int run_cert_check(const std::string& path) {
+  const std::string cmd = std::string("'") + SLOCAL_CERT_CHECK_PATH + "' '" +
+                          path + "' >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+TEST(ToolCli, SequenceEmitsCertificateBothCheckersAccept) {
+  const std::string cert =
+      (std::filesystem::path(testing::TempDir()) / "cli_seq.cert").string();
+  std::filesystem::remove(cert);
+  EXPECT_EQ(run_tool("sequence " + problem("two_coloring.txt") +
+                     "--repeat=3 --emit-cert='" + cert + "'"),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(cert));
+  std::string out;
+  EXPECT_EQ(run_tool_capture("check-cert '" + cert + "'", &out), 0);
+  EXPECT_NE(out.find("VALID"), std::string::npos) << out;
+  EXPECT_EQ(run_cert_check(cert), 0);
+}
+
+TEST(ToolCli, SweepEmitsLiftUnsatCertificateBothCheckersAccept) {
+  // cycles:2..6 contains the odd cycles C_3 and C_5; the first unsolvable
+  // support (C_3) gets a from-scratch DRAT refutation.
+  const std::string cert =
+      (std::filesystem::path(testing::TempDir()) / "cli_lift.cert").string();
+  std::filesystem::remove(cert);
+  EXPECT_EQ(run_tool("sweep " + problem("two_coloring.txt") +
+                     "2 2 cycles:2..6 --emit-cert='" + cert + "'"),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(cert));
+  EXPECT_EQ(run_tool("check-cert '" + cert + "'"), 0);
+  EXPECT_EQ(run_cert_check(cert), 0);
+}
+
+TEST(ToolCli, SweepEmitCertFailsWhenNothingIsUnsolvable) {
+  const std::string cert =
+      (std::filesystem::path(testing::TempDir()) / "cli_none.cert").string();
+  std::filesystem::remove(cert);
+  EXPECT_EQ(run_tool("sweep " + problem("two_coloring.txt") +
+                     "2 2 cycles:2..2 --emit-cert='" + cert + "'"),
+            1);
+  EXPECT_FALSE(std::filesystem::exists(cert));
+}
+
+TEST(ToolCli, CheckCertRejectsCorruptFileWithExitTwo) {
+  const std::string cert =
+      (std::filesystem::path(testing::TempDir()) / "cli_corrupt.cert").string();
+  std::filesystem::remove(cert);
+  ASSERT_EQ(run_tool("sequence " + problem("two_coloring.txt") +
+                     "--repeat=3 --emit-cert='" + cert + "'"),
+            0);
+  std::ifstream in(cert, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  text[text.size() / 2] ^= 0x01;
+  std::ofstream(cert, std::ios::trunc | std::ios::binary) << text;
+  EXPECT_EQ(run_tool("check-cert '" + cert + "'"), 2);
+  EXPECT_EQ(run_cert_check(cert), 2);
+}
+
 }  // namespace

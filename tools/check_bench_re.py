@@ -192,6 +192,41 @@ def main(argv):
     elif base_cache:
         rc |= fail("re_cache_demo missing from current report")
 
+    cert = current.get("cert_demo")
+    base_cert = baseline.get("cert_demo")
+    if cert:
+        # Hard gates (schema v5): both certificates must emit, validate, and
+        # survive a disk round-trip; the wall-ms fields must exist (they are
+        # reported, never gated — emission runs the real searches).
+        for flag in ("sequence_valid", "lift_valid", "roundtrip_valid"):
+            if not cert[flag]:
+                rc |= fail(f"cert_demo: {flag} is false")
+        for field in (
+            "sequence_emit_wall_ms",
+            "sequence_check_wall_ms",
+            "lift_emit_wall_ms",
+            "lift_check_wall_ms",
+        ):
+            if not isinstance(cert.get(field), (int, float)):
+                rc |= fail(f"cert_demo: {field} missing or non-numeric")
+        if cert["lift_proof_steps"] == 0:
+            rc |= fail("cert_demo: lift certificate carries an empty DRAT proof")
+        if base_cert and cert["sequence_steps"] != base_cert["sequence_steps"]:
+            rc |= fail(
+                f"cert_demo: sequence_steps changed "
+                f"({base_cert['sequence_steps']} -> {cert['sequence_steps']})"
+            )
+        if rc == 0 or all(cert.get(f) for f in ("sequence_valid", "lift_valid")):
+            print(
+                f"ok: cert_demo sequence emit/check "
+                f"{cert['sequence_emit_wall_ms']:.2f}/{cert['sequence_check_wall_ms']:.2f} ms "
+                f"({cert['sequence_bytes']} bytes), lift emit/check "
+                f"{cert['lift_emit_wall_ms']:.2f}/{cert['lift_check_wall_ms']:.2f} ms "
+                f"({cert['lift_bytes']} bytes, {cert['lift_proof_steps']} proof steps)"
+            )
+    elif base_cert:
+        rc |= fail("cert_demo missing from current report")
+
     print("bench_re counters within limits" if rc == 0 else "bench_re check FAILED")
     return rc
 
