@@ -49,6 +49,11 @@
 //   --max-nodes=N    search-node limit (forces deterministic serial paths)
 // A search that runs out of budget exits with code 3 and prints the budget
 // diagnostics; it never misreports as solvable/unsolvable.
+//
+// --no-inprocessing disarms the CDCL inprocessing pipeline (subsumption,
+// vivification, probing, variable elimination between solves) for the
+// portfolio, sweep, and --emit-cert solvers. Verdicts and exit codes are
+// identical in both modes — the flag exists for A/B timing and debugging.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -260,8 +265,9 @@ int cmd_zero(const Problem& pi, const BipartiteGraph& support,
 }
 
 int cmd_portfolio(const Problem& pi, const BipartiteGraph& support,
-                  const BudgetFlags& flags) {
+                  const BudgetFlags& flags, bool inprocessing) {
   PortfolioOptions options;
+  options.inprocessing = inprocessing;
   options.timeout_ms = flags.timeout_ms;
   if (flags.max_nodes > 0) {
     // --max-nodes caps every engine in the race: backtracking nodes and
@@ -338,7 +344,8 @@ int cmd_check_cert(const char* path) {
 
 int cmd_sweep(const Problem& pi, std::size_t big_delta, std::size_t big_r,
               const std::string& family_spec, bool scratch,
-              const std::string& emit_cert_path, const BudgetFlags& flags) {
+              const std::string& emit_cert_path, const BudgetFlags& flags,
+              bool inprocessing) {
   if (big_delta < pi.white_degree() || big_r < pi.black_degree()) {
     std::fprintf(stderr, "lift targets must dominate the problem degrees\n");
     return 1;
@@ -350,6 +357,7 @@ int cmd_sweep(const Problem& pi, std::size_t big_delta, std::size_t big_r,
   LiftSweepOptions options;
   options.incremental = !scratch;
   options.certify_cores = !scratch;
+  options.inprocessing = inprocessing;
   options.budget = flags.configure(budget_storage);
   const LiftSweepResult result =
       run_lift_sweep(pi, big_delta, big_r, *supports, options);
@@ -399,7 +407,8 @@ int cmd_sweep(const Problem& pi, std::size_t big_delta, std::size_t big_r,
       return 1;
     }
     const auto certificate = cert::make_lift_unsat_certificate(
-        pi, big_delta, big_r, (*supports)[unsat_index], options.budget);
+        pi, big_delta, big_r, (*supports)[unsat_index], options.budget,
+        inprocessing);
     if (!certificate.has_value()) {
       std::fprintf(stderr, "--emit-cert: failed to build the certificate\n");
       return 1;
@@ -519,6 +528,10 @@ void print_usage(std::FILE* out) {
                "  check-cert <file>                  validate a proof certificate\n"
                "flags:\n"
                "  --timeout-ms=N --max-nodes=N       search budget (exit 3 when hit)\n"
+               "  --no-inprocessing                  portfolio/sweep/--emit-cert:\n"
+               "                                     disarm CDCL inprocessing (same\n"
+               "                                     verdicts and exit codes, A/B\n"
+               "                                     timing only)\n"
                "  --scratch                          sweep: re-encode each support\n"
                "  --repeat=N                         sequence: repeat last problem\n"
                "  --re-cache=PATH                    sequence: persistent RE cache\n"
@@ -540,6 +553,7 @@ int main(int argc, char** argv) {
   // Split budget flags from positional arguments.
   BudgetFlags flags;
   bool scratch = false;
+  bool inprocessing = true;
   std::size_t repeat = 0;
   std::string re_cache_path;
   std::string emit_cert_path;
@@ -551,6 +565,8 @@ int main(int argc, char** argv) {
       flags.max_nodes = std::strtoull(argv[i] + 12, nullptr, 10);
     } else if (std::strcmp(argv[i], "--scratch") == 0) {
       scratch = true;
+    } else if (std::strcmp(argv[i], "--no-inprocessing") == 0) {
+      inprocessing = false;
     } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
       repeat = std::strtoul(argv[i] + 9, nullptr, 10);
     } else if (std::strncmp(argv[i], "--re-cache=", 11) == 0) {
@@ -589,14 +605,14 @@ int main(int argc, char** argv) {
   if (cmd == "sweep" && args.size() >= 5) {
     return cmd_sweep(*pi, std::strtoul(args[2], nullptr, 10),
                      std::strtoul(args[3], nullptr, 10), args[4], scratch,
-                     emit_cert_path, flags);
+                     emit_cert_path, flags, inprocessing);
   }
   if ((cmd == "solve" || cmd == "zero" || cmd == "portfolio") && args.size() >= 3) {
     const auto support = load_support(args[2]);
     if (!support) return 1;
     if (cmd == "solve") return cmd_solve(*pi, *support, flags);
     if (cmd == "zero") return cmd_zero(*pi, *support, flags);
-    return cmd_portfolio(*pi, *support, flags);
+    return cmd_portfolio(*pi, *support, flags, inprocessing);
   }
   return usage();
 }

@@ -36,11 +36,18 @@ class RupChecker {
   }
 
   void add_clause(const std::vector<std::int32_t>& lits) {
+    // Store the deduplicated set: a repeated literal is logically one, and
+    // examine() would otherwise count it as two open slots and miss that
+    // the clause is unit (e.g. the input clause "3 3 0"). Identity is by
+    // literal set everywhere else already (by_set_), so nothing changes for
+    // deletion matching; tautologies stay harmless (never unit, satisfied
+    // the moment either side is assigned).
+    std::vector<std::int32_t> set = sorted_set(lits);
     const std::size_t id = clauses_.size();
-    clauses_.push_back(Clause{lits, true});
-    for (const std::int32_t l : lits) occ_[lit_index(l)].push_back(id);
-    if (lits.size() <= 1) seeds_.push_back(id);
-    by_set_[sorted_set(lits)].push_back(id);
+    for (const std::int32_t l : set) occ_[lit_index(l)].push_back(id);
+    if (set.size() <= 1) seeds_.push_back(id);
+    by_set_[set].push_back(id);
+    clauses_.push_back(Clause{std::move(set), true});
   }
 
   /// Deactivates one active clause with exactly this literal set.

@@ -53,7 +53,7 @@ LiftSweepResult run_lift_sweep(const Problem& pi, std::size_t big_delta,
   result.steps.reserve(supports.size());
 
   if (options.incremental) {
-    IncrementalLabelingSweep sweep(std::move(*psi));
+    IncrementalLabelingSweep sweep(std::move(*psi), options.inprocessing);
     for (const BipartiteGraph& g : supports) {
       const auto start = std::chrono::steady_clock::now();
       const IncrementalLabelingSweep::Step raw =
@@ -77,6 +77,8 @@ LiftSweepResult run_lift_sweep(const Problem& pi, std::size_t big_delta,
       result.steps.push_back(step);
     }
     result.total_clauses = sweep.clause_count();
+    result.total_propagations = sweep.solver().propagations();
+    result.sat_stats = sweep.solver().stats();
   } else {
     for (const BipartiteGraph& g : supports) {
       const auto start = std::chrono::steady_clock::now();

@@ -1,0 +1,688 @@
+#include "src/sat/inprocess.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace slocal {
+
+namespace {
+
+// Per-run effort caps, independent of the SearchBudget (most callers solve
+// without one). Probing and vivification do full unit propagations per item,
+// so they rotate a cursor across runs instead of sweeping everything; the
+// structural passes are linear-ish in the database and run whole.
+constexpr std::size_t kMaxProbesPerRun = 2048;
+constexpr std::size_t kMaxVivifyPerRun = 512;
+constexpr std::size_t kMaxVivifyLen = 24;
+constexpr std::size_t kMaxBveOccs = 12;       // |pos| + |neg| occurrences
+constexpr std::size_t kMaxBvePairs = 64;      // |pos| * |neg| resolutions
+constexpr std::size_t kMaxResolventLen = 24;  // abort elimination beyond this
+
+void sort_dedup(std::vector<Lit>& lits) {
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+}
+
+}  // namespace
+
+void SatSolver::inprocess(SearchBudget* budget) {
+  assert(trail_limits_.empty() && "inprocessing runs at decision level 0 only");
+  if (unsat_) return;
+  clauses_since_inprocess_ = 0;
+  ++stats_.inprocess_runs;
+  Inprocessor(*this, budget).run();
+}
+
+bool Inprocessor::go() {
+  if (stopped_ || s_.unsat_) return false;
+  if (budget_ != nullptr && !budget_->keep_going()) stopped_ = true;
+  return !stopped_;
+}
+
+bool Inprocessor::charge(std::uint64_t n) {
+  if (budget_ != nullptr && !budget_->charge(n)) stopped_ = true;
+  return !stopped_;
+}
+
+void Inprocessor::build_occ() {
+  occ_.assign(2 * s_.assigns_.size(), {});
+  for (ClauseRef cr = 0; cr < s_.clauses_.size(); ++cr) {
+    if (!s_.clauses_[cr].lits.empty()) occ_add(cr);
+  }
+  mark_.assign(2 * s_.assigns_.size(), 0);
+  stamp_ = 0;
+}
+
+void Inprocessor::occ_add(ClauseRef cr) {
+  for (const Lit l : s_.clauses_[cr].lits) occ_[l.code()].push_back(cr);
+}
+
+void Inprocessor::log_root_units() {
+  while (s_.logged_root_units_ < s_.trail_.size()) {
+    const Lit l = s_.trail_[s_.logged_root_units_++];
+    s_.log_step(false, std::span<const Lit>(&l, 1));
+  }
+}
+
+void Inprocessor::detach(ClauseRef cr) {
+  const auto& lits = s_.clauses_[cr].lits;
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto& wl = s_.watches_[(~lits[i]).code()];
+    const auto it = std::find(wl.begin(), wl.end(), cr);
+    assert(it != wl.end() && "detaching a clause that is not watched");
+    wl.erase(it);
+  }
+}
+
+void Inprocessor::delete_clause(ClauseRef cr) {
+  auto& c = s_.clauses_[cr];
+  if (s_.logging_) s_.log_step(true, c.lits);
+  detach(cr);
+  if (c.learned) {
+    --s_.learned_count_;
+    c.learned = false;
+  }
+  c.lits.clear();
+  c.lits.shrink_to_fit();
+}
+
+bool Inprocessor::propagate_root() {
+  if (s_.propagate() != SatSolver::kNoReason) {
+    s_.unsat_ = true;
+    if (s_.logging_) s_.log_step(false, {});
+    return false;
+  }
+  // New root facts become explicit proof steps immediately: a later pass may
+  // delete the clauses they were propagated from, and the checker must still
+  // be able to derive them for every subsequent RUP query.
+  if (s_.logging_) log_root_units();
+  return true;
+}
+
+bool Inprocessor::add_derived(std::vector<Lit> lits, bool learned) {
+  sort_dedup(lits);
+  std::vector<Lit> kept;
+  kept.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (i + 1 < lits.size() && lits[i + 1] == ~lits[i]) return true;  // tautology
+    const std::uint8_t v = value(lits[i]);
+    if (v == SatSolver::kTrue) return true;  // satisfied by a root unit
+    if (v == SatSolver::kFalse) continue;
+    kept.push_back(lits[i]);
+  }
+  if (kept.empty()) {
+    s_.unsat_ = true;
+    if (s_.logging_) s_.log_step(false, {});
+    return false;
+  }
+  if (s_.logging_) s_.log_step(false, kept);
+  if (kept.size() == 1) {
+    ++s_.stats_.inprocess_units;
+    if (s_.logging_) ++s_.logged_root_units_;  // about to join the trail
+    s_.enqueue(kept[0], SatSolver::kNoReason);
+    return propagate_root();
+  }
+  const ClauseRef cr = static_cast<ClauseRef>(s_.clauses_.size());
+  s_.clauses_.push_back(SatSolver::Clause{std::move(kept), learned, 0.0});
+  if (learned) ++s_.learned_count_;
+  s_.attach(cr);
+  occ_add(cr);
+  return true;
+}
+
+bool Inprocessor::replace_lits(ClauseRef cr, std::vector<Lit> next) {
+  detach(cr);
+  return finalize_detached(cr, std::move(next));
+}
+
+bool Inprocessor::finalize_detached(ClauseRef cr, std::vector<Lit> next) {
+  auto& c = s_.clauses_[cr];
+  std::vector<Lit> old = std::move(c.lits);
+  c.lits.clear();
+  sort_dedup(next);
+  std::vector<Lit> kept;
+  kept.reserve(next.size());
+  bool satisfied = false;
+  for (const Lit l : next) {
+    const std::uint8_t v = value(l);
+    if (v == SatSolver::kTrue) {
+      satisfied = true;
+      break;
+    }
+    if (v == SatSolver::kFalse) continue;
+    kept.push_back(l);
+  }
+  const auto retire_slot = [&] {
+    if (c.learned) {
+      --s_.learned_count_;
+      c.learned = false;
+    }
+  };
+  if (satisfied) {
+    // The strengthened set is already satisfied at the root; the clause is
+    // permanently redundant — just delete it.
+    retire_slot();
+    if (s_.logging_) s_.log_step(true, old);
+    return true;
+  }
+  if (kept.empty()) {
+    // Every strengthened literal is root-false: the old clause (still active
+    // in the checker) is falsified by unit propagation.
+    retire_slot();
+    s_.unsat_ = true;
+    if (s_.logging_) {
+      s_.log_step(false, {});
+      s_.log_step(true, old);
+    }
+    return false;
+  }
+  if (s_.logging_) s_.log_step(false, kept);
+  if (kept.size() == 1) {
+    retire_slot();
+    if (s_.logging_) {
+      s_.log_step(true, old);
+      ++s_.logged_root_units_;  // the unit joins the trail next
+    }
+    ++s_.stats_.inprocess_units;
+    s_.enqueue(kept[0], SatSolver::kNoReason);
+    return propagate_root();
+  }
+  c.lits = std::move(kept);
+  s_.attach(cr);
+  if (s_.logging_) s_.log_step(true, old);
+  return true;
+}
+
+void Inprocessor::run() {
+  assert(s_.trail_limits_.empty());
+  if (s_.unsat_) return;
+  if (!propagate_root()) return;
+  if (s_.logging_) log_root_units();
+  // Root facts need no reasons (conflict analysis never expands level-0
+  // literals); clearing them keeps deleted clauses from lingering as
+  // GC-protected reasons in reduce_learned().
+  for (const Lit l : s_.trail_) s_.reason_[l.var()] = SatSolver::kNoReason;
+  build_occ();
+  sweep_root();
+  if (ok()) substitute_equivalent_literals();
+  if (ok()) probe_failed_literals();
+  if (ok()) subsume();
+  if (ok()) vivify();
+  if (ok()) eliminate_variables();
+}
+
+void Inprocessor::sweep_root() {
+  if (s_.trail_.empty()) return;  // no root facts: nothing can be satisfied
+  for (ClauseRef cr = 0; cr < s_.clauses_.size(); ++cr) {
+    if (!go()) return;
+    const auto& lits = s_.clauses_[cr].lits;
+    if (lits.empty()) continue;
+    charge(1);
+    bool satisfied = false;
+    std::size_t false_count = 0;
+    for (const Lit l : lits) {
+      const std::uint8_t v = value(l);
+      if (v == SatSolver::kTrue) {
+        satisfied = true;
+        break;
+      }
+      if (v == SatSolver::kFalse) ++false_count;
+    }
+    if (satisfied) {
+      delete_clause(cr);
+    } else if (false_count > 0) {
+      // Saturated root propagation guarantees >= 2 unassigned literals here.
+      std::vector<Lit> next;
+      next.reserve(lits.size() - false_count);
+      for (const Lit l : lits) {
+        if (value(l) != SatSolver::kFalse) next.push_back(l);
+      }
+      ++s_.stats_.strengthened_clauses;
+      if (!replace_lits(cr, std::move(next))) return;
+    }
+  }
+}
+
+void Inprocessor::substitute_equivalent_literals() {
+  const std::size_t ncodes = 2 * s_.assigns_.size();
+  if (ncodes == 0) return;
+  // Implication graph of the active binary clauses: {a, b} gives ~a -> b and
+  // ~b -> a. Learned binaries participate — they are consequences, so any
+  // equivalence they witness holds in every model of the original formula.
+  std::vector<std::vector<std::uint32_t>> adj(ncodes);
+  for (const auto& c : s_.clauses_) {
+    if (c.lits.size() != 2) continue;
+    adj[(~c.lits[0]).code()].push_back(c.lits[1].code());
+    adj[(~c.lits[1]).code()].push_back(c.lits[0].code());
+  }
+  // Iterative Tarjan SCC over literal codes.
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> index(ncodes, kUnvisited), low(ncodes, 0),
+      comp(ncodes, kUnvisited);
+  std::vector<std::uint8_t> on_stack(ncodes, 0);
+  std::vector<std::uint32_t> stack;
+  std::vector<std::vector<std::uint32_t>> components;
+  std::uint32_t next_index = 0;
+  struct Frame {
+    std::uint32_t node;
+    std::size_t child;
+  };
+  std::vector<Frame> dfs;
+  for (std::uint32_t root = 0; root < ncodes; ++root) {
+    if (index[root] != kUnvisited) continue;
+    if (!go()) return;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const std::uint32_t u = f.node;
+      if (f.child == 0) {
+        index[u] = low[u] = next_index++;
+        stack.push_back(u);
+        on_stack[u] = 1;
+      }
+      if (f.child < adj[u].size()) {
+        const std::uint32_t w = adj[u][f.child++];
+        if (index[w] == kUnvisited) {
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[u] = std::min(low[u], index[w]);
+        }
+      } else {
+        if (low[u] == index[u]) {
+          components.emplace_back();
+          for (;;) {
+            const std::uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            comp[w] = static_cast<std::uint32_t>(components.size() - 1);
+            components.back().push_back(w);
+            if (w == u) break;
+          }
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) low[dfs.back().node] = std::min(low[dfs.back().node], low[u]);
+      }
+    }
+  }
+  // Pick substitutions. subst[v] is the literal pos(v) is replaced by.
+  const std::size_t nvars = s_.assigns_.size();
+  std::vector<Lit> subst(nvars);
+  std::vector<std::uint8_t> has_subst(nvars, 0);
+  for (const auto& members : components) {
+    if (members.size() < 2) continue;
+    // Skip components touching assigned variables: root propagation already
+    // collapsed (or will collapse) them to constants.
+    bool assigned = false;
+    for (const std::uint32_t code : members) {
+      if (s_.assigns_[code >> 1] != SatSolver::kUndef) {
+        assigned = true;
+        break;
+      }
+    }
+    if (assigned) continue;
+    // A literal and its negation in one SCC refute the formula: l -> ~l and
+    // ~l -> l by binary chains, so the unit ~l (then the empty clause) is a
+    // unit-propagation consequence.
+    bool contradictory = false;
+    for (const std::uint32_t code : members) {
+      if (comp[code ^ 1] == comp[code]) {
+        contradictory = true;
+        break;
+      }
+    }
+    if (contradictory) {
+      const Lit l = Lit::positive(members[0] >> 1);
+      const Lit u = (members[0] & 1) ? l : ~l;  // make the member's negation true
+      if (s_.logging_) {
+        s_.log_step(false, std::span<const Lit>(&u, 1));
+        ++s_.logged_root_units_;
+      }
+      s_.enqueue(u, SatSolver::kNoReason);
+      propagate_root();  // derives the complement along the chain: conflict
+      if (!s_.unsat_) continue;  // degenerate mirrors can dodge the conflict
+      return;
+    }
+    // Representative: prefer a frozen variable's literal (frozen variables
+    // must keep their identity), then the lowest code for determinism.
+    std::uint32_t rep_code = kUnvisited;
+    for (const std::uint32_t code : members) {
+      const bool code_frozen = s_.frozen_[code >> 1] != 0;
+      if (rep_code == kUnvisited) {
+        rep_code = code;
+        continue;
+      }
+      const bool rep_frozen = s_.frozen_[rep_code >> 1] != 0;
+      if ((code_frozen && !rep_frozen) ||
+          (code_frozen == rep_frozen && code < rep_code)) {
+        rep_code = code;
+      }
+    }
+    const Lit rep = (rep_code & 1) ? Lit::negative(rep_code >> 1)
+                                   : Lit::positive(rep_code >> 1);
+    for (const std::uint32_t code : members) {
+      const Var v = code >> 1;
+      if (v == rep.var() || s_.frozen_[v] || has_subst[v] ||
+          s_.var_state_[v] != SatSolver::kVarActive) {
+        continue;
+      }
+      // member literal == pos(v) xor (code & 1); member ≡ rep.
+      subst[v] = (code & 1) ? ~rep : rep;
+      has_subst[v] = 1;
+    }
+  }
+  bool any = false;
+  for (const std::uint8_t h : has_subst) any = any || h != 0;
+  if (!any) return;
+
+  // Phase 1: add every rewritten clause while the equivalence chains are
+  // still active (each rewrite is RUP via the binary chains). A tripped
+  // budget aborts before any deletion — the extra clauses are redundant but
+  // harmless.
+  std::vector<std::uint8_t> touched(s_.clauses_.size(), 0);
+  std::vector<ClauseRef> affected;
+  for (Var v = 0; v < nvars; ++v) {
+    if (!has_subst[v]) continue;
+    for (const Lit l : {Lit::positive(v), Lit::negative(v)}) {
+      for (const ClauseRef cr : occ_[l.code()]) {
+        if (cr >= touched.size() || touched[cr]) continue;
+        // Occurrence entries can be stale (earlier passes strengthen clauses
+        // in place); only clauses that still mention a substituted variable
+        // are rewritten — and later deleted.
+        const auto& lits = s_.clauses_[cr].lits;
+        const bool mentions =
+            std::any_of(lits.begin(), lits.end(),
+                        [&](Lit m) { return has_subst[m.var()] != 0; });
+        if (!mentions) continue;
+        touched[cr] = 1;
+        affected.push_back(cr);
+      }
+    }
+  }
+  for (const ClauseRef cr : affected) {
+    if (!go()) return;
+    const auto& c = s_.clauses_[cr];
+    if (c.lits.empty()) continue;  // deleted by a cascade meanwhile
+    charge(1);
+    std::vector<Lit> rewritten;
+    rewritten.reserve(c.lits.size());
+    bool changed = false;
+    for (const Lit l : c.lits) {
+      if (has_subst[l.var()]) {
+        rewritten.push_back(l.negated() ? ~subst[l.var()] : subst[l.var()]);
+        changed = true;
+      } else {
+        rewritten.push_back(l);
+      }
+    }
+    if (!changed) continue;
+    if (!add_derived(std::move(rewritten), c.learned)) return;
+  }
+  // Phase 2 + 3 run to completion regardless of the budget: a variable may
+  // only be marked substituted once no active clause mentions it.
+  for (const ClauseRef cr : affected) {
+    if (s_.clauses_[cr].lits.empty()) continue;
+    delete_clause(cr);
+  }
+  for (Var v = 0; v < nvars; ++v) {
+    if (!has_subst[v]) continue;
+    s_.var_state_[v] = SatSolver::kVarSubstituted;
+    ++s_.stats_.substituted_vars;
+    // Reconstruction: v <-> subst[v], recorded as the two halves of the
+    // equivalence. Replayed newest-first, these force v to subst[v]'s value.
+    s_.reconstruction_.push_back(
+        {Lit::positive(v), {Lit::positive(v), ~subst[v]}});
+    s_.reconstruction_.push_back(
+        {Lit::negative(v), {Lit::negative(v), subst[v]}});
+  }
+}
+
+void Inprocessor::probe_failed_literals() {
+  const std::size_t nvars = s_.assigns_.size();
+  if (nvars == 0) return;
+  std::size_t probes = 0;
+  const std::size_t start = s_.probe_cursor_ % nvars;
+  std::size_t k = 0;
+  for (; k < nvars && probes < kMaxProbesPerRun; ++k) {
+    if (!go()) break;
+    const Var v = static_cast<Var>((start + k) % nvars);
+    if (s_.assigns_[v] != SatSolver::kUndef ||
+        s_.var_state_[v] != SatSolver::kVarActive) {
+      continue;
+    }
+    if (occ_[Lit::positive(v).code()].empty() &&
+        occ_[Lit::negative(v).code()].empty()) {
+      continue;  // no occurrences: nothing to propagate
+    }
+    for (const Lit l : {Lit::positive(v), Lit::negative(v)}) {
+      if (s_.assigns_[v] != SatSolver::kUndef) break;  // fixed by the twin probe
+      if (!charge(1)) break;
+      ++probes;
+      ++s_.stats_.probed_literals;
+      s_.trail_limits_.push_back(s_.trail_.size());
+      s_.enqueue(l, SatSolver::kNoReason);
+      const ClauseRef conflict = s_.propagate();
+      s_.backtrack(0);
+      if (conflict == SatSolver::kNoReason) continue;
+      // Asserting l refutes by unit propagation, so ~l is a RUP unit.
+      ++s_.stats_.failed_literals;
+      ++s_.stats_.inprocess_units;
+      const Lit u = ~l;
+      if (s_.logging_) {
+        s_.log_step(false, std::span<const Lit>(&u, 1));
+        ++s_.logged_root_units_;
+      }
+      s_.enqueue(u, SatSolver::kNoReason);
+      if (!propagate_root()) return;
+    }
+    if (stopped_) break;
+  }
+  s_.probe_cursor_ = (start + k) % nvars;
+}
+
+void Inprocessor::subsume() {
+  // Variable-set signatures let most non-subset pairs fail in one AND.
+  std::vector<std::uint64_t> sig(s_.clauses_.size(), 0);
+  const auto signature = [&](ClauseRef cr) {
+    std::uint64_t s = 0;
+    for (const Lit l : s_.clauses_[cr].lits) s |= 1ull << (l.var() & 63);
+    return s;
+  };
+  for (ClauseRef cr = 0; cr < s_.clauses_.size(); ++cr) {
+    if (!s_.clauses_[cr].lits.empty()) sig[cr] = signature(cr);
+  }
+  for (ClauseRef cr = 0; cr < s_.clauses_.size(); ++cr) {
+    if (!go()) return;
+    auto& c = s_.clauses_[cr];
+    if (c.lits.size() < 2) continue;
+    // Stamp the subsumer's literals for O(1) membership checks.
+    ++stamp_;
+    for (const Lit l : c.lits) mark_[l.code()] = stamp_;
+    // Scan the occurrence lists of the least-occurring literal, in both
+    // polarities: occ(l) finds D ⊇ C and D ⊇ (C with m != l flipped);
+    // occ(~l) finds the self-subsumption candidates whose flipped literal
+    // is l itself.
+    Lit best = c.lits[0];
+    for (const Lit l : c.lits) {
+      if (occ_[l.code()].size() + occ_[(~l).code()].size() <
+          occ_[best.code()].size() + occ_[(~best).code()].size()) {
+        best = l;
+      }
+    }
+    for (const Lit probe : {best, ~best}) {
+      // Index-based loop: strengthening other clauses never mutates this
+      // occurrence vector, only the watch lists.
+      auto& list = occ_[probe.code()];
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        const ClauseRef dr = list[i];
+        if (dr == cr) continue;
+        auto& d = s_.clauses_[dr];
+        if (d.lits.size() < c.lits.size() || d.lits.empty()) continue;
+        if (sig[cr] & ~sig[dr]) continue;
+        if (!charge(1)) return;
+        std::size_t hits = 0, flipped = 0;
+        Lit flip = c.lits[0];
+        for (const Lit l : d.lits) {
+          if (mark_[l.code()] == stamp_) {
+            ++hits;
+          } else if (mark_[(~l).code()] == stamp_) {
+            ++flipped;
+            flip = l;
+          }
+        }
+        if (hits == c.lits.size()) {
+          // C ⊆ D. If a learned clause subsumes an original one, it becomes
+          // load-bearing: promote it to original before the original dies,
+          // or a later learned-clause GC could drop real constraints.
+          if (c.learned && !d.learned) {
+            c.learned = false;
+            --s_.learned_count_;
+          }
+          ++s_.stats_.subsumed_clauses;
+          delete_clause(dr);
+        } else if (hits + 1 == c.lits.size() && flipped == 1) {
+          // Self-subsuming resolution: resolving C and D on `flip` yields
+          // D \ {flip}, which subsumes D.
+          std::vector<Lit> next;
+          next.reserve(d.lits.size() - 1);
+          for (const Lit l : d.lits) {
+            if (!(l == flip)) next.push_back(l);
+          }
+          ++s_.stats_.strengthened_clauses;
+          if (!replace_lits(dr, std::move(next))) return;
+          if (!s_.clauses_[dr].lits.empty()) sig[dr] = signature(dr);
+          if (s_.clauses_[cr].lits.size() < 2) break;  // cascade killed C
+        }
+      }
+      if (s_.clauses_[cr].lits.size() < 2) break;
+    }
+  }
+}
+
+void Inprocessor::vivify() {
+  const std::size_t n = s_.clauses_.size();
+  if (n == 0) return;
+  std::size_t done = 0;
+  const std::size_t start = s_.vivify_cursor_ % n;
+  std::size_t k = 0;
+  for (; k < n && done < kMaxVivifyPerRun; ++k) {
+    if (!go()) break;
+    const ClauseRef cr = static_cast<ClauseRef>((start + k) % n);
+    const auto& c = s_.clauses_[cr];
+    if (c.learned || c.lits.size() < 3 || c.lits.size() > kMaxVivifyLen) continue;
+    ++done;
+    if (!charge(c.lits.size())) break;
+    const std::vector<Lit> lits = c.lits;  // the clause is detached while probing
+    detach(cr);
+    std::vector<Lit> kept;
+    kept.reserve(lits.size());
+    s_.trail_limits_.push_back(s_.trail_.size());
+    for (const Lit l : lits) {
+      const std::uint8_t v = s_.lit_value(l);
+      if (v == SatSolver::kTrue) {
+        // The prefix already implies l (or l is a root unit): the clause
+        // shrinks to prefix + l; the rest is dropped.
+        kept.push_back(l);
+        break;
+      }
+      if (v == SatSolver::kFalse) continue;  // implied false: drop l
+      s_.enqueue(~l, SatSolver::kNoReason);
+      kept.push_back(l);
+      if (s_.propagate() != SatSolver::kNoReason) break;  // prefix refutes by UP
+    }
+    s_.backtrack(0);
+    if (kept.size() < lits.size()) {
+      ++s_.stats_.vivified_clauses;
+      if (!finalize_detached(cr, std::move(kept))) return;
+    } else {
+      s_.attach(cr);  // literals untouched: the old watches are still valid
+    }
+  }
+  s_.vivify_cursor_ = (start + k) % n;
+}
+
+void Inprocessor::eliminate_variables() {
+  const auto occurrences = [&](Lit l, std::vector<ClauseRef>* out,
+                               std::vector<ClauseRef>* learned_out) {
+    for (const ClauseRef cr : occ_[l.code()]) {
+      const auto& c = s_.clauses_[cr];
+      if (c.lits.empty()) continue;
+      if (std::find(c.lits.begin(), c.lits.end(), l) == c.lits.end()) continue;
+      (c.learned ? learned_out : out)->push_back(cr);
+    }
+  };
+  for (Var v = 0; v < s_.assigns_.size(); ++v) {
+    if (!go()) return;
+    if (s_.frozen_[v] || s_.var_state_[v] != SatSolver::kVarActive ||
+        s_.assigns_[v] != SatSolver::kUndef) {
+      continue;
+    }
+    const Lit pos = Lit::positive(v), neg = Lit::negative(v);
+    std::vector<ClauseRef> p, nn, learned;
+    occurrences(pos, &p, &learned);
+    occurrences(neg, &nn, &learned);
+    if (p.size() + nn.size() == 0) continue;  // unconstrained: branching handles it
+    if (p.size() + nn.size() > kMaxBveOccs) continue;
+    if (p.size() * nn.size() > kMaxBvePairs) continue;
+    if (!charge(p.size() + nn.size() + p.size() * nn.size())) return;
+    // Resolve every pos-clause against every neg-clause; elimination is
+    // worthwhile only when the non-tautological resolvents do not outnumber
+    // the clauses they replace.
+    std::vector<std::vector<Lit>> resolvents;
+    bool abort = false;
+    for (const ClauseRef pc : p) {
+      for (const ClauseRef nc : nn) {
+        std::vector<Lit> r;
+        for (const Lit l : s_.clauses_[pc].lits) {
+          if (!(l == pos)) r.push_back(l);
+        }
+        for (const Lit l : s_.clauses_[nc].lits) {
+          if (!(l == neg)) r.push_back(l);
+        }
+        sort_dedup(r);
+        bool taut = false;
+        for (std::size_t i = 0; i + 1 < r.size(); ++i) {
+          if (r[i + 1] == ~r[i]) {
+            taut = true;
+            break;
+          }
+        }
+        if (taut) continue;
+        if (r.size() > kMaxResolventLen) {
+          abort = true;
+          break;
+        }
+        resolvents.push_back(std::move(r));
+        if (resolvents.size() > p.size() + nn.size()) {
+          abort = true;
+          break;
+        }
+      }
+      if (abort) break;
+    }
+    if (abort) continue;
+    ++s_.stats_.eliminated_vars;
+    // Commit. Reconstruction frames are pushed before the clauses they copy
+    // are emptied; the whole commit ignores the budget (partial elimination
+    // would leave an inconsistent variable state).
+    for (std::vector<Lit>& r : resolvents) {
+      if (!add_derived(std::move(r), false)) return;
+    }
+    if (p.empty()) {
+      // Pure negative literal: a single frame forcing v to false.
+      s_.reconstruction_.push_back({neg, {neg}});
+    } else {
+      for (const ClauseRef pc : p) {
+        s_.reconstruction_.push_back({pos, s_.clauses_[pc].lits});
+      }
+    }
+    for (const ClauseRef cr : p) delete_clause(cr);
+    for (const ClauseRef cr : nn) delete_clause(cr);
+    for (const ClauseRef cr : learned) {
+      if (!s_.clauses_[cr].lits.empty()) delete_clause(cr);
+    }
+    s_.var_state_[v] = SatSolver::kVarEliminated;
+  }
+}
+
+}  // namespace slocal

@@ -1,0 +1,110 @@
+// Budget-aware CDCL inprocessing: clause-database simplification between
+// incremental solves.
+//
+// A lift sweep keeps one SatSolver alive across a whole support family and
+// grows its clause database monotonically (src/solver/cnf_encoding.hpp), so
+// redundancy compounds: node constraints subsume each other across supports,
+// exactly-one ladders leave long implication chains, and learned clauses
+// accumulate strictly weaker variants. The Inprocessor runs a fixed pipeline
+// over the database at decision level 0:
+//
+//   1. root sweep        — delete root-satisfied clauses, strip root-false
+//                          literals,
+//   2. equivalent-literal substitution — SCCs of the binary implication
+//                          graph collapse to one representative per class,
+//   3. failed-literal probing — assert each unassigned literal, propagate;
+//                          a conflict yields a permanent root unit,
+//   4. subsumption + self-subsuming resolution over an occurrence index,
+//   5. clause vivification — re-derive each clause under the negation of
+//                          its own prefix and keep the shortest implied
+//                          prefix,
+//   6. bounded variable elimination — resolve a variable away when the
+//                          resolvents do not outnumber its clauses, with a
+//                          model-reconstruction stack for decoding.
+//
+// Contracts (see ISSUE 6 / the README solver section):
+//  * Budget: every pass charges its work to the solve's SearchBudget and
+//    stops cleanly between clause transformations — the database is
+//    equisatisfiable to the input at every intermediate point, so a tripped
+//    budget can never flip a verdict.
+//  * DRAT: with proof logging armed, every derived clause is logged as an
+//    addition before the clause it replaces is logged as a deletion, and
+//    every root unit is logged before any clause that implied it may be
+//    deleted. All additions are reverse-unit-propagation consequences, so
+//    src/cert/drat.cpp validates certificates emitted with inprocessing on.
+//  * Freezing: frozen variables (assumptions, activation guards, edge
+//    variables that reappear in later clauses) are never eliminated or
+//    substituted, so failed_assumptions() cores keep their meaning across
+//    rounds. Non-frozen variables may disappear; SatSolver::save_model()
+//    reconstructs their values by replaying the reconstruction stack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sat/solver.hpp"
+#include "src/util/budget.hpp"
+
+namespace slocal {
+
+class Inprocessor {
+ public:
+  Inprocessor(SatSolver& solver, SearchBudget* budget)
+      : s_(solver), budget_(budget) {}
+
+  /// Runs the full pipeline once. Requires decision level 0. Pass effort is
+  /// additionally capped per run (probe and vivification cursors rotate
+  /// across runs), so a run is cheap even with an unlimited budget.
+  void run();
+
+ private:
+  using ClauseRef = SatSolver::ClauseRef;
+
+  /// False once the budget tripped or the formula became UNSAT.
+  bool ok() const { return !stopped_ && !s_.unsat_; }
+  bool go();
+  bool charge(std::uint64_t n);
+
+  std::uint8_t value(Lit l) const { return s_.lit_value(l); }
+
+  void build_occ();
+  void occ_add(ClauseRef cr);
+  /// Logs every root-trail literal past the proof watermark as an explicit
+  /// unit addition. Must run before any pass deletes clauses: the checker
+  /// must keep being able to derive the solver's permanent root facts.
+  void log_root_units();
+  /// Removes `cr` from the two watch lists of its current watched literals.
+  void detach(ClauseRef cr);
+  /// Logs the deletion, detaches, and empties the clause slot.
+  void delete_clause(ClauseRef cr);
+  /// Propagates at the root; a conflict finishes the refutation (logs the
+  /// empty clause, sets unsat). New root units are logged. False on UNSAT.
+  bool propagate_root();
+  /// Adds a derived clause (logged, normalized against root units, attached,
+  /// entered into the occurrence index). Units are enqueued and propagated.
+  /// False on UNSAT.
+  bool add_derived(std::vector<Lit> lits, bool learned);
+  /// Replaces an attached clause's literal set with a strengthened subset,
+  /// keeping its ClauseRef. Logs add-then-delete. False on UNSAT.
+  bool replace_lits(ClauseRef cr, std::vector<Lit> next);
+  /// replace_lits for a clause the caller already detached.
+  bool finalize_detached(ClauseRef cr, std::vector<Lit> next);
+
+  // The passes, in run() order.
+  void sweep_root();
+  void substitute_equivalent_literals();
+  void probe_failed_literals();
+  void subsume();
+  void vivify();
+  void eliminate_variables();
+
+  SatSolver& s_;
+  SearchBudget* budget_ = nullptr;
+  bool stopped_ = false;
+
+  std::vector<std::vector<ClauseRef>> occ_;  // literal code -> clause refs (lazy)
+  std::vector<std::uint32_t> mark_;          // literal code -> stamp (subsumption)
+  std::uint32_t stamp_ = 0;
+};
+
+}  // namespace slocal

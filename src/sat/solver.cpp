@@ -25,9 +25,17 @@ Var SatSolver::new_var() {
   reason_.push_back(kNoReason);
   activity_.push_back(0.0);
   seen_.push_back(0);
+  frozen_.push_back(0);
+  var_state_.push_back(kVarActive);
+  phase_.push_back(kUndef);
   watches_.emplace_back();
   watches_.emplace_back();
   return v;
+}
+
+void SatSolver::set_phases(std::span<const std::uint8_t> phases) {
+  const std::size_t n = std::min(phases.size(), phase_.size());
+  for (std::size_t v = 0; v < n; ++v) phase_[v] = phases[v];
 }
 
 void SatSolver::start_proof() {
@@ -50,6 +58,14 @@ void SatSolver::log_step(bool is_delete, std::span<const Lit> lits) {
 void SatSolver::add_clause(std::vector<Lit> lits) {
   if (unsat_) return;
   assert(trail_limits_.empty() && "clauses may only be added at decision level 0");
+  ++clauses_since_inprocess_;
+#ifndef NDEBUG
+  for (const Lit l : lits) {
+    assert(var_state_[l.var()] == kVarActive &&
+           "clause references an eliminated variable: freeze() variables that "
+           "may reappear in clauses added after an inprocessing round");
+  }
+#endif
   if (logging_) {
     // Input clauses are logged verbatim: the stored clause below may be
     // strengthened against root units or dropped entirely, but the proof
@@ -68,16 +84,25 @@ void SatSolver::add_clause(std::vector<Lit> lits) {
   lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
   std::vector<Lit> kept;
   kept.reserve(lits.size());
+  bool stripped = false;
   for (std::size_t i = 0; i < lits.size(); ++i) {
     if (i + 1 < lits.size() && lits[i + 1] == ~lits[i]) return;  // tautology
     // Root-level simplification only valid at decision level 0.
     if (trail_limits_.empty()) {
       const std::uint8_t v = lit_value(lits[i]);
       if (v == kTrue) return;  // already satisfied
-      if (v == kFalse) continue;
+      if (v == kFalse) {
+        stripped = true;
+        continue;
+      }
     }
     kept.push_back(lits[i]);
   }
+  // When root units stripped literals, the stored clause differs from the
+  // logged input as a set. Log the stored form as a derived addition (RUP:
+  // the dropped literals are unit-propagation-false, falsifying the input
+  // clause) so a later inprocessing deletion matches an active clause.
+  if (logging_ && stripped && kept.size() >= 2) log_step(false, kept);
   if (kept.empty()) {
     unsat_ = true;
     if (logging_) log_step(false, {});  // refutation complete: empty clause
@@ -279,6 +304,7 @@ void SatSolver::backtrack(int target_level) {
     trail_limits_.pop_back();
     while (trail_.size() > limit) {
       const Var v = trail_.back().var();
+      phase_[v] = assigns_[v];  // phase saving: remember the last polarity
       assigns_[v] = kUndef;
       reason_[v] = kNoReason;
       trail_.pop_back();
@@ -302,7 +328,10 @@ std::optional<Lit> SatSolver::pick_branch() {
   double best_activity = -1.0;
   bool found = false;
   for (Var v = 0; v < assigns_.size(); ++v) {
-    if (assigns_[v] == kUndef && activity_[v] > best_activity) {
+    // Eliminated/substituted variables occur in no active clause; their
+    // values come from model reconstruction, never from branching.
+    if (assigns_[v] == kUndef && var_state_[v] == kVarActive &&
+        activity_[v] > best_activity) {
       best = v;
       best_activity = activity_[v];
       found = true;
@@ -310,6 +339,11 @@ std::optional<Lit> SatSolver::pick_branch() {
   }
   if (!found) return std::nullopt;
   ++decisions_;
+  // Saved phase first (the polarity this variable last held), then the
+  // seed-derived polarity, then the fixed negative-first default.
+  if (phase_[best] != kUndef) {
+    return phase_[best] == kTrue ? Lit::positive(best) : Lit::negative(best);
+  }
   if (branch_seed_ != 0 && (mix64(branch_seed_ ^ (best * 0x10001ull)) & 1)) {
     return Lit::positive(best);
   }
@@ -353,7 +387,34 @@ void SatSolver::reduce_learned() {
   }
 }
 
-void SatSolver::save_model() { model_ = assigns_; }
+void SatSolver::save_model() {
+  model_ = assigns_;
+  if (reconstruction_.empty()) return;
+  // Extend the model over eliminated/substituted variables. Defaults make
+  // every witness false, so the newest-first replay flips a variable only
+  // when one of its stored clauses would otherwise be unsatisfied — the
+  // SatELite argument then guarantees every deleted clause is satisfied.
+  for (const ReconstructionFrame& f : reconstruction_) {
+    model_[f.witness.var()] = f.witness.negated() ? kTrue : kFalse;
+  }
+  const auto lit_true = [&](Lit l) {
+    const std::uint8_t v = model_[l.var()];
+    return v != kUndef && (v == kFalse) == l.negated();
+  };
+  for (std::size_t i = reconstruction_.size(); i-- > 0;) {
+    const ReconstructionFrame& f = reconstruction_[i];
+    bool satisfied = false;
+    for (const Lit l : f.clause) {
+      if (lit_true(l)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      model_[f.witness.var()] = f.witness.negated() ? kFalse : kTrue;
+    }
+  }
+}
 
 SatResult SatSolver::solve(std::uint64_t conflict_budget, SearchBudget* budget) {
   return solve_under_assumptions({}, conflict_budget, budget);
@@ -364,11 +425,25 @@ SatResult SatSolver::solve_under_assumptions(std::span<const Lit> assumptions,
                                              SearchBudget* budget) {
   failed_assumptions_.clear();
   if (unsat_) return SatResult::kUnsat;
+  // Assumption variables are frozen for good: a variable whose identity
+  // matters to a caller (it may return in failed_assumptions() or in a
+  // later assumption set) must never be eliminated or substituted away.
+  for (const Lit a : assumptions) {
+    assert(var_state_[a.var()] == kVarActive &&
+           "assumed variable was eliminated by inprocessing — freeze() "
+           "assumption variables before their first inprocessed solve");
+    frozen_[a.var()] = 1;
+  }
   if (budget != nullptr && !budget->keep_going()) return SatResult::kUnknown;
   if (propagate() != kNoReason) {
     unsat_ = true;
     if (logging_) log_step(false, {});
     return SatResult::kUnsat;
+  }
+  if (inprocess_enabled_ && clauses_since_inprocess_ > 0 &&
+      trail_limits_.empty() && (budget == nullptr || budget->keep_going())) {
+    inprocess(budget);
+    if (unsat_) return SatResult::kUnsat;
   }
   std::uint64_t restart_limit = 100;
   std::uint64_t conflicts_since_restart = 0;
@@ -481,8 +556,14 @@ std::size_t SatSolver::minimize_core(std::uint64_t per_probe_conflicts,
     for (std::size_t j = 0; j < core.size(); ++j) {
       if (j != i) candidate.push_back(core[j]);
     }
-    if (solve_under_assumptions(candidate, per_probe_conflicts, budget) ==
-        SatResult::kUnsat) {
+    // Probe accounting: each deletion probe is a full (budgeted) re-solve
+    // whose conflicts are otherwise indistinguishable from search conflicts.
+    ++stats_.core_probe_solves;
+    const std::uint64_t conflicts_before = conflicts_;
+    const SatResult probe =
+        solve_under_assumptions(candidate, per_probe_conflicts, budget);
+    stats_.core_probe_conflicts += conflicts_ - conflicts_before;
+    if (probe == SatResult::kUnsat) {
       // Still UNSAT without core[i]; the returned core may be smaller than
       // `candidate` (other literals dropped for free). Restart the scan:
       // literals kept earlier can become droppable once this one is gone.
@@ -495,7 +576,9 @@ std::size_t SatSolver::minimize_core(std::uint64_t per_probe_conflicts,
     }
   }
   failed_assumptions_ = std::move(core);
-  return original_size - failed_assumptions_.size();
+  const std::size_t removed = original_size - failed_assumptions_.size();
+  stats_.core_literals_removed += removed;
+  return removed;
 }
 
 bool SatSolver::value(Var v) const {

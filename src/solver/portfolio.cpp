@@ -34,11 +34,28 @@ PortfolioResult solve_labeling_portfolio(const BipartiteGraph& g, const Problem&
   if (cnf == nullptr) {
     SearchBudget encode_budget;
     encode_budget.chain_to(&race);
-    local_cnf = encode_bipartite_labeling(g, pi, &encode_budget);
+    local_cnf = encode_bipartite_labeling(g, pi, &encode_budget, false,
+                                          options.inprocessing);
     if (!local_cnf.has_value()) {
       result.reason = race.halted() ? race.reason() : encode_budget.reason();
       result.wall_ms = race.elapsed_ms();
       return result;  // kExhausted before the race even started
+    }
+    // Simplify the base instance once, pre-copy: every CDCL copy would
+    // otherwise run the identical deterministic pipeline (branch seeds only
+    // jitter activities, which no pass reads). A tripped race skips this —
+    // a clean exhausted exit beats a half-simplified database. The work is
+    // capped by the caller's per-engine node budget so that a deliberately
+    // unwinnable race (tiny caps, exit-code contract) stays unwinnable:
+    // simplification must not decide instances the engines may not.
+    if (options.inprocessing && race.keep_going()) {
+      for (const Lit a : options.assumptions) {
+        local_cnf->solver.freeze(a.var());
+      }
+      SearchBudget simplify;
+      simplify.chain_to(&race);
+      if (options.node_budget > 0) simplify.set_node_limit(options.node_budget);
+      local_cnf->solver.inprocess(&simplify);
     }
     cnf = &*local_cnf;
   }
@@ -46,13 +63,15 @@ PortfolioResult solve_labeling_portfolio(const BipartiteGraph& g, const Problem&
   std::mutex claim;
   bool claimed = false;
   const auto offer = [&](Verdict verdict, std::optional<std::vector<Label>> labels,
-                         std::string winner) {
+                         std::string winner,
+                         const std::vector<std::uint8_t>* phases = nullptr) {
     const std::lock_guard<std::mutex> lock(claim);
     if (claimed) return;  // a second engine finishing must agree; keep first
     claimed = true;
     result.verdict = verdict;
     result.labels = std::move(labels);
     result.winner = std::move(winner);
+    if (phases != nullptr) result.winner_phase = *phases;
     race.cancel();
   };
 
@@ -76,13 +95,17 @@ PortfolioResult solve_labeling_portfolio(const BipartiteGraph& g, const Problem&
     tasks.push_back([&, seed] {
       LabelingCnf copy = *cnf;  // SatSolver is copyable by design
       copy.solver.set_branch_seed(static_cast<std::uint64_t>(seed));
+      if (!options.initial_phase.empty()) {
+        copy.solver.set_phases(options.initial_phase);
+      }
       const SatResult sat = copy.solver.solve_under_assumptions(
           options.assumptions, options.conflict_budget, &race);
       if (sat == SatResult::kSat) {
         offer(Verdict::kYes, decode_bipartite_labeling(copy, alphabet),
-              "sat[" + std::to_string(seed) + "]");
+              "sat[" + std::to_string(seed) + "]", &copy.solver.phases());
       } else if (sat == SatResult::kUnsat) {
-        offer(Verdict::kNo, std::nullopt, "sat[" + std::to_string(seed) + "]");
+        offer(Verdict::kNo, std::nullopt, "sat[" + std::to_string(seed) + "]",
+              &copy.solver.phases());
       }
     });
   }

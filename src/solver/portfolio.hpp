@@ -50,6 +50,19 @@ struct PortfolioOptions {
   /// the same question directly on (g, pi).
   const LabelingCnf* encoded = nullptr;
   std::vector<Lit> assumptions;
+  /// Arms CDCL inprocessing for the race. With an in-call encoding the base
+  /// instance is simplified ONCE before it is copied, so the copies race the
+  /// simplified clauses instead of each repeating identical passes. A
+  /// pre-encoded instance keeps whatever its own solver has armed (an
+  /// incremental sweep snapshot carries the sweep's setting); this flag does
+  /// not override it — the snapshot's frozen set is the sweep's contract.
+  bool inprocessing = true;
+  /// Branching-polarity preload for every CDCL copy (see
+  /// SatSolver::set_phases). Feed a previous race's winner_phase back in to
+  /// restart losing engines with the winner's saved phases — on a sweep of
+  /// related instances the next race then starts from a polarity vector that
+  /// already satisfied a sibling instance. Empty = no preload.
+  std::vector<std::uint8_t> initial_phase;
 };
 
 struct PortfolioResult {
@@ -65,6 +78,10 @@ struct PortfolioResult {
   std::uint64_t nodes = 0;      // backtracking nodes charged to the race
   std::uint64_t conflicts = 0;  // CDCL conflicts summed across all copies
   double wall_ms = 0.0;
+  /// The winning CDCL engine's saved-phase vector (empty when the
+  /// backtracker won or the race exhausted). Pass as initial_phase of the
+  /// next related race; after a kYes it encodes the winner's model.
+  std::vector<std::uint8_t> winner_phase;
 };
 
 /// Decides whether `pi` admits a bipartite solution on `g` by racing the

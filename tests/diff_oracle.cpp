@@ -8,6 +8,7 @@
 #include "src/re/sequence.hpp"
 #include "src/solver/cnf_encoding.hpp"
 #include "src/solver/edge_labeling.hpp"
+#include "src/solver/portfolio.hpp"
 #include "src/util/combinatorics.hpp"
 #include "src/util/rng.hpp"
 
@@ -112,8 +113,9 @@ std::string DiffOracleReport::summary() const {
 
 void diff_check_family(const Problem& pi, std::span<const BipartiteGraph> supports,
                        std::uint64_t max_brute_assignments,
-                       DiffOracleReport* report) {
-  IncrementalLabelingSweep sweep(pi);
+                       std::size_t portfolio_threads, DiffOracleReport* report) {
+  IncrementalLabelingSweep sweep(pi, /*inprocessing=*/true);
+  IncrementalLabelingSweep plain_sweep(pi, /*inprocessing=*/false);
   for (std::size_t si = 0; si < supports.size(); ++si) {
     const BipartiteGraph& g = supports[si];
     ++report->instances;
@@ -148,28 +150,54 @@ void diff_check_family(const Problem& pi, std::span<const BipartiteGraph> suppor
       fail("from-scratch CDCL model decodes to an invalid labeling");
     }
 
-    // Engine 3 — incremental CDCL (shared solver across the family).
-    const IncrementalLabelingSweep::Step step = sweep.solve_support(g);
-    if (step.verdict == Verdict::kExhausted) {
-      fail("incremental CDCL returned exhausted without a budget");
-    } else if ((step.verdict == Verdict::kYes) != expected) {
-      fail("incremental CDCL disagrees with backtracking");
-    } else if (step.verdict == Verdict::kYes) {
-      if (!step.labels.has_value() ||
-          !check_bipartite_labeling(g, pi, *step.labels)) {
-        fail("incremental CDCL model decodes to an invalid labeling");
-      }
-    } else {
-      // Every incremental UNSAT must carry a verifiable core: re-solving
-      // under only the failed assumptions must still refute.
-      if (sweep.check_last_core() != Verdict::kNo) {
-        fail("failed-assumption core did not re-solve to UNSAT");
+    // Engines 3 and 4 — incremental CDCL with inprocessing armed and
+    // disarmed (each sweep's solver is shared across the family). The pair
+    // pins the inprocessing equivalence: no simplification pass may flip a
+    // verdict, hand back a model the original clauses reject, or break the
+    // failed-assumption core contract.
+    const struct {
+      const char* tag;
+      IncrementalLabelingSweep* engine;
+    } sweeps[] = {{"inprocessed", &sweep}, {"plain", &plain_sweep}};
+    for (const auto& [tag, engine] : sweeps) {
+      const IncrementalLabelingSweep::Step step = engine->solve_support(g);
+      const std::string name = std::string("incremental CDCL (") + tag + ")";
+      if (step.verdict == Verdict::kExhausted) {
+        fail(name + " returned exhausted without a budget");
+      } else if ((step.verdict == Verdict::kYes) != expected) {
+        fail(name + " disagrees with backtracking");
+      } else if (step.verdict == Verdict::kYes) {
+        if (!step.labels.has_value() ||
+            !check_bipartite_labeling(g, pi, *step.labels)) {
+          fail(name + " model decodes to an invalid labeling");
+        }
       } else {
-        ++report->cores_certified;
+        // Every incremental UNSAT must carry a verifiable core: re-solving
+        // under only the failed assumptions must still refute.
+        if (engine->check_last_core() != Verdict::kNo) {
+          fail(name + " failed-assumption core did not re-solve to UNSAT");
+        } else {
+          ++report->cores_certified;
+        }
       }
     }
 
-    // Engine 4 — brute-force enumeration (small sizes only).
+    // Engine 5 — the racing portfolio (its own pre-copy simplification,
+    // phase saving, and thread scheduling on top of the same encodings).
+    PortfolioOptions portfolio;
+    portfolio.threads = portfolio_threads;
+    const PortfolioResult race = solve_labeling_portfolio(g, pi, portfolio);
+    if (race.verdict == Verdict::kExhausted) {
+      fail("portfolio returned exhausted without a budget");
+    } else if ((race.verdict == Verdict::kYes) != expected) {
+      fail("portfolio disagrees with backtracking");
+    } else if (race.verdict == Verdict::kYes &&
+               (!race.labels.has_value() ||
+                !check_bipartite_labeling(g, pi, *race.labels))) {
+      fail("portfolio labeling is invalid");
+    }
+
+    // Engine 6 — brute-force enumeration (small sizes only).
     const auto brute = brute_force_solvable(g, pi, max_brute_assignments);
     if (brute.has_value()) {
       ++report->brute_checked;
@@ -191,7 +219,8 @@ DiffOracleReport run_diff_oracle(const DiffOracleOptions& options) {
     if (!pi.has_value()) continue;
     const auto family = random_family(dw, db, options.supports_per_problem, rng);
     if (family.empty()) continue;
-    diff_check_family(*pi, family, options.max_brute_assignments, &report);
+    diff_check_family(*pi, family, options.max_brute_assignments,
+                      options.portfolio_threads, &report);
   }
   return report;
 }

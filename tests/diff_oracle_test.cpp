@@ -1,10 +1,11 @@
-// Drives the differential oracle (tests/diff_oracle.hpp): four independent
-// engines must agree on every seeded instance, incremental UNSAT answers
-// must carry certified failed-assumption cores, the incremental lift
-// sweep must reproduce the from-scratch sweep verdict-for-verdict while
-// encoding strictly fewer clauses, and sequence verification must be
-// bit-identical across RE-cache modes (off / cold / warm / persisted) and
-// thread counts.
+// Drives the differential oracle (tests/diff_oracle.hpp): six independent
+// engines — including the incremental sweep with inprocessing armed AND
+// disarmed, and the portfolio at one and four threads — must agree on every
+// seeded instance, incremental UNSAT answers must carry certified
+// failed-assumption cores, the incremental lift sweep must reproduce the
+// from-scratch sweep verdict-for-verdict while encoding strictly fewer
+// clauses, and sequence verification must be bit-identical across RE-cache
+// modes (off / cold / warm / persisted) and thread counts.
 #include "tests/diff_oracle.hpp"
 
 #include <gtest/gtest.h>
@@ -26,17 +27,31 @@
 namespace slocal {
 namespace {
 
-TEST(DiffOracle, TwoHundredSeededInstancesAgreeAcrossAllFourEngines) {
-  DiffOracleOptions options;  // 200 instances, seed 1
+TEST(DiffOracle, TwoHundredSeededInstancesAgreeAcrossAllEngines) {
+  DiffOracleOptions options;  // 200 instances, seed 1, serial portfolio
   const DiffOracleReport report = run_diff_oracle(options);
   EXPECT_TRUE(report.ok()) << report.summary();
   EXPECT_GE(report.instances, 200);
   // The corpus must actually exercise both verdicts, the brute-force
-  // cross-check, and the UNSAT-core certification path.
+  // cross-check, and the UNSAT-core certification path (both the
+  // inprocessed and the plain sweep certify every core, hence > 20).
   EXPECT_GT(report.yes, 20) << report.summary();
   EXPECT_GT(report.no, 20) << report.summary();
   EXPECT_GT(report.brute_checked, 50) << report.summary();
-  EXPECT_GT(report.cores_certified, 10) << report.summary();
+  EXPECT_GT(report.cores_certified, 20) << report.summary();
+}
+
+TEST(DiffOracle, TwoHundredSeededInstancesAgreeAtFourPortfolioThreads) {
+  // Same campaign with real portfolio races: four threads mean the
+  // backtracker and the CDCL copies genuinely overlap, and the pre-copy
+  // inprocessing runs concurrently with nothing (it is pre-race) but its
+  // output is consumed by every racing copy.
+  DiffOracleOptions options;
+  options.portfolio_threads = 4;
+  const DiffOracleReport report = run_diff_oracle(options);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GE(report.instances, 200);
+  EXPECT_GT(report.cores_certified, 20) << report.summary();
 }
 
 TEST(DiffOracle, ReportIsDeterministicForAGivenSeed) {

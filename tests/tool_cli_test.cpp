@@ -53,19 +53,39 @@ TEST(ToolCli, PortfolioReportsUnsolvableOnOddCycle) {
 }
 
 TEST(ToolCli, PortfolioExitsThreeWhenBudgetExhausts) {
-  // An unwinnable budget: deciding MM_3 on K_{3,3} needs more than one
-  // backtracking node and more than one CDCL conflict under every branching
-  // seed, so each engine in the race trips its cap and the tool must report
-  // exit 3 rather than pretending --max-nodes was honored.
-  EXPECT_EQ(run_tool("portfolio " + problem("maximal_matching_3.txt") +
-                     "complete:3x3 --max-nodes=1"),
-            3);
+  // An unwinnable budget: the edge-parity contradiction is global (a
+  // double-counting argument over all of K_{3,3}), so no engine — CDCL under
+  // any branching seed or phase, backtracking under any order — can decide it
+  // within one node/conflict. Every racer trips its cap and the tool must
+  // report exit 3 rather than pretending --max-nodes was honored. The pin
+  // holds with inprocessing armed (the default) and disarmed: pre-race
+  // simplification is capped by the same per-engine budget, so it may not
+  // decide instances the engines may not.
+  const std::string args =
+      "portfolio " + problem("edge_parity_3.txt") + "complete:3x3 --max-nodes=1";
+  EXPECT_EQ(run_tool(args), 3);
+  EXPECT_EQ(run_tool(args + " --no-inprocessing"), 3);
+}
+
+TEST(ToolCli, PortfolioVerdictsUnchangedWithoutInprocessing) {
+  // --no-inprocessing is an A/B timing knob: verdicts and exit codes are
+  // contractually identical in both modes.
+  EXPECT_EQ(run_tool("portfolio " + problem("two_coloring.txt") +
+                     "cycle:4 --no-inprocessing"),
+            0);
+  EXPECT_EQ(run_tool("portfolio " + problem("two_coloring.txt") +
+                     "cycle:3 --no-inprocessing"),
+            2);
+  EXPECT_EQ(run_tool("portfolio " + problem("edge_parity_3.txt") +
+                     "complete:3x3 --no-inprocessing"),
+            2);
 }
 
 TEST(ToolCli, SweepDecidesCycleFamilyIncrementallyAndFromScratch) {
   const std::string args = "sweep " + problem("two_coloring.txt") + "2 2 cycles:2..6";
   EXPECT_EQ(run_tool(args), 0);
   EXPECT_EQ(run_tool(args + " --scratch"), 0);
+  EXPECT_EQ(run_tool(args + " --no-inprocessing"), 0);
 }
 
 TEST(ToolCli, SweepExitsThreeWhenBudgetExhausts) {
@@ -158,7 +178,7 @@ TEST(ToolCli, HelpExitsZeroAndMentionsEveryCommand) {
   EXPECT_EQ(run_tool_capture("--help", &out), 0);
   for (const char* cmd : {"print", "re", "fixed", "lift", "solve", "zero",
                           "portfolio", "sweep", "sequence", "check-cert",
-                          "--emit-cert"}) {
+                          "--emit-cert", "--no-inprocessing"}) {
     EXPECT_NE(out.find(cmd), std::string::npos) << "--help misses " << cmd;
   }
 }
@@ -191,16 +211,20 @@ TEST(ToolCli, SequenceEmitsCertificateBothCheckersAccept) {
 
 TEST(ToolCli, SweepEmitsLiftUnsatCertificateBothCheckersAccept) {
   // cycles:2..6 contains the odd cycles C_3 and C_5; the first unsolvable
-  // support (C_3) gets a from-scratch DRAT refutation.
-  const std::string cert =
-      (std::filesystem::path(testing::TempDir()) / "cli_lift.cert").string();
-  std::filesystem::remove(cert);
-  EXPECT_EQ(run_tool("sweep " + problem("two_coloring.txt") +
-                     "2 2 cycles:2..6 --emit-cert='" + cert + "'"),
-            0);
-  ASSERT_TRUE(std::filesystem::exists(cert));
-  EXPECT_EQ(run_tool("check-cert '" + cert + "'"), 0);
-  EXPECT_EQ(run_cert_check(cert), 0);
+  // support (C_3) gets a from-scratch DRAT refutation. The emitted proof
+  // must validate with inprocessing armed (every pass logs its additions
+  // and deletions) and disarmed alike.
+  for (const char* mode : {"", " --no-inprocessing"}) {
+    const std::string cert =
+        (std::filesystem::path(testing::TempDir()) / "cli_lift.cert").string();
+    std::filesystem::remove(cert);
+    EXPECT_EQ(run_tool("sweep " + problem("two_coloring.txt") +
+                       "2 2 cycles:2..6 --emit-cert='" + cert + "'" + mode),
+              0);
+    ASSERT_TRUE(std::filesystem::exists(cert));
+    EXPECT_EQ(run_tool("check-cert '" + cert + "'"), 0) << "mode:" << mode;
+    EXPECT_EQ(run_cert_check(cert), 0) << "mode:" << mode;
+  }
 }
 
 TEST(ToolCli, SweepEmitCertFailsWhenNothingIsUnsolvable) {

@@ -227,6 +227,59 @@ def main(argv):
     elif base_cert:
         rc |= fail("cert_demo missing from current report")
 
+    inproc = current.get("inprocessing_demo")
+    base_inproc = baseline.get("inprocessing_demo")
+    if inproc:
+        # Hard gates (schema v6). Both sweeps: inprocessing must never flip
+        # a verdict, must never *cost* conflicts, and the pipeline must have
+        # actually run. The cycle sweep additionally pins the payoff — a
+        # strict conflict reduction and non-zero clause-level pass work
+        # (subsumption/strengthening/vivification) — so a silently disabled
+        # pipeline cannot pass. Wall time is reported, never gated.
+        for tag in ("gadgets", "cycles"):
+            sub = inproc.get(tag)
+            if sub is None:
+                rc |= fail(f"inprocessing_demo.{tag} missing")
+                continue
+            if not sub["verdicts_match"]:
+                rc |= fail(f"inprocessing_demo.{tag}: on/off sweep verdicts diverge")
+            if sub["conflicts_on"] > sub["conflicts_off"]:
+                rc |= fail(
+                    f"inprocessing_demo.{tag}: armed run costs conflicts "
+                    f"({sub['conflicts_on']} on > {sub['conflicts_off']} off)"
+                )
+            stats = sub.get("sat_stats", {})
+            if stats.get("inprocess_runs", 0) == 0:
+                rc |= fail(
+                    f"inprocessing_demo.{tag}: pipeline never ran "
+                    "(inprocess_runs == 0)"
+                )
+            if stats.get("probed_literals", 0) == 0:
+                rc |= fail(f"inprocessing_demo.{tag}: no failed-literal probes ran")
+            clause_work = (
+                stats.get("subsumed_clauses", 0)
+                + stats.get("strengthened_clauses", 0)
+                + stats.get("vivified_clauses", 0)
+            )
+            if tag == "cycles":
+                if sub["conflicts_on"] >= sub["conflicts_off"]:
+                    rc |= fail(
+                        "inprocessing_demo.cycles: no conflict reduction "
+                        f"({sub['conflicts_on']} on vs {sub['conflicts_off']} off)"
+                    )
+                if clause_work == 0:
+                    rc |= fail(
+                        "inprocessing_demo.cycles: no clause-level pass activity"
+                    )
+            print(
+                f"info: inprocessing[{tag}] conflicts {sub['conflicts_on']}/"
+                f"{sub['conflicts_off']} (on/off), wall "
+                f"{sub['wall_on_ms']:.2f}/{sub['wall_off_ms']:.2f} ms "
+                f"(wall not gated), clause work {clause_work}"
+            )
+    elif base_inproc:
+        rc |= fail("inprocessing_demo missing from current report")
+
     print("bench_re counters within limits" if rc == 0 else "bench_re check FAILED")
     return rc
 
