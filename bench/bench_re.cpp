@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "src/re/re_cache.hpp"
 #include "src/re/round_elimination.hpp"
 #include "src/re/sequence.hpp"
+#include "src/serve/server.hpp"
 #include "src/solver/portfolio.hpp"
 
 namespace slocal {
@@ -207,11 +209,33 @@ struct CertDemo {
   bool roundtrip_valid = false;  // save -> load -> recheck, both kinds
 };
 
+/// E2j — the lower-bound service under load and under injected faults: a
+/// sequential verdict phase, an overload burst that must shed at admission,
+/// a deliberately torn checkpoint, and a second server instance that must
+/// recover from the previous good generation and reproduce every verdict
+/// from its warm cache. The gated invariants are verdicts_match,
+/// admission_rejects > 0, checkpoint_recoveries >= 1, and
+/// final_checkpoint_valid; requests_per_sec is reported, not gated.
+struct ServeDemo {
+  std::size_t requests = 0;  // total request lines sent in run 1
+  std::uint64_t ok = 0;
+  std::uint64_t admission_rejects = 0;
+  std::uint64_t checkpoint_failures = 0;
+  std::string recovered_from;  // run 2's recovery source
+  std::uint64_t checkpoint_recoveries = 0;
+  bool verdicts_match = false;
+  bool final_checkpoint_valid = false;
+  std::uint64_t warm_cache_hits = 0;
+  double requests_per_sec = 0.0;
+  double wall_ms = 0.0;
+};
+
 void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                 double table_wall_ms, double serial_table_wall_ms,
                 const BudgetDemo& budget_demo, const PortfolioDemo& portfolio_demo,
                 const SweepDemo& sweep_demo, const CacheDemo& cache_demo,
-                const CertDemo& cert_demo, const InprocessDemo& inprocess_demo) {
+                const CertDemo& cert_demo, const InprocessDemo& inprocess_demo,
+                const ServeDemo& serve_demo) {
   std::FILE* f = std::fopen("BENCH_RE.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write BENCH_RE.json\n");
@@ -220,7 +244,7 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"bench_re\",\n"
-               "  \"schema_version\": 6,\n"
+               "  \"schema_version\": 7,\n"
                "  \"hardware_threads\": %u,\n"
                "  \"e2_table_wall_ms\": %.3f,\n"
                "  \"e2_table_serial_wall_ms\": %.3f,\n"
@@ -367,7 +391,31 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
     print_sat_stats_json(f, run.stats, "        ");
     std::fprintf(f, "      }\n    }%s\n", i == 0 ? "," : "");
   }
-  std::fprintf(f, "  }\n}\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f,
+               "  \"serve_demo\": {\n"
+               "    \"requests\": %zu,\n"
+               "    \"ok\": %llu,\n"
+               "    \"admission_rejects\": %llu,\n"
+               "    \"checkpoint_failures\": %llu,\n"
+               "    \"recovered_from\": \"%s\",\n"
+               "    \"checkpoint_recoveries\": %llu,\n"
+               "    \"verdicts_match\": %s,\n"
+               "    \"final_checkpoint_valid\": %s,\n"
+               "    \"warm_cache_hits\": %llu,\n"
+               "    \"requests_per_sec\": %.1f,\n"
+               "    \"wall_ms\": %.3f\n"
+               "  }\n",
+               serve_demo.requests, static_cast<unsigned long long>(serve_demo.ok),
+               static_cast<unsigned long long>(serve_demo.admission_rejects),
+               static_cast<unsigned long long>(serve_demo.checkpoint_failures),
+               serve_demo.recovered_from.c_str(),
+               static_cast<unsigned long long>(serve_demo.checkpoint_recoveries),
+               serve_demo.verdicts_match ? "true" : "false",
+               serve_demo.final_checkpoint_valid ? "true" : "false",
+               static_cast<unsigned long long>(serve_demo.warm_cache_hits),
+               serve_demo.requests_per_sec, serve_demo.wall_ms);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_RE.json\n\n");
 }
@@ -772,8 +820,146 @@ void print_table() {
     std::printf("\n");
   }
 
+  // E2j: the lower-bound service under overload and injected faults — a
+  // verdict phase, a burst that must shed at admission, a deliberately torn
+  // checkpoint, then a second server instance that must recover from the
+  // fallback generation and reproduce every verdict from its warm cache.
+  ServeDemo serve_demo;
+  {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path dir = fs::temp_directory_path() / "slocal_bench_serve";
+    fs::create_directories(dir, ec);
+    const std::string problem_path = (dir / "two_coloring.txt").string();
+    const std::string checkpoint_path = (dir / "re_cache.ckpt").string();
+    fs::remove(checkpoint_path, ec);
+    fs::remove(checkpoint_path + ".bak", ec);
+    if (std::FILE* pf = std::fopen(problem_path.c_str(), "w")) {
+      std::fputs("A^2\nB^2\n---\nA B\n", pf);
+      std::fclose(pf);
+    }
+
+    // The verdict phase both runs replay; ids double as map keys.
+    std::vector<std::string> phase_a;
+    for (int repeat = 1; repeat <= 4; ++repeat) {
+      phase_a.push_back("req seq" + std::to_string(repeat) + " sequence " +
+                        problem_path + " repeat=" + std::to_string(repeat));
+    }
+    phase_a.push_back("req swp4 sweep " + problem_path + " 2 2 cycles:2..4");
+    phase_a.push_back("req swp5 sweep " + problem_path + " 2 2 cycles:2..5");
+
+    // Pulls the verdict= (or per-support verdicts=) token out of an ok line,
+    // dropping the consumption counters that legitimately differ between a
+    // cold and a warm run.
+    const auto verdict_token = [](const std::string& line) -> std::string {
+      std::size_t pos = line.find(" verdicts=");
+      if (pos == std::string::npos) pos = line.find(" verdict=");
+      if (pos == std::string::npos) return "";
+      ++pos;
+      const std::size_t end = line.find(' ', pos);
+      return line.substr(pos,
+                         end == std::string::npos ? std::string::npos : end - pos);
+    };
+
+    const auto run_phase_a = [&](serve::Server& server,
+                                 std::map<std::string, std::string>* verdicts) {
+      server.set_response_sink([&, verdicts](const std::string& line) {
+        if (line.rfind("resp ", 0) != 0) return;  // control replies
+        const std::size_t id_end = line.find(' ', 5);
+        if (id_end == std::string::npos) return;
+        if (line.compare(id_end + 1, 3, "ok ") == 0) {
+          (*verdicts)[line.substr(5, id_end - 5)] = verdict_token(line);
+        }
+      });
+      for (const std::string& request : phase_a) {
+        server.handle_line(request);
+        server.drain();  // serial: keeps the fault-plan ordinals deterministic
+      }
+    };
+
+    std::map<std::string, std::string> verdicts_run1;
+    const auto serve_t0 = std::chrono::steady_clock::now();
+    {
+      serve::ServeOptions options;
+      options.workers = 2;
+      options.queue_capacity = 4;
+      options.retry_after_ms = 5.0;
+      options.checkpoint_path = checkpoint_path;
+      std::string fault_error;
+      // Write #2 is torn; every admitted request from #7 on wedges for 60 ms.
+      options.faults = *serve::ServeFaultPlan::parse(
+          "fail-checkpoint=2,delay-request=7/1:60", &fault_error);
+      serve::Server server(options);
+      run_phase_a(server, &verdicts_run1);
+      // Only the replayed phase is compared across runs; the burst's own
+      // responses (a mix of ok and admission rejects) are just counted.
+      server.set_response_sink([](const std::string&) {});
+      server.handle_line("checkpoint");  // write #1: clean primary generation
+
+      // Overload burst: the wedged workers saturate the queue in the first
+      // few sends, so the rest must bounce at admission, not pile up.
+      for (int i = 0; i < 20; ++i) {
+        server.handle_line("req burst" + std::to_string(i) + " sequence " +
+                           problem_path + " repeat=1");
+      }
+      server.drain();
+      server.handle_line("checkpoint");  // write #2: torn by the fault plan
+
+      const serve::ServeCounters counters = server.counters();
+      serve_demo.requests = phase_a.size() + 20;
+      serve_demo.ok = counters.ok;
+      serve_demo.admission_rejects = counters.admission_rejects;
+      serve_demo.checkpoint_failures = counters.checkpoint_failures;
+    }
+    serve_demo.wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - serve_t0)
+                             .count();
+    serve_demo.requests_per_sec =
+        serve_demo.wall_ms > 0.0 ? static_cast<double>(serve_demo.requests) /
+                                       (serve_demo.wall_ms / 1000.0)
+                                 : 0.0;
+
+    std::map<std::string, std::string> verdicts_run2;
+    {
+      serve::ServeOptions options;
+      options.workers = 2;
+      options.queue_capacity = 4;
+      options.checkpoint_path = checkpoint_path;
+      serve::Server server(options);
+      serve_demo.recovered_from =
+          serve::CheckpointManager::to_string(server.recovery());
+      const bool recovered =
+          server.recovery() == serve::CheckpointManager::Recovery::kPrimary ||
+          server.recovery() == serve::CheckpointManager::Recovery::kFallback;
+      serve_demo.checkpoint_recoveries = recovered ? 1 : 0;
+      run_phase_a(server, &verdicts_run2);
+      serve_demo.warm_cache_hits = server.cache_counters().hits;
+      std::string flush_error;
+      server.flush_checkpoint(&flush_error);
+    }
+    serve_demo.verdicts_match =
+        !verdicts_run1.empty() && verdicts_run1 == verdicts_run2;
+    {
+      RECache final_cache;
+      serve_demo.final_checkpoint_valid = final_cache.load(checkpoint_path);
+    }
+    std::printf(
+        "E2j serve, %zu requests @ %.0f req/s: ok=%llu rejects=%llu "
+        "torn_checkpoints=%llu | restart recovered=%s verdicts %s | warm hits=%llu "
+        "final checkpoint %s\n\n",
+        serve_demo.requests, serve_demo.requests_per_sec,
+        static_cast<unsigned long long>(serve_demo.ok),
+        static_cast<unsigned long long>(serve_demo.admission_rejects),
+        static_cast<unsigned long long>(serve_demo.checkpoint_failures),
+        serve_demo.recovered_from.c_str(),
+        serve_demo.verdicts_match ? "match" : "DIVERGE",
+        static_cast<unsigned long long>(serve_demo.warm_cache_hits),
+        serve_demo.final_checkpoint_valid ? "valid" : "TORN");
+  }
+
   write_json(rows, totals, table_wall_ms, serial_table_wall_ms, budget_demo,
-             portfolio_demo, sweep_demo, cache_demo, cert_demo, inprocess_demo);
+             portfolio_demo, sweep_demo, cache_demo, cert_demo, inprocess_demo,
+             serve_demo);
 }
 
 void BM_re_matching(benchmark::State& state) {

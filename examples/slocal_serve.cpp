@@ -1,0 +1,185 @@
+// slocal_serve — the framework as a long-running service.
+//
+// Reads request lines from stdin, answers response lines on stdout (see
+// src/serve/protocol.hpp for the grammar), and keeps one hot RECache plus a
+// sweep memo shared across every request. The robustness contract:
+//
+//   * overload is shed at admission with structured retryable responses
+//     (retry_after_ms hint, the CLI's exit-3 class as a 429), never by
+//     queueing unboundedly;
+//   * every request runs under its own budget and deadline; the watchdog
+//     cancels overdue work and degrades capacity around wedged workers;
+//   * the cache is checkpointed crash-safely (atomic write + .bak rotation)
+//     and recovered on startup — a torn checkpoint is detected and the
+//     previous good generation served instead;
+//   * SIGINT/SIGTERM trip the global cancel token (in-flight requests
+//     finish as retryable), the cache is flushed, and the process exits 0
+//     (1 only when the final flush itself fails).
+//
+//   slocal_serve [--workers=N] [--queue=N] [--max-nodes=N] [--timeout-ms=N]
+//                [--max-timeout-ms=N] [--retry-after-ms=N]
+//                [--checkpoint=PATH] [--checkpoint-every=N]
+//                [--fault-plan=SPEC]
+//
+// --fault-plan injects deterministic faults for testing (see
+// src/serve/fault_plan.hpp): fail-checkpoint=<n>[/<p>],
+// delay-request=<n>[/<p>]:<ms>, exhaust-request=<n>[/<p>].
+#include <errno.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/serve/server.hpp"
+
+namespace {
+
+using slocal::serve::Server;
+using slocal::serve::ServeFaultPlan;
+using slocal::serve::ServeOptions;
+
+/// The running server, published once before the handlers are installed.
+/// The handler only calls request_shutdown(), which is two lock-free atomic
+/// stores — async-signal-safe by construction.
+std::atomic<Server*> g_server{nullptr};
+
+void handle_signal(int /*signo*/) {
+  Server* server = g_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->request_shutdown();
+}
+
+void install_signal_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = handle_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: the blocking read must see EINTR
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+void print_usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: slocal_serve [flags]\n"
+      "  --workers=N          worker threads (default 2)\n"
+      "  --queue=N            max in-flight requests before admission "
+      "rejects (default 8)\n"
+      "  --max-nodes=N        default/maximum per-request node budget "
+      "(0 = unlimited)\n"
+      "  --timeout-ms=N       default per-request deadline (default 10000)\n"
+      "  --max-timeout-ms=N   cap on requested deadlines (default 60000)\n"
+      "  --retry-after-ms=N   hint attached to retryable responses "
+      "(default 50)\n"
+      "  --checkpoint=PATH    crash-safe RE-cache checkpoint file\n"
+      "  --checkpoint-every=N checkpoint cadence in completed requests "
+      "(0 = only at shutdown)\n"
+      "  --fault-plan=SPEC    deterministic fault injection (tests): "
+      "fail-checkpoint=<n>[/<p>], delay-request=<n>[/<p>]:<ms>, "
+      "exhaust-request=<n>[/<p>]\n"
+      "requests on stdin, one per line; responses on stdout, correlated by "
+      "id (see src/serve/protocol.hpp)\n"
+      "exit codes: 0 clean shutdown (EOF, 'shutdown', SIGINT/SIGTERM), "
+      "1 final checkpoint flush failed, 64 usage\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--workers=", 10) == 0) {
+      options.workers = std::strtoull(arg + 10, nullptr, 10);
+    } else if (std::strncmp(arg, "--queue=", 8) == 0) {
+      options.queue_capacity = std::strtoull(arg + 8, nullptr, 10);
+    } else if (std::strncmp(arg, "--max-nodes=", 12) == 0) {
+      options.default_max_nodes = std::strtoull(arg + 12, nullptr, 10);
+    } else if (std::strncmp(arg, "--timeout-ms=", 13) == 0) {
+      options.default_timeout_ms = std::strtoull(arg + 13, nullptr, 10);
+    } else if (std::strncmp(arg, "--max-timeout-ms=", 17) == 0) {
+      options.max_timeout_ms = std::strtoull(arg + 17, nullptr, 10);
+    } else if (std::strncmp(arg, "--retry-after-ms=", 17) == 0) {
+      options.retry_after_ms = std::strtod(arg + 17, nullptr);
+    } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
+      options.checkpoint_path = arg + 13;
+    } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
+      options.checkpoint_every = std::strtoull(arg + 19, nullptr, 10);
+    } else if (std::strncmp(arg, "--fault-plan=", 13) == 0) {
+      std::string error;
+      const auto plan = ServeFaultPlan::parse(arg + 13, &error);
+      if (!plan) {
+        std::fprintf(stderr, "--fault-plan: %s\n", error.c_str());
+        return 64;
+      }
+      options.faults = *plan;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      print_usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      print_usage(stderr);
+      return 64;
+    }
+  }
+
+  Server server(options);
+  server.set_response_sink([](const std::string& line) {
+    // Serialized by the server; one write + flush per response so a client
+    // driving us through a pipe sees every line promptly.
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  });
+
+  g_server.store(&server, std::memory_order_release);
+  install_signal_handlers();
+
+  std::printf("%s\n", server.ready_line().c_str());
+  if (server.recovery() != slocal::serve::CheckpointManager::Recovery::kDisabled) {
+    std::fprintf(stderr, "recovery: %s\n", server.recovery_detail().c_str());
+  }
+  std::fflush(stdout);
+
+  // Raw read(2) instead of iostreams so a signal interrupts the blocking
+  // read (EINTR) and the loop re-checks the shutdown flag.
+  std::string pending;
+  char buf[4096];
+  bool running = true;
+  while (running && !server.shutdown_requested()) {
+    const ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF: drain and shut down cleanly
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while (running && (newline = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      running = server.handle_line(line);
+    }
+  }
+  if (running && !server.shutdown_requested() && !pending.empty()) {
+    server.handle_line(pending);  // trailing line without newline at EOF
+  }
+
+  server.request_shutdown();
+  server.drain();
+  std::string flush_error;
+  const bool flushed = server.flush_checkpoint(&flush_error);
+  if (!flushed) {
+    std::fprintf(stderr, "final checkpoint flush failed: %s\n",
+                 flush_error.c_str());
+  }
+  std::printf("%s\nbye checkpoint=%s\n", server.stats_line().c_str(),
+              flushed ? "flushed" : "failed");
+  std::fflush(stdout);
+  g_server.store(nullptr, std::memory_order_release);
+  return flushed ? 0 : 1;
+}

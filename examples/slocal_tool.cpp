@@ -50,10 +50,17 @@
 // A search that runs out of budget exits with code 3 and prints the budget
 // diagnostics; it never misreports as solvable/unsolvable.
 //
+// SIGINT/SIGTERM are handled the same way: the handler trips a global
+// cancel token every command budget chains to, the engines wind down
+// cooperatively (exhausted, never a flipped verdict), `sequence --re-cache`
+// still saves the warm cache, and the process exits 3.
+//
 // --no-inprocessing disarms the CDCL inprocessing pipeline (subsumption,
 // vivification, probing, variable elimination between solves) for the
 // portfolio, sweep, and --emit-cert solvers. Verdicts and exit codes are
 // identical in both modes — the flag exists for A/B timing and debugging.
+#include <signal.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -86,15 +93,36 @@ using namespace slocal;
 
 constexpr int kExitExhausted = 3;
 
+/// Tripped by SIGINT/SIGTERM; every command budget chains to it, so a
+/// signal cancels the running searches cooperatively instead of killing the
+/// process mid-write.
+SearchBudget g_signal_token;
+
+void handle_signal(int /*signo*/) {
+  // Async-signal-safe: cancel() is a CAS plus a store on lock-free atomics.
+  g_signal_token.cancel();
+}
+
+void install_signal_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = handle_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking I/O must see EINTR
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
 struct BudgetFlags {
   std::uint64_t timeout_ms = 0;
   std::uint64_t max_nodes = 0;
 
-  /// The shared budget for a command, or nullptr when no flag was given.
+  /// The shared budget for a command. Always non-null: even with no limit
+  /// flags the budget carries the signal chain (an unlimited budget only
+  /// polls, so behavior without a signal is unchanged).
   SearchBudget* configure(SearchBudget& storage) const {
-    if (timeout_ms == 0 && max_nodes == 0) return nullptr;
     if (timeout_ms > 0) storage.set_deadline_ms(static_cast<double>(timeout_ms));
     if (max_nodes > 0) storage.set_node_limit(max_nodes);
+    storage.chain_to(&g_signal_token);
     return &storage;
   }
 };
@@ -165,10 +193,13 @@ int cmd_re(const Problem& pi, int steps, const BudgetFlags& flags) {
   REOptions options;
   options.max_configurations = 5'000'000;
   options.max_nodes = flags.max_nodes;
+  // Deadline plus the signal chain; options.max_nodes owns the node cap, so
+  // the budget itself stays unlimited and only polls.
   if (flags.timeout_ms > 0) {
     budget_storage.set_deadline_ms(static_cast<double>(flags.timeout_ms));
-    options.budget = &budget_storage;
   }
+  budget_storage.chain_to(&g_signal_token);
+  options.budget = &budget_storage;
   REStats stats;
   options.stats = &stats;
   for (int s = 1; s <= steps; ++s) {
@@ -197,8 +228,9 @@ int cmd_fixed(const Problem& pi, const BudgetFlags& flags) {
   options.max_nodes = flags.max_nodes;
   if (flags.timeout_ms > 0) {
     budget_storage.set_deadline_ms(static_cast<double>(flags.timeout_ms));
-    options.budget = &budget_storage;
   }
+  budget_storage.chain_to(&g_signal_token);
+  options.budget = &budget_storage;
   REStats stats;
   options.stats = &stats;
   const bool fixed = is_fixed_point(pi, options);
@@ -266,7 +298,10 @@ int cmd_zero(const Problem& pi, const BipartiteGraph& support,
 
 int cmd_portfolio(const Problem& pi, const BipartiteGraph& support,
                   const BudgetFlags& flags, bool inprocessing) {
+  SearchBudget budget_storage;
+  budget_storage.chain_to(&g_signal_token);
   PortfolioOptions options;
+  options.budget = &budget_storage;  // signal chain; limits stay local below
   options.inprocessing = inprocessing;
   options.timeout_ms = flags.timeout_ms;
   if (flags.max_nodes > 0) {
@@ -455,8 +490,9 @@ int cmd_sequence(std::vector<Problem> problems, std::size_t repeat,
   options.max_nodes = flags.max_nodes;
   if (flags.timeout_ms > 0) {
     budget_storage.set_deadline_ms(static_cast<double>(flags.timeout_ms));
-    options.budget = &budget_storage;
   }
+  budget_storage.chain_to(&g_signal_token);
+  options.budget = &budget_storage;
   REStats stats;
   options.stats = &stats;
   if (use_cache) options.cache = &cache;
@@ -550,6 +586,7 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  install_signal_handlers();
   // Split budget flags from positional arguments.
   BudgetFlags flags;
   bool scratch = false;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/formalism/serialize.hpp"
+#include "src/util/atomic_file.hpp"
 
 namespace slocal {
 
@@ -90,7 +91,7 @@ std::size_t RECache::size() const {
   return entries_;
 }
 
-bool RECache::save(const std::string& path, std::string* error) const {
+std::string RECache::serialize() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
   out << "entries " << entries_ << '\n';
@@ -114,11 +115,17 @@ bool RECache::save(const std::string& path, std::string* error) const {
   char checksum_line[40];
   std::snprintf(checksum_line, sizeof(checksum_line), "checksum %016llx\n",
                 static_cast<unsigned long long>(fnv1a_bytes(payload)));
-  std::ofstream file(path, std::ios::trunc | std::ios::binary);
-  if (!file) return fail(error, "re-cache: cannot open '" + path + "' for writing");
-  file << "slocal-re-cache 2\n" << checksum_line << payload;
-  file.flush();
-  if (!file) return fail(error, "re-cache: write to '" + path + "' failed");
+  return "slocal-re-cache 2\n" + std::string(checksum_line) + payload;
+}
+
+bool RECache::save(const std::string& path, std::string* error) const {
+  // Atomic replace: an interrupted save (SIGKILL, power cut, full disk)
+  // must never leave a torn cache at `path` — load would reject it and the
+  // next run would fail closed instead of warm-starting.
+  std::string io_error;
+  if (!write_file_atomic(path, serialize(), &io_error)) {
+    return fail(error, "re-cache: " + io_error);
+  }
   return true;
 }
 

@@ -64,10 +64,20 @@ class RECache {
   /// really canonicalizes to its claimed fingerprint — and rejects the whole
   /// file (leaving the cache unchanged) on any mismatch, so a corrupt cache
   /// can never produce a wrong verdict. Every single byte flip anywhere in
-  /// the file is detected (tests/fuzz_test.cpp flips them all). Returns
-  /// false with `*error` set on failure.
+  /// the file is detected (tests/fuzz_test.cpp flips them all). `save` is
+  /// atomic — write-temp + fsync + rename, never truncate-in-place — so a
+  /// process killed mid-save can leave the old complete file or the new
+  /// complete file on disk, never a torn one (tests/serve_test.cpp kills a
+  /// saving child at random offsets to pin this). Returns false with
+  /// `*error` set on failure.
   bool save(const std::string& path, std::string* error = nullptr) const;
   bool load(const std::string& path, std::string* error = nullptr);
+
+  /// The exact byte stream `save` persists (header, whole-payload checksum,
+  /// entries). Exposed so checkpointing layers can control the write
+  /// themselves (or deliberately tear it in fault-injection tests) while
+  /// staying bit-compatible with `load`.
+  std::string serialize() const;
 
  private:
   struct Entry {

@@ -1,0 +1,124 @@
+#include "src/serve/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "src/util/atomic_file.hpp"
+
+namespace slocal::serve {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string path) : path_(std::move(path)) {}
+
+const char* CheckpointManager::to_string(Recovery r) {
+  switch (r) {
+    case Recovery::kDisabled:
+      return "disabled";
+    case Recovery::kFresh:
+      return "fresh";
+    case Recovery::kPrimary:
+      return "primary";
+    case Recovery::kFallback:
+      return "fallback";
+    case Recovery::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+CheckpointManager::Recovery CheckpointManager::recover(RECache* cache,
+                                                       std::string* detail) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (path_.empty()) {
+    if (detail != nullptr) *detail = "checkpointing disabled";
+    return Recovery::kDisabled;
+  }
+  std::error_code ec;
+  const bool primary_exists = std::filesystem::exists(path_, ec);
+  const bool fallback_exists = std::filesystem::exists(fallback_path(), ec);
+  if (!primary_exists && !fallback_exists) {
+    if (detail != nullptr) *detail = "no checkpoint on disk, starting cold";
+    primary_known_good_ = false;
+    return Recovery::kFresh;
+  }
+  std::string primary_error = "missing";
+  if (primary_exists && cache->load(path_, &primary_error)) {
+    if (detail != nullptr) *detail = "loaded " + path_;
+    primary_known_good_ = true;
+    return Recovery::kPrimary;
+  }
+  // Primary torn/corrupt/missing: fall back to the previous generation.
+  // load() left the cache untouched on rejection, so the fallback loads
+  // into a clean table.
+  primary_known_good_ = false;
+  std::string fallback_error = "missing";
+  if (fallback_exists && cache->load(fallback_path(), &fallback_error)) {
+    if (detail != nullptr) {
+      *detail = "primary rejected (" + primary_error + "); recovered from " +
+                fallback_path();
+    }
+    return Recovery::kFallback;
+  }
+  if (detail != nullptr) {
+    *detail = "primary rejected (" + primary_error + "), fallback rejected (" +
+              fallback_error + "); serving from an empty cache";
+  }
+  return Recovery::kNone;
+}
+
+bool CheckpointManager::write(const RECache& cache, FaultInjector* faults,
+                              std::string* error) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (path_.empty()) return true;
+  const std::string payload = cache.serialize();
+
+  if (primary_known_good_) {
+    // Rotate the current good generation to .bak before replacing it, so
+    // the fallback always holds the last complete checkpoint even when the
+    // write below fails or is torn. A rename failure is not fatal — the
+    // atomic replace still leaves a complete primary. Rotation is skipped
+    // when the primary is not known-good (torn by an injected fault, or
+    // rejected by recover()): a bad generation must never become the
+    // fallback.
+    std::error_code ec;
+    std::filesystem::rename(path_, fallback_path(), ec);
+    primary_known_good_ = false;
+  }
+
+  if (faults != nullptr && faults->next_checkpoint_fails()) {
+    // Injected tear: the data write died mid-file, the way the legacy
+    // truncate-in-place writer would. Half the payload lands at path_
+    // directly — no temp file, no atomic rename — which is exactly the torn
+    // state recover() must refuse to serve; it falls back to the rotated
+    // .bak generation instead.
+    std::ofstream torn(path_, std::ios::trunc | std::ios::binary);
+    torn.write(payload.data(),
+               static_cast<std::streamsize>(payload.size() / 2));
+    torn.flush();
+    ++failures_;
+    return fail(error, "checkpoint write failed (injected fault): " + path_ +
+                           " is torn");
+  }
+
+  std::string io_error;
+  if (!write_file_atomic(path_, payload, &io_error)) {
+    ++failures_;
+    primary_known_good_ = false;
+    return fail(error, "checkpoint: " + io_error);
+  }
+  primary_known_good_ = true;
+  ++writes_;
+  return true;
+}
+
+}  // namespace slocal::serve

@@ -1,0 +1,76 @@
+// Crash-safe RECache checkpointing for slocal_serve.
+//
+// The server periodically persists its shared RE cache so a restart warm-
+// starts instead of recomputing every RE step. The failure model is a
+// process (or machine) dying at any instant, plus a deliberately hostile
+// fault injector that tears the checkpoint file the way a legacy truncate-
+// in-place writer would. The manager therefore keeps two generations:
+//
+//   <path>       the current checkpoint (written via write-temp + fsync +
+//                atomic rename — never torn by a crash of *this* writer)
+//   <path>.bak   the previous good checkpoint, rotated just before the
+//                current one is replaced
+//
+// recover() tries <path> first; if RECache::load rejects it (torn or
+// corrupt — every byte flip is detected), it falls back to <path>.bak, and
+// only if both fail does the server start fresh. A torn file is thus
+// *observable* (the recovery source says kFallback) but never *served*.
+//
+// Rotation is skipped when the file currently at <path> is not known-good
+// (it was torn by an injected fault, or recover() already rejected it), so
+// a bad generation can never clobber the good fallback.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/re/re_cache.hpp"
+#include "src/serve/fault_plan.hpp"
+
+namespace slocal::serve {
+
+class CheckpointManager {
+ public:
+  /// Empty path = checkpointing disabled (write() no-ops, recover() says so).
+  explicit CheckpointManager(std::string path);
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+  std::string fallback_path() const { return path_ + ".bak"; }
+
+  enum class Recovery {
+    kDisabled,  // no checkpoint path configured
+    kFresh,     // no checkpoint on disk (first run)
+    kPrimary,   // <path> loaded clean
+    kFallback,  // <path> rejected, <path>.bak loaded clean
+    kNone,      // both generations rejected; serving from an empty cache
+  };
+  static const char* to_string(Recovery r);
+
+  /// Startup: load the newest valid generation into `cache`. *detail gets a
+  /// one-line human-readable account (which file, or why it was rejected).
+  Recovery recover(RECache* cache, std::string* detail);
+
+  /// Persist `cache`. When `faults` triggers a checkpoint failure the file
+  /// is deliberately torn in place (simulating the legacy writer dying
+  /// mid-write) and write() returns false — the previous good generation
+  /// survives in <path>.bak for the next recover(). Thread-safe; concurrent
+  /// writers serialize.
+  bool write(const RECache& cache, FaultInjector* faults, std::string* error);
+
+  std::uint64_t writes() const { return writes_.load(); }
+  std::uint64_t failures() const { return failures_.load(); }
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+  /// Whether the file currently at path_ was written complete (guards the
+  /// rotation: a torn primary must never become the .bak fallback).
+  bool primary_known_good_ = false;
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace slocal::serve

@@ -1,0 +1,83 @@
+#include "src/serve/fault_plan.hpp"
+
+#include <cstdlib>
+
+namespace slocal::serve {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Parses "<start>[/<period>]" into a trigger.
+bool parse_trigger(const std::string& text, FaultTrigger* out, std::string* error) {
+  char* end = nullptr;
+  const unsigned long long start = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || start == 0) {
+    return fail(error, "fault ordinal must be a positive integer in '" + text + "'");
+  }
+  out->start = start;
+  if (*end == '\0') {
+    out->period = 0;
+    return true;
+  }
+  if (*end != '/') return fail(error, "bad fault trigger '" + text + "'");
+  char* period_end = nullptr;
+  const unsigned long long period = std::strtoull(end + 1, &period_end, 10);
+  if (period_end == end + 1 || *period_end != '\0' || period == 0) {
+    return fail(error, "bad fault period in '" + text + "'");
+  }
+  out->period = period;
+  return true;
+}
+
+}  // namespace
+
+std::optional<ServeFaultPlan> ServeFaultPlan::parse(const std::string& spec,
+                                                    std::string* error) {
+  ServeFaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string clause = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      fail(error, "fault clause '" + clause + "' has no '='");
+      return std::nullopt;
+    }
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    if (key == "fail-checkpoint") {
+      if (!parse_trigger(value, &plan.fail_checkpoint, error)) return std::nullopt;
+    } else if (key == "delay-request") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        fail(error, "delay-request needs '<trigger>:<ms>'");
+        return std::nullopt;
+      }
+      if (!parse_trigger(value.substr(0, colon), &plan.delay_request, error)) {
+        return std::nullopt;
+      }
+      char* end = nullptr;
+      const std::string ms = value.substr(colon + 1);
+      plan.delay_ms = std::strtoull(ms.c_str(), &end, 10);
+      if (end == ms.c_str() || *end != '\0' || plan.delay_ms == 0) {
+        fail(error, "bad delay milliseconds '" + ms + "'");
+        return std::nullopt;
+      }
+    } else if (key == "exhaust-request") {
+      if (!parse_trigger(value, &plan.exhaust_request, error)) return std::nullopt;
+    } else {
+      fail(error, "unknown fault '" + key + "'");
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+}  // namespace slocal::serve

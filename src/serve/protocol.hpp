@@ -1,0 +1,114 @@
+// The slocal_serve wire protocol: line-oriented requests and responses.
+//
+// One request per line on the way in, one response per line on the way out,
+// correlated by a client-chosen id so concurrent workers may answer out of
+// order. The grammar is deliberately tiny — a token stream, no quoting, no
+// HTTP — because the robustness contract, not the transport, is the point:
+//
+//   req <id> sequence  <problem-file> [repeat=N] [max-nodes=N] [timeout-ms=N]
+//   req <id> sweep     <problem-file> <Δ> <r> <family> [max-nodes=N] [timeout-ms=N]
+//   req <id> check-cert <cert-file>
+//   ping | stats | checkpoint | shutdown
+//
+// Responses:
+//
+//   resp <id> ok <key=value ...>            the request ran; the payload
+//                                           carries the mathematical verdict
+//                                           (verdict=valid/invalid, per-
+//                                           support yes/no, ...) plus the
+//                                           consumption counters
+//   resp <id> invalid <message>             the request itself is broken
+//                                           (parse error, missing file,
+//                                           oversized line); retrying the
+//                                           same bytes will fail again
+//   resp <id> retryable reason=<r> retry_after_ms=<n> nodes=<n> conflicts=<n>
+//                                           the server shed the request
+//                                           (admission queue full, budget
+//                                           exhausted, deadline, watchdog
+//                                           cancel, shutdown). The verbatim
+//                                           request is expected to succeed
+//                                           once load drains — this is the
+//                                           CLI's exit-3 class as a 429.
+//   resp <id> corrupt <message>             a persistent artifact the request
+//                                           depends on failed validation
+//                                           (torn certificate); fail-closed,
+//                                           no verdict was produced
+//
+// Every response class is terminal and single-line; a verdict, once
+// serveable, is never downgraded by faults — faults only move outcomes into
+// the retryable class.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/budget.hpp"
+
+namespace slocal::serve {
+
+/// Hard cap on an accepted request line; anything longer is answered
+/// `invalid` without being parsed further (oversized requests are part of
+/// the soak mix and must bounce cleanly, not wedge a worker).
+inline constexpr std::size_t kMaxRequestLine = 4096;
+/// Request ids are single tokens, bounded so a hostile id cannot bloat the
+/// response stream.
+inline constexpr std::size_t kMaxRequestId = 64;
+
+enum class ErrorClass { kOk, kInvalid, kRetryable, kCorrupt };
+const char* to_string(ErrorClass c);
+
+struct Request {
+  enum class Kind {
+    kSequence,
+    kSweep,
+    kCheckCert,
+    kPing,
+    kStats,
+    kCheckpoint,
+    kShutdown,
+  };
+  Kind kind = Kind::kPing;
+  std::string id;    // empty for control requests (ping/stats/...)
+  std::string path;  // problem or certificate file
+  std::size_t repeat = 1;
+  std::size_t big_delta = 0;
+  std::size_t big_r = 0;
+  std::string family;
+  /// Per-request budget caps; 0 = inherit the server default.
+  std::uint64_t max_nodes = 0;
+  std::uint64_t timeout_ms = 0;
+};
+
+/// Parses one request line. Control keywords (ping/stats/checkpoint/
+/// shutdown) are complete lines on their own. On failure returns nullopt
+/// with *error set and, when the line carried a recognizable id, *error_id
+/// set so the invalid response can still be correlated.
+std::optional<Request> parse_request_line(const std::string& line, std::string* error,
+                                          std::string* error_id);
+
+struct Response {
+  std::string id;
+  ErrorClass cls = ErrorClass::kOk;
+  /// key=value payload for kOk, human-readable message otherwise.
+  std::string body;
+  /// Consumption counters of the request's budget (always attached for
+  /// kRetryable — the retry contract promises the client sees what the
+  /// rejected attempt cost).
+  BudgetConsumption consumed;
+  double retry_after_ms = 0.0;  // kRetryable only
+  bool has_consumption = false;
+};
+
+std::string format_response(const Response& r);
+
+/// Convenience constructors keeping the class semantics in one place.
+Response make_ok(const std::string& id, const std::string& body,
+                 const BudgetConsumption& consumed);
+Response make_invalid(const std::string& id, const std::string& message);
+Response make_retryable(const std::string& id, const std::string& reason,
+                        double retry_after_ms, const BudgetConsumption& consumed);
+Response make_corrupt(const std::string& id, const std::string& message);
+
+}  // namespace slocal::serve

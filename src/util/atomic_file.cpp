@@ -1,0 +1,71 @@
+#include "src/util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace slocal {
+
+namespace {
+
+bool fail(std::string* error, const std::string& what, const std::string& path) {
+  if (error != nullptr) {
+    *error = what + " '" + path + "': " + std::strerror(errno);
+  }
+  return false;
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename is
+/// durable. Failure is not fatal (some filesystems reject directory fsync);
+/// the data file itself was already synced.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::string_view payload,
+                       std::string* error) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail(error, "cannot create", tmp);
+
+  const char* data = payload.data();
+  std::size_t left = payload.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return fail(error, "write failed for", tmp);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail(error, "fsync failed for", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return fail(error, "close failed for", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return fail(error, "cannot rename over", path);
+  }
+  sync_parent_dir(path);
+  return true;
+}
+
+}  // namespace slocal

@@ -95,6 +95,15 @@ double SearchBudget::elapsed_ms() const {
   return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
 }
 
+BudgetConsumption SearchBudget::consumption() const {
+  BudgetConsumption c;
+  c.nodes = nodes_used();
+  c.conflicts = conflicts_used();
+  c.elapsed_ms = elapsed_ms();
+  c.reason = halted() ? reason() : ExhaustReason::kNone;
+  return c;
+}
+
 std::string SearchBudget::describe() const {
   const auto counter = [](std::uint64_t used, std::uint64_t limit) {
     std::string s = std::to_string(used);

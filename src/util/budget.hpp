@@ -55,6 +55,17 @@ enum class ExhaustReason : std::uint8_t {
 
 const char* to_string(ExhaustReason r);
 
+/// Point-in-time snapshot of what a budget's sharers have consumed — the
+/// unit a service bills a request in (src/serve returns these counters with
+/// every budget-exhausted response, so a client can see what its request
+/// cost before it was shed).
+struct BudgetConsumption {
+  std::uint64_t nodes = 0;
+  std::uint64_t conflicts = 0;
+  double elapsed_ms = 0.0;
+  ExhaustReason reason = ExhaustReason::kNone;  // kNone while still live
+};
+
 class SearchBudget {
  public:
   static constexpr std::uint64_t kUnlimited = 0;
@@ -105,6 +116,8 @@ class SearchBudget {
   std::uint64_t node_limit() const { return node_limit_; }
   std::uint64_t conflict_limit() const { return conflict_limit_; }
   double elapsed_ms() const;
+  /// Coherent snapshot of the consumption counters plus the trip reason.
+  BudgetConsumption consumption() const;
   /// One-line human-readable state, e.g.
   /// "exhausted (node limit): nodes=512/512 conflicts=0 elapsed=3.1ms".
   std::string describe() const;

@@ -102,6 +102,22 @@ void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
   barrier->cv.wait(lock, [&] { return barrier->remaining == 0; });
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  if (queues_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    Queue& q = *queues_[next_queue_];
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    std::lock_guard<std::mutex> ql(q.mutex);
+    q.tasks.push_back(std::move(task));
+    ++pending_;
+  }
+  wake_cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t chunks,
                               const std::function<void(std::size_t, std::size_t)>& body) {
   if (begin >= end) return;

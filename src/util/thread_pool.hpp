@@ -11,6 +11,12 @@
 // cancellation. Callers that need deterministic output (the RE engine does)
 // partition work into index-addressed slots up front and let each task
 // write only its own slot; `run_batch` returning is the only barrier.
+//
+// `submit` is the fire-and-forget complement for long-running services
+// (src/serve): it enqueues one task with no barrier and no caller
+// participation, so a dispatch thread can keep accepting work while the
+// workers drain the queue. The destructor still drains everything that was
+// submitted before returning.
 #pragma once
 
 #include <condition_variable>
@@ -41,6 +47,12 @@ class ThreadPool {
   /// run on any worker or on the calling thread; do not call run_batch from
   /// inside a task of the same pool.
   void run_batch(std::vector<std::function<void()>> tasks);
+
+  /// Enqueues one task and returns immediately (no barrier): the task runs
+  /// on some worker as soon as one is free. With zero workers the task runs
+  /// inline on the calling thread. The destructor drains all submitted
+  /// tasks before the pool goes away.
+  void submit(std::function<void()> task);
 
   /// Splits [begin, end) into at most `chunks` contiguous ranges (chunk
   /// boundaries are deterministic functions of the arguments, never of

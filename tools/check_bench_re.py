@@ -280,6 +280,37 @@ def main(argv):
     elif base_inproc:
         rc |= fail("inprocessing_demo missing from current report")
 
+    serve = current.get("serve_demo")
+    base_serve = baseline.get("serve_demo")
+    if serve:
+        # Hard gates (schema v7). The service demo overloads a server with an
+        # injected wedge (so admission must shed), tears a checkpoint write,
+        # restarts, and replays the verdict phase: the restarted server must
+        # recover a previous good generation, reproduce every verdict, and
+        # leave a loadable final checkpoint. Throughput is reported, never
+        # gated.
+        if not serve["verdicts_match"]:
+            rc |= fail("serve_demo: verdicts diverge across server restarts")
+        if serve["admission_rejects"] == 0:
+            rc |= fail("serve_demo: overload burst produced no admission rejects")
+        if serve["checkpoint_recoveries"] < 1:
+            rc |= fail(
+                "serve_demo: restart did not recover a checkpoint "
+                f"(recovered_from={serve.get('recovered_from')!r})"
+            )
+        if serve["checkpoint_failures"] == 0:
+            rc |= fail("serve_demo: the injected checkpoint tear never fired")
+        if not serve["final_checkpoint_valid"]:
+            rc |= fail("serve_demo: final flushed checkpoint does not load")
+        print(
+            f"info: serve_demo {serve['requests']} requests @ "
+            f"{serve['requests_per_sec']:.0f} req/s (not gated), ok={serve['ok']}, "
+            f"rejects={serve['admission_rejects']}, recovered from "
+            f"{serve['recovered_from']}, warm hits={serve['warm_cache_hits']}"
+        )
+    elif base_serve:
+        rc |= fail("serve_demo missing from current report")
+
     print("bench_re counters within limits" if rc == 0 else "bench_re check FAILED")
     return rc
 
