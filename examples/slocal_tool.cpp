@@ -36,6 +36,22 @@
 //   slocal_tool check-cert <file>           validate a proof certificate
 //                                           (same verdicts and exit codes as
 //                                           the standalone cert_check binary)
+//   slocal_tool simulate  <algorithm> <instance>
+//                                           run a Supported-model algorithm on
+//                                           a streamed instance through the
+//                                           batched CSR simulator. Algorithms:
+//                                           luby-mis | greedy-mis |
+//                                           color-class-mis | ring-coloring.
+//                                           Instances: cycle:<n> | path:<n> |
+//                                           torus:<w>x<h> | regular:<n>x<d>.
+//                                           --threads=N (0 = all cores; output
+//                                           is bit-identical either way),
+//                                           --rounds=N round cap (exit 2 when
+//                                           nodes are still live at the cap),
+//                                           --seed=N instance + algorithm
+//                                           seed. Budget flags apply: a
+//                                           deadline or node limit that trips
+//                                           mid-run exits 3 with no verdict.
 //
 // Certificate emission: `sequence --emit-cert=PATH` writes a sequence
 // certificate (fingerprints + relaxation witnesses per step) once the
@@ -61,10 +77,12 @@
 // identical in both modes — the flag exists for A/B timing and debugging.
 #include <signal.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -78,6 +96,11 @@
 #include "src/graph/generators.hpp"
 #include "src/graph/hypergraph.hpp"
 #include "src/lift/lift.hpp"
+#include "src/sim/algorithms.hpp"
+#include "src/sim/fast/csr_graph.hpp"
+#include "src/sim/fast/csr_network.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
 #include "src/lift/sweep.hpp"
 #include "src/re/re_cache.hpp"
 #include "src/re/round_elimination.hpp"
@@ -548,6 +571,157 @@ int cmd_sequence(std::vector<Problem> problems, std::size_t repeat,
   return report.valid ? 0 : 2;
 }
 
+/// Streams an instance spec (cycle:<n>, path:<n>, torus:<w>x<h>,
+/// regular:<n>x<d>) into a validated CsrGraph without materializing
+/// per-node adjacency — million-node instances stay flat.
+std::optional<CsrGraph> load_instance(const std::string& spec, std::uint64_t seed) {
+  std::optional<CsrGraph> result;
+  CsrBuildError error;
+  const auto finish = [&](CsrStreamBuilder& builder) {
+    result = builder.finish(&error);
+    if (!result) std::fprintf(stderr, "%s\n", error.message.c_str());
+  };
+  const auto parse_pair = [](const char* body, std::size_t* a, std::size_t* b) {
+    char* end = nullptr;
+    *a = std::strtoul(body, &end, 10);
+    if (end == nullptr || *end != 'x') return false;
+    *b = std::strtoul(end + 1, nullptr, 10);
+    return true;
+  };
+  if (spec.rfind("cycle:", 0) == 0) {
+    const std::size_t n = std::strtoul(spec.c_str() + 6, nullptr, 10);
+    if (n < 3) {
+      std::fprintf(stderr, "cycle:<n> needs n >= 3\n");
+      return std::nullopt;
+    }
+    CsrStreamBuilder builder(n);
+    stream_cycle(n, [&](NodeId u, NodeId v) { builder.add_edge(u, v); });
+    finish(builder);
+  } else if (spec.rfind("path:", 0) == 0) {
+    const std::size_t n = std::strtoul(spec.c_str() + 5, nullptr, 10);
+    if (n < 2) {
+      std::fprintf(stderr, "path:<n> needs n >= 2\n");
+      return std::nullopt;
+    }
+    CsrStreamBuilder builder(n);
+    stream_path(n, [&](NodeId u, NodeId v) { builder.add_edge(u, v); });
+    finish(builder);
+  } else if (spec.rfind("torus:", 0) == 0) {
+    std::size_t w = 0, h = 0;
+    if (!parse_pair(spec.c_str() + 6, &w, &h) || w < 3 || h < 3) {
+      std::fprintf(stderr, "torus:<w>x<h> needs w, h >= 3\n");
+      return std::nullopt;
+    }
+    CsrStreamBuilder builder(w * h);
+    stream_torus(w, h, [&](NodeId u, NodeId v) { builder.add_edge(u, v); });
+    finish(builder);
+  } else if (spec.rfind("regular:", 0) == 0) {
+    std::size_t n = 0, d = 0;
+    if (!parse_pair(spec.c_str() + 8, &n, &d)) {
+      std::fprintf(stderr, "regular:<n>x<d> is malformed\n");
+      return std::nullopt;
+    }
+    Rng rng(seed);
+    CsrStreamBuilder builder(n);
+    if (!stream_random_regular(n, d, rng,
+                               [&](NodeId u, NodeId v) { builder.add_edge(u, v); })) {
+      std::fprintf(stderr, "no simple %zu-regular graph on %zu nodes (n*d must "
+                   "be even, d < n)\n", d, n);
+      return std::nullopt;
+    }
+    finish(builder);
+  } else {
+    std::fprintf(stderr,
+                 "bad instance spec '%s' (want cycle:<n>, path:<n>, "
+                 "torus:<w>x<h>, or regular:<n>x<d>)\n",
+                 spec.c_str());
+  }
+  return result;
+}
+
+int cmd_simulate(const std::string& alg_spec, const std::string& instance_spec,
+                 std::size_t threads, std::size_t max_rounds, std::uint64_t seed,
+                 const BudgetFlags& flags) {
+  auto csr = load_instance(instance_spec, seed);
+  if (!csr) return 1;
+
+  // color-class-mis is a Supported-model algorithm: it reads the support
+  // topology and uid table from the NodeContext, so materialize them.
+  std::unique_ptr<Algorithm> algorithm;
+  Graph support;
+  CsrNetworkConfig config;
+  std::size_t in_count = 0;  // filled from the algorithm's output below
+  enum class Output { kMis, kColors } output = Output::kMis;
+  if (alg_spec == "luby-mis") {
+    algorithm = std::make_unique<LubyMis>(seed);
+  } else if (alg_spec == "greedy-mis") {
+    algorithm = std::make_unique<GreedyUidMis>();
+  } else if (alg_spec == "color-class-mis") {
+    support = csr->to_graph();
+    config.support = &support;
+    algorithm = std::make_unique<ColorClassMis>();
+  } else if (alg_spec == "ring-coloring") {
+    if (csr->max_degree() != 2 || csr->min_degree() != 2) {
+      std::fprintf(stderr, "ring-coloring needs a 2-regular instance\n");
+      return 1;
+    }
+    algorithm = std::make_unique<RingColoring>();
+    output = Output::kColors;
+  } else {
+    std::fprintf(stderr,
+                 "bad algorithm '%s' (want luby-mis, greedy-mis, "
+                 "color-class-mis, or ring-coloring)\n",
+                 alg_spec.c_str());
+    return 1;
+  }
+
+  const std::size_t n = csr->node_count();
+  const std::size_t edges = csr->edge_count();
+  const std::size_t delta = csr->max_degree();
+  CsrNetwork net(std::move(*csr), std::move(config));
+  SearchBudget budget_storage;
+  CsrRunOptions options;
+  options.threads = threads;
+  options.max_rounds = max_rounds;
+  options.budget = flags.configure(budget_storage);
+  const CsrRunResult result = net.run(*algorithm, options);
+
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "simulate: %s\n", result.error.c_str());
+    return 1;
+  }
+  if (result.exhausted) return report_exhausted(budget_storage);
+  if (output == Output::kMis) {
+    const auto* luby = dynamic_cast<const LubyMis*>(algorithm.get());
+    const auto* greedy = dynamic_cast<const GreedyUidMis*>(algorithm.get());
+    const auto* cc = dynamic_cast<const ColorClassMis*>(algorithm.get());
+    const std::vector<bool> mis = luby ? luby->in_mis()
+                                  : greedy ? greedy->in_mis()
+                                           : cc->in_mis();
+    for (const bool b : mis) in_count += b ? 1 : 0;
+  } else {
+    const auto& rc = static_cast<const RingColoring&>(*algorithm);
+    std::uint32_t max_color = 0;
+    for (const std::uint32_t c : rc.colors()) {
+      if (c > max_color) max_color = c;
+    }
+    in_count = max_color + 1;
+  }
+  std::printf("%s on %s: n=%zu Δ=%zu edges=%zu threads=%zu\n",
+              alg_spec.c_str(), instance_spec.c_str(), n, delta, edges,
+              ThreadPool::resolve_threads(threads));
+  std::printf("rounds=%zu completed=%s messages=%llu %s=%zu\n", result.rounds,
+              result.completed ? "yes" : "no",
+              static_cast<unsigned long long>(result.messages_sent),
+              output == Output::kMis ? "mis_size" : "colors_used", in_count);
+  if (!result.completed) {
+    std::fprintf(stderr, "simulate: nodes still live after %zu rounds\n",
+                 max_rounds);
+    return 2;
+  }
+  return 0;
+}
+
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: slocal_tool <command> [args] [flags]\n"
@@ -562,8 +736,19 @@ void print_usage(std::FILE* out) {
                "  sweep      <file> <D> <r> <family> lift solvability sweep\n"
                "  sequence   <file> [<file>...]      verify a lower-bound sequence\n"
                "  check-cert <file>                  validate a proof certificate\n"
+               "  simulate   <algorithm> <instance>  batched CSR simulation:\n"
+               "                                     luby-mis | greedy-mis |\n"
+               "                                     color-class-mis | ring-coloring\n"
+               "                                     on cycle:<n> | path:<n> |\n"
+               "                                     torus:<w>x<h> | regular:<n>x<d>\n"
                "flags:\n"
                "  --timeout-ms=N --max-nodes=N       search budget (exit 3 when hit)\n"
+               "  --threads=N                        simulate: worker threads (0 =\n"
+               "                                     all cores; output identical)\n"
+               "  --rounds=N                         simulate: round cap (exit 2\n"
+               "                                     when nodes are still live)\n"
+               "  --seed=N                           simulate: instance + algorithm\n"
+               "                                     seed\n"
                "  --no-inprocessing                  portfolio/sweep/--emit-cert:\n"
                "                                     disarm CDCL inprocessing (same\n"
                "                                     verdicts and exit codes, A/B\n"
@@ -592,6 +777,9 @@ int main(int argc, char** argv) {
   bool scratch = false;
   bool inprocessing = true;
   std::size_t repeat = 0;
+  std::size_t sim_threads = 1;
+  std::size_t sim_rounds = 10'000;
+  std::uint64_t sim_seed = 1;
   std::string re_cache_path;
   std::string emit_cert_path;
   std::vector<const char*> args;
@@ -604,6 +792,12 @@ int main(int argc, char** argv) {
       scratch = true;
     } else if (std::strcmp(argv[i], "--no-inprocessing") == 0) {
       inprocessing = false;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      sim_threads = std::strtoul(argv[i] + 10, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      sim_rounds = std::strtoul(argv[i] + 9, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      sim_seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
       repeat = std::strtoul(argv[i] + 9, nullptr, 10);
     } else if (std::strncmp(argv[i], "--re-cache=", 11) == 0) {
@@ -620,6 +814,11 @@ int main(int argc, char** argv) {
   if (args.size() < 2) return usage();
   const std::string cmd = args[0];
   if (cmd == "check-cert") return cmd_check_cert(args[1]);
+  if (cmd == "simulate") {
+    if (args.size() < 3) return usage();
+    return cmd_simulate(args[1], args[2], sim_threads, sim_rounds, sim_seed,
+                        flags);
+  }
   if (cmd == "sequence") {
     std::vector<Problem> problems;
     for (std::size_t i = 1; i < args.size(); ++i) {

@@ -10,20 +10,41 @@
 
 namespace slocal {
 
-Graph make_cycle(std::size_t n) {
+void stream_cycle(std::size_t n, const EdgeSink& sink) {
   assert(n >= 3);
-  Graph g(n);
   for (std::size_t i = 0; i < n; ++i) {
-    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+    sink(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
   }
+}
+
+void stream_path(std::size_t n, const EdgeSink& sink) {
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    sink(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+}
+
+void stream_torus(std::size_t w, std::size_t h, const EdgeSink& sink) {
+  assert(w >= 3 && h >= 3);
+  const auto id = [&](std::size_t x, std::size_t y) {
+    return static_cast<NodeId>(y * w + x);
+  };
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      sink(id(x, y), id((x + 1) % w, y));
+      sink(id(x, y), id(x, (y + 1) % h));
+    }
+  }
+}
+
+Graph make_cycle(std::size_t n) {
+  Graph g(n);
+  stream_cycle(n, [&](NodeId u, NodeId v) { g.add_edge(u, v); });
   return g;
 }
 
 Graph make_path(std::size_t n) {
   Graph g(n);
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
-  }
+  stream_path(n, [&](NodeId u, NodeId v) { g.add_edge(u, v); });
   return g;
 }
 
@@ -66,17 +87,8 @@ BipartiteGraph make_bipartite_cycle(std::size_t half) {
 }
 
 Graph make_torus(std::size_t w, std::size_t h) {
-  assert(w >= 3 && h >= 3);
   Graph g(w * h);
-  const auto id = [&](std::size_t x, std::size_t y) {
-    return static_cast<NodeId>(y * w + x);
-  };
-  for (std::size_t y = 0; y < h; ++y) {
-    for (std::size_t x = 0; x < w; ++x) {
-      g.add_edge(id(x, y), id((x + 1) % w, y));
-      g.add_edge(id(x, y), id(x, (y + 1) % h));
-    }
-  }
+  stream_torus(w, h, [&](NodeId u, NodeId v) { g.add_edge(u, v); });
   return g;
 }
 
@@ -137,9 +149,11 @@ struct EdgeList {
 /// self-loops and parallel edges by random double-edge swaps that preserve
 /// the degree sequence. The stationary distribution is not exactly uniform
 /// but has the same whp girth/expansion behaviour, which is all Lemma 2.1
-/// asks of the substrate.
-std::optional<Graph> regular_with_repair(std::size_t n, std::size_t degree,
-                                         Rng& rng) {
+/// asks of the substrate. Returns the repaired (simple) edge list — the
+/// single production both random_regular and stream_random_regular consume,
+/// which is what guarantees their edge-for-edge equality at equal seeds.
+std::optional<std::vector<std::pair<NodeId, NodeId>>> regular_with_repair(
+    std::size_t n, std::size_t degree, Rng& rng) {
   std::vector<NodeId> stubs;
   stubs.reserve(n * degree);
   for (std::size_t v = 0; v < n; ++v) {
@@ -182,23 +196,39 @@ std::optional<Graph> regular_with_repair(std::size_t n, std::size_t degree,
       ++multiplicity[EdgeList::key(c, b)];
     }
   }
-  Graph g(n);
-  for (const auto& [a, b] : list.edges) {
-    if (!g.add_edge(a, b)) return std::nullopt;  // unreachable after repair
+  return std::move(list.edges);
+}
+
+/// Shared driver: retries the repair until it yields a simple edge list.
+std::optional<std::vector<std::pair<NodeId, NodeId>>> regular_edge_list(
+    std::size_t n, std::size_t degree, Rng& rng, int max_attempts) {
+  if (degree >= n || (n * degree) % 2 != 0) return std::nullopt;
+  if (degree == 0) return std::vector<std::pair<NodeId, NodeId>>{};
+  for (int a = 0; a < max_attempts; ++a) {
+    if (auto edges = regular_with_repair(n, degree, rng)) return edges;
   }
-  return g;
+  return std::nullopt;
 }
 
 }  // namespace
 
 std::optional<Graph> random_regular(std::size_t n, std::size_t degree, Rng& rng,
                                     int max_attempts) {
-  if (degree >= n || (n * degree) % 2 != 0) return std::nullopt;
-  if (degree == 0) return Graph(n);
-  for (int a = 0; a < max_attempts; ++a) {
-    if (auto g = regular_with_repair(n, degree, rng)) return g;
+  const auto edges = regular_edge_list(n, degree, rng, max_attempts);
+  if (!edges) return std::nullopt;
+  Graph g(n);
+  for (const auto& [a, b] : *edges) {
+    if (!g.add_edge(a, b)) return std::nullopt;  // unreachable after repair
   }
-  return std::nullopt;
+  return g;
+}
+
+bool stream_random_regular(std::size_t n, std::size_t degree, Rng& rng,
+                           const EdgeSink& sink, int max_attempts) {
+  const auto edges = regular_edge_list(n, degree, rng, max_attempts);
+  if (!edges) return false;
+  for (const auto& [a, b] : *edges) sink(a, b);
+  return true;
 }
 
 namespace {

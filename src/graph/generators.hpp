@@ -10,6 +10,7 @@
 // complete (bi)graphs, tori) support the simulator and the test suite.
 #pragma once
 
+#include <functional>
 #include <optional>
 
 #include "src/graph/bipartite.hpp"
@@ -18,6 +19,19 @@
 #include "src/util/rng.hpp"
 
 namespace slocal {
+
+/// Edge consumer for the streaming generators: called once per edge, in
+/// edge-id order. Feeding a CsrStreamBuilder (src/sim/fast) builds a
+/// million-node instance without ever materializing per-node adjacency.
+using EdgeSink = std::function<void(NodeId, NodeId)>;
+
+/// Streaming variants of the deterministic families below. Each emits
+/// exactly the edge sequence its make_* counterpart adds to a Graph — the
+/// materializing versions are implemented on top of these, so the two can
+/// never drift.
+void stream_cycle(std::size_t n, const EdgeSink& sink);
+void stream_path(std::size_t n, const EdgeSink& sink);
+void stream_torus(std::size_t w, std::size_t h, const EdgeSink& sink);
 
 Graph make_cycle(std::size_t n);
 Graph make_path(std::size_t n);
@@ -44,6 +58,15 @@ Graph make_tree(std::size_t branching, std::size_t depth);
 /// budget (practically only for adversarial tiny parameters).
 std::optional<Graph> random_regular(std::size_t n, std::size_t degree, Rng& rng,
                                     int max_attempts = 500);
+
+/// Streaming counterpart of random_regular: emits the repaired edge list
+/// straight into `sink` instead of building a Graph. Shares the entire
+/// edge-list production (and therefore the rng consumption) with
+/// random_regular, so equal seeds give identical edges edge-for-edge.
+/// Returns false — with nothing emitted — if no simple matching was found
+/// within the attempt budget.
+bool stream_random_regular(std::size_t n, std::size_t degree, Rng& rng,
+                           const EdgeSink& sink, int max_attempts = 500);
 
 /// Best-of-k wrapper around random_regular that keeps the sample with the
 /// largest girth — the executable stand-in for Lemma 2.1's graph family.

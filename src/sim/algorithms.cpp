@@ -371,8 +371,26 @@ namespace slocal {
 
 // ----------------------------------------------------------- Luby MIS
 
-void LubyMis::draw_and_send(const NodeContext& node, std::vector<Message>& out) {
-  my_draw_[node.index] = static_cast<std::int64_t>(rng_.next() >> 1);
+namespace {
+
+/// splitmix64 finalizer — the per-node stateless draw. Hashing
+/// (seed, uid, round) instead of advancing a shared generator keeps the
+/// run independent of node evaluation order, which is what lets the
+/// batched simulator run Luby rounds across shards.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void LubyMis::draw_and_send(const NodeContext& node, std::size_t round,
+                            std::vector<Message>& out) {
+  const std::uint64_t draw =
+      mix64(mix64(seed_ + node.uid) + static_cast<std::uint64_t>(round));
+  my_draw_[node.index] = static_cast<std::int64_t>(draw >> 1);
   for (std::size_t i = 0; i < node.incident.size(); ++i) {
     if (node.edge_in_input[i]) {
       out[i] = {0, my_draw_[node.index], static_cast<std::int64_t>(node.uid)};
@@ -393,13 +411,12 @@ void LubyMis::on_start(const NodeContext& node, std::vector<Message>& out,
     halt = true;
     return;
   }
-  draw_and_send(node, out);
+  draw_and_send(node, /*round=*/0, out);
 }
 
 void LubyMis::on_round(const NodeContext& node, std::size_t round,
                        const std::vector<Message>& inbox, std::vector<Message>& out,
                        bool& halt) {
-  (void)round;
   bool neighbor_joined = false;
   bool winner = true;
   for (std::size_t i = 0; i < node.incident.size(); ++i) {
@@ -427,7 +444,7 @@ void LubyMis::on_round(const NodeContext& node, std::size_t round,
     halt = true;
     return;
   }
-  draw_and_send(node, out);
+  draw_and_send(node, round, out);
 }
 
 }  // namespace slocal

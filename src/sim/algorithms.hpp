@@ -5,6 +5,15 @@
 // graph (canonical colorings, src/sim/supported.hpp); the plain-LOCAL
 // greedy MIS is included as the contrast that motivates [AAPR23]'s
 // χ_G-round observation and the paper's matching lower bound (Theorem 1.7).
+//
+// Thread-safety contract (required by the batched CsrNetwork, upheld by
+// every algorithm here): `on_round` may be called concurrently for
+// different nodes, so per-node state lives in containers whose elements
+// are independently addressable — std::vector<std::uint8_t>, never the
+// bit-packed std::vector<bool> — and is only written at `node.index`.
+// Shared preprocessing (canonical colorings, state sizing) happens lazily
+// in `on_start`, which both simulators run serially. Randomness is a pure
+// hash of (seed, uid, round), never a shared mutable generator.
 #pragma once
 
 #include <cstdint>
@@ -26,14 +35,14 @@ class ColorClassMis : public Algorithm {
                 const std::vector<Message>& inbox, std::vector<Message>& out,
                 bool& halt) override;
 
-  const std::vector<bool>& in_mis() const { return in_mis_; }
+  std::vector<bool> in_mis() const { return {in_mis_.begin(), in_mis_.end()}; }
 
  private:
   void announce(const NodeContext& node, std::vector<Message>& out) const;
 
   std::vector<std::uint32_t> classes_;
-  std::vector<bool> in_mis_;
-  std::vector<bool> covered_;
+  std::vector<std::uint8_t> in_mis_;
+  std::vector<std::uint8_t> covered_;
 };
 
 /// Plain-LOCAL greedy MIS: an undecided node joins when its uid is minimal
@@ -46,12 +55,12 @@ class GreedyUidMis : public Algorithm {
                 const std::vector<Message>& inbox, std::vector<Message>& out,
                 bool& halt) override;
 
-  const std::vector<bool>& in_mis() const { return in_mis_; }
+  std::vector<bool> in_mis() const { return {in_mis_.begin(), in_mis_.end()}; }
 
  private:
   enum class State : std::uint8_t { kUndecided, kIn, kOut };
   std::vector<State> state_;
-  std::vector<bool> in_mis_;
+  std::vector<std::uint8_t> in_mis_;
 };
 
 /// Maximal matching of the input graph on a 2-colored support in O(Δ')
@@ -119,14 +128,14 @@ class BetaRulingSet : public Algorithm {
                 const std::vector<Message>& inbox, std::vector<Message>& out,
                 bool& halt) override;
 
-  const std::vector<bool>& in_set() const { return in_set_; }
+  std::vector<bool> in_set() const { return {in_set_.begin(), in_set_.end()}; }
 
  private:
   std::size_t beta_;
   std::size_t num_classes_ = 0;
   std::vector<std::uint32_t> classes_;
-  std::vector<bool> in_set_;
-  std::vector<bool> covered_;
+  std::vector<std::uint8_t> in_set_;
+  std::vector<std::uint8_t> covered_;
   std::vector<std::int64_t> max_ttl_sent_;
 };
 
@@ -138,21 +147,25 @@ class BetaRulingSet : public Algorithm {
 /// complexity.
 class LubyMis : public Algorithm {
  public:
-  explicit LubyMis(std::uint64_t seed) : rng_(seed) {}
+  explicit LubyMis(std::uint64_t seed) : seed_(seed) {}
 
   void on_start(const NodeContext& node, std::vector<Message>& out, bool& halt) override;
   void on_round(const NodeContext& node, std::size_t round,
                 const std::vector<Message>& inbox, std::vector<Message>& out,
                 bool& halt) override;
 
-  const std::vector<bool>& in_mis() const { return in_mis_; }
+  std::vector<bool> in_mis() const { return {in_mis_.begin(), in_mis_.end()}; }
 
  private:
-  void draw_and_send(const NodeContext& node, std::vector<Message>& out);
+  /// Draws are a pure hash of (seed, uid, round) — no shared generator, so
+  /// concurrent per-node calls and any node evaluation order give the same
+  /// run.
+  void draw_and_send(const NodeContext& node, std::size_t round,
+                     std::vector<Message>& out);
 
-  Rng rng_;
+  std::uint64_t seed_;
   std::vector<std::int64_t> my_draw_;
-  std::vector<bool> in_mis_;
+  std::vector<std::uint8_t> in_mis_;
 };
 
 /// Cole–Vishkin 3-coloring of a directed ring (plain LOCAL, no support

@@ -1,0 +1,171 @@
+#include "src/sim/fast/csr_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace slocal {
+
+namespace {
+
+constexpr std::size_t kMaxEdges = std::numeric_limits<EdgeId>::max() / 2;
+
+/// Order-independent 64-bit key of an undirected edge, for duplicate
+/// detection via one sort over packed keys.
+std::uint64_t edge_key(const Edge& e) {
+  const std::uint64_t lo = std::min(e.u, e.v);
+  const std::uint64_t hi = std::max(e.u, e.v);
+  return (lo << 32) | hi;
+}
+
+CsrBuildError make_error(CsrBuildErrorKind kind, std::size_t index, NodeId u,
+                         NodeId v, std::string detail) {
+  CsrBuildError error;
+  error.kind = kind;
+  error.edge_index = index;
+  error.u = u;
+  error.v = v;
+  error.message = "csr: edge " + std::to_string(index) + " (" +
+                  std::to_string(u) + ", " + std::to_string(v) +
+                  "): " + std::move(detail);
+  return error;
+}
+
+}  // namespace
+
+const char* to_string(CsrBuildErrorKind kind) {
+  switch (kind) {
+    case CsrBuildErrorKind::kNone: return "none";
+    case CsrBuildErrorKind::kEndpointOutOfRange: return "endpoint out of range";
+    case CsrBuildErrorKind::kSelfLoop: return "self-loop";
+    case CsrBuildErrorKind::kDuplicateEdge: return "duplicate edge";
+    case CsrBuildErrorKind::kTooManyEdges: return "too many edges";
+  }
+  return "?";
+}
+
+void CsrGraph::build_csr(std::size_t node_count) {
+  const std::size_t m = edges_.size();
+  offsets_.assign(node_count + 1, 0);
+  // Counting sort by endpoint: pass 1 degrees, pass 2 placement. Iterating
+  // edges in id order appends each node's half-edges in ascending edge-id
+  // order — the same port order Graph::incident_edges presents.
+  for (const Edge& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (std::size_t v = 0; v < node_count; ++v) offsets_[v + 1] += offsets_[v];
+
+  neighbors_.resize(2 * m);
+  edge_ids_.resize(2 * m);
+  mirror_.resize(2 * m);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge& edge = edges_[e];
+    const std::uint32_t pu = cursor[edge.u]++;
+    const std::uint32_t pv = cursor[edge.v]++;
+    neighbors_[pu] = edge.v;
+    edge_ids_[pu] = e;
+    neighbors_[pv] = edge.u;
+    edge_ids_[pv] = e;
+    mirror_[pu] = pv;
+    mirror_[pv] = pu;
+  }
+
+  max_degree_ = 0;
+  min_degree_ = node_count == 0 ? 0 : std::numeric_limits<std::size_t>::max();
+  for (std::size_t v = 0; v < node_count; ++v) {
+    const std::size_t d = offsets_[v + 1] - offsets_[v];
+    max_degree_ = std::max(max_degree_, d);
+    min_degree_ = std::min(min_degree_, d);
+  }
+}
+
+CsrGraph CsrGraph::from_graph(const Graph& graph) {
+  CsrGraph csr;
+  csr.edges_.assign(graph.edges().begin(), graph.edges().end());
+  csr.build_csr(graph.node_count());
+  return csr;
+}
+
+std::optional<CsrGraph> CsrGraph::from_edges(std::size_t node_count,
+                                             std::span<const Edge> edges,
+                                             CsrBuildError* error,
+                                             const CsrBuildOptions& options) {
+  const auto reject = [&](CsrBuildError e) -> std::optional<CsrGraph> {
+    if (error != nullptr) *error = std::move(e);
+    return std::nullopt;
+  };
+  if (edges.size() > kMaxEdges) {
+    return reject(make_error(CsrBuildErrorKind::kTooManyEdges, edges.size(), 0, 0,
+                             "edge count overflows the 32-bit id space"));
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    if (e.u >= node_count || e.v >= node_count) {
+      return reject(make_error(CsrBuildErrorKind::kEndpointOutOfRange, i, e.u, e.v,
+                               "endpoint out of range (n = " +
+                                   std::to_string(node_count) + ")"));
+    }
+    if (e.u == e.v) {
+      return reject(make_error(CsrBuildErrorKind::kSelfLoop, i, e.u, e.v,
+                               "self-loop"));
+    }
+  }
+
+  // Duplicate detection by one sort over (key, original index): the first
+  // occurrence of a key survives normalization, every later one is either a
+  // structured rejection or a drop.
+  std::vector<std::uint8_t> dropped(edges.size(), 0);
+  bool any_dropped = false;
+  {
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      keyed[i] = {edge_key(edges[i]), static_cast<std::uint32_t>(i)};
+    }
+    std::sort(keyed.begin(), keyed.end());
+    for (std::size_t i = 1; i < keyed.size(); ++i) {
+      if (keyed[i].first != keyed[i - 1].first) continue;
+      const std::uint32_t dup = keyed[i].second;
+      if (!options.drop_duplicate_edges) {
+        return reject(make_error(CsrBuildErrorKind::kDuplicateEdge, dup,
+                                 edges[dup].u, edges[dup].v, "duplicate edge"));
+      }
+      dropped[dup] = 1;
+      any_dropped = true;
+    }
+  }
+
+  CsrGraph csr;
+  csr.edges_.reserve(edges.size());
+  if (any_dropped) {
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!dropped[i]) csr.edges_.push_back(edges[i]);
+    }
+  } else {
+    csr.edges_.assign(edges.begin(), edges.end());
+  }
+  csr.build_csr(node_count);
+  return csr;
+}
+
+Graph CsrGraph::to_graph() const {
+  Graph g(node_count());
+  for (const Edge& e : edges_) {
+    const auto id = g.add_edge(e.u, e.v);
+    assert(id.has_value());
+    (void)id;
+  }
+  return g;
+}
+
+std::optional<CsrGraph> CsrStreamBuilder::finish(CsrBuildError* error,
+                                                 const CsrBuildOptions& options) {
+  auto csr = CsrGraph::from_edges(node_count_, edges_, error, options);
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return csr;
+}
+
+}  // namespace slocal

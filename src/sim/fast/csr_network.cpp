@@ -1,0 +1,268 @@
+#include "src/sim/fast/csr_network.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <functional>
+#include <numeric>
+
+#include "src/util/thread_pool.hpp"
+
+namespace slocal {
+
+namespace {
+
+/// Shard width in nodes. A function of nothing but this constant — shard
+/// boundaries must never depend on the thread count, or bit-identical
+/// output across thread counts would be lost.
+constexpr std::size_t kShardNodes = 4096;
+
+/// Per-shard working set: a reusable NodeContext + message vectors (the
+/// adapter that lets reference `Algorithm`s run on flat CSR buffers), plus
+/// this round's counters. Tasks touch only their own shard's entry;
+/// counters are folded in shard order after the barrier.
+struct Shard {
+  NodeContext ctx;
+  std::vector<Message> inbox;
+  std::vector<Message> out;
+  std::size_t halts = 0;
+  std::uint64_t messages = 0;
+  bool overflow = false;
+  std::size_t overflow_node = 0;
+  std::size_t overflow_words = 0;
+};
+
+}  // namespace
+
+CsrNetwork::CsrNetwork(CsrGraph graph, CsrNetworkConfig config)
+    : graph_(std::move(graph)), config_(std::move(config)) {
+  const std::size_t n = graph_.node_count();
+  assert(config_.input_edges.empty() ||
+         config_.input_edges.size() == graph_.edge_count());
+  assert(config_.uids.empty() || config_.uids.size() == n);
+  assert(config_.colors.empty() || config_.colors.size() == n);
+  uids_ = config_.uids;
+  if (uids_.empty()) {
+    uids_.resize(n);
+    std::iota(uids_.begin(), uids_.end(), std::uint64_t{1});
+  }
+  if (config_.input_edges.empty()) {
+    max_input_degree_ = graph_.max_degree();
+  } else {
+    std::vector<std::size_t> input_degree(n, 0);
+    for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+      if (config_.input_edges[e]) {
+        ++input_degree[graph_.edge(e).u];
+        ++input_degree[graph_.edge(e).v];
+      }
+    }
+    max_input_degree_ =
+        n == 0 ? 0 : *std::max_element(input_degree.begin(), input_degree.end());
+  }
+}
+
+CsrRunResult CsrNetwork::run(Algorithm& algorithm, const CsrRunOptions& options) {
+  CsrRunResult result;
+  const std::size_t n = graph_.node_count();
+  const std::size_t W = options.max_message_words;
+  if (W == 0 || W > 255) {
+    result.error = "csr-run: max_message_words must be in [1, 255], got " +
+                   std::to_string(W);
+    return result;
+  }
+  const std::size_t half = graph_.half_edge_count();
+  SearchBudget* budget = options.budget;
+
+  // Double-buffered flat message slots: round r reads buffer (r-1)&1 and
+  // writes buffer r&1. lens[b][pos] is the word count of the message in
+  // slot pos (0 = no message); words[b][pos*W..] holds its payload.
+  std::array<std::vector<std::int64_t>, 2> words;
+  std::array<std::vector<std::uint8_t>, 2> lens;
+  for (int b = 0; b < 2; ++b) {
+    words[b].assign(half * W, 0);
+    lens[b].assign(half, 0);
+  }
+  std::vector<std::uint8_t> halted(n, 0);
+  // Rounds of silence left: a fresh halter clears its slots in each parity
+  // buffer once (its final messages were already delivered), then is
+  // skipped outright.
+  std::vector<std::uint8_t> silence(n, 0);
+  halt_rounds_.assign(n, kNotHalted);
+
+  const std::uint32_t* offsets = graph_.offsets().data();
+  const std::uint32_t* mirror = graph_.mirror().data();
+  const bool all_input = config_.input_edges.empty();
+
+  const auto fill_context = [&](NodeContext& ctx, std::size_t v) {
+    ctx.index = v;
+    ctx.uid = uids_[v];
+    ctx.n = n;
+    ctx.max_degree = graph_.max_degree();
+    ctx.max_input_degree = max_input_degree_;
+    ctx.color = config_.colors.empty() ? 0 : config_.colors[v];
+    const auto ids = graph_.edge_ids(static_cast<NodeId>(v));
+    const auto nbrs = graph_.neighbors(static_cast<NodeId>(v));
+    ctx.incident.assign(ids.begin(), ids.end());
+    ctx.neighbors.assign(nbrs.begin(), nbrs.end());
+    ctx.edge_in_input.resize(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ctx.edge_in_input[i] = all_input || config_.input_edges[ids[i]] != 0;
+    }
+    ctx.support = config_.support;
+    ctx.all_uids = config_.support != nullptr ? &uids_ : nullptr;
+  };
+
+  // Writes node v's outbox into the flat slots of buffer `w`. Returns false
+  // on a message wider than the slot.
+  const auto store_outbox = [&](std::size_t v, const std::vector<Message>& out,
+                                int w, std::uint64_t& messages,
+                                std::size_t& bad_words) {
+    const std::uint32_t off = offsets[v];
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::size_t len = out[i].size();
+      if (len > W) {
+        bad_words = len;
+        return false;
+      }
+      lens[w][off + i] = static_cast<std::uint8_t>(len);
+      if (len > 0) {
+        std::memcpy(words[w].data() + (off + i) * static_cast<std::size_t>(W),
+                    out[i].data(), len * sizeof(std::int64_t));
+        ++messages;
+      }
+    }
+    return true;
+  };
+
+  // Round 0: on_start runs serially — the documented window in which
+  // algorithms may lazily build shared preprocessing state.
+  std::size_t live = n;
+  if (budget != nullptr && !budget->charge(n)) {
+    result.exhausted = true;
+    return result;
+  }
+  {
+    Shard start;
+    for (std::size_t v = 0; v < n; ++v) {
+      fill_context(start.ctx, v);
+      const std::size_t deg = start.ctx.incident.size();
+      start.out.resize(deg);
+      for (auto& m : start.out) m.clear();
+      bool halt = false;
+      algorithm.on_start(start.ctx, start.out, halt);
+      std::size_t bad_words = 0;
+      if (!store_outbox(v, start.out, 0, result.messages_sent, bad_words)) {
+        result.error = "csr-run: node " + std::to_string(v) + " emitted a " +
+                       std::to_string(bad_words) + "-word message (slot is " +
+                       std::to_string(W) + " words)";
+        return result;
+      }
+      if (halt) {
+        halted[v] = 1;
+        silence[v] = 2;
+        halt_rounds_[v] = 0;
+        --live;
+      }
+    }
+  }
+  if (live == 0) {
+    result.completed = true;
+    return result;  // 0 rounds
+  }
+
+  const std::size_t shard_count = (n + kShardNodes - 1) / kShardNodes;
+  std::vector<Shard> shards(shard_count);
+  ThreadPool pool(ThreadPool::resolve_threads(options.threads) - 1);
+
+  const auto run_shard = [&](std::size_t s, std::size_t round, int r, int w) {
+    Shard& sh = shards[s];
+    sh.halts = 0;
+    sh.messages = 0;
+    if (budget != nullptr && budget->halted()) return;  // abandon the sweep
+    const std::size_t lo = s * kShardNodes;
+    const std::size_t hi = std::min(n, lo + kShardNodes);
+    for (std::size_t v = lo; v < hi; ++v) {
+      const std::uint32_t off = offsets[v];
+      const std::size_t deg = offsets[v + 1] - off;
+      if (halted[v]) {
+        if (silence[v] > 0) {
+          std::fill_n(lens[w].begin() + off, deg, std::uint8_t{0});
+          --silence[v];
+        }
+        continue;
+      }
+      fill_context(sh.ctx, v);
+      sh.inbox.resize(deg);
+      for (std::size_t i = 0; i < deg; ++i) {
+        const std::uint32_t mpos = mirror[off + i];
+        const std::int64_t* payload =
+            words[r].data() + mpos * static_cast<std::size_t>(W);
+        sh.inbox[i].assign(payload, payload + lens[r][mpos]);
+      }
+      sh.out.resize(deg);
+      for (auto& m : sh.out) m.clear();
+      bool halt = false;
+      algorithm.on_round(sh.ctx, round, sh.inbox, sh.out, halt);
+      std::size_t bad_words = 0;
+      if (!store_outbox(v, sh.out, w, sh.messages, bad_words)) {
+        sh.overflow = true;
+        sh.overflow_node = v;
+        sh.overflow_words = bad_words;
+        return;
+      }
+      if (halt) {
+        halted[v] = 1;
+        silence[v] = 2;
+        halt_rounds_[v] = round;
+        ++sh.halts;
+      }
+    }
+  };
+
+  for (std::size_t round = 1; round <= options.max_rounds; ++round) {
+    if (budget != nullptr && !budget->charge(live)) {
+      result.exhausted = true;
+      return result;
+    }
+    const int r = static_cast<int>((round - 1) & 1);
+    const int w = static_cast<int>(round & 1);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      tasks.push_back([&run_shard, s, round, r, w] { run_shard(s, round, r, w); });
+    }
+    pool.run_batch(std::move(tasks));
+
+    // Fold per-shard results in shard order (determinism by construction).
+    bool any_halt = false;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const Shard& sh = shards[s];
+      if (sh.overflow && result.error.empty()) {
+        result.error = "csr-run: node " + std::to_string(sh.overflow_node) +
+                       " emitted a " + std::to_string(sh.overflow_words) +
+                       "-word message (slot is " + std::to_string(W) + " words)";
+      }
+      live -= sh.halts;
+      any_halt = any_halt || sh.halts > 0;
+      result.messages_sent += sh.messages;
+    }
+    if (!result.error.empty()) return result;
+    if (any_halt) result.rounds = round;
+    if (live == 0) {
+      // Every node halted: the sweep demonstrably ran to completion, so the
+      // verdict stands even if the budget tripped at the very end.
+      result.completed = true;
+      return result;
+    }
+    if (budget != nullptr && budget->halted()) {
+      result.exhausted = true;
+      return result;
+    }
+  }
+  result.rounds = options.max_rounds;
+  result.completed = false;
+  return result;
+}
+
+}  // namespace slocal

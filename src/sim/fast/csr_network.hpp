@@ -1,0 +1,103 @@
+// Batched synchronous simulator over a CsrGraph — the million-node fast
+// path of the Supported LOCAL simulator.
+//
+// Runs the SAME `Algorithm` objects as the reference `Network` (one
+// implementation drives both paths) but replaces per-node message vectors
+// with two flat per-half-edge buffers, double-buffered by round parity:
+// round r reads buffer (r-1)&1 and writes buffer r&1, so delivering a
+// message is one indexed gather through `CsrGraph::mirror` with no locks
+// and no routing table (the BGPExtrapolator propagation layout).
+//
+// A round is one parallel sweep: nodes are partitioned into contiguous
+// shards whose boundaries depend only on n — never on the thread count —
+// and each shard task writes only its own nodes' state, message slots, and
+// per-shard counters. `run_batch` returning is the only barrier. Counters
+// are folded in shard order afterwards, so results (outputs, halt rounds,
+// round count, message count) are bit-identical across thread counts.
+//
+// Parity with the reference simulator is exact, including the halting
+// protocol: a node that halts in round r still has its round-r messages
+// delivered in round r+1, then goes silent. Here that is a 2-round
+// countdown clearing the node's slots in each parity buffer once, after
+// which the node is skipped entirely.
+//
+// Thread-safety contract for algorithms (see src/sim/algorithms.hpp):
+// `on_start` always runs serially (lazy preprocessing is safe there);
+// `on_round` may run concurrently for different nodes and must only touch
+// per-node state indexed by `node.index` through containers that do not
+// bit-pack (no std::vector<bool> elements) and draw randomness as pure
+// functions of (seed, uid, round).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/fast/csr_graph.hpp"
+#include "src/sim/network.hpp"
+#include "src/util/budget.hpp"
+
+namespace slocal {
+
+struct CsrNetworkConfig {
+  /// Per-edge input flags, indexed by CsrGraph edge id. Empty = every
+  /// support edge is in the input graph (plain LOCAL).
+  std::vector<std::uint8_t> input_edges;
+  /// Per-node identifiers; empty = 1..n (matching Network's default).
+  std::vector<std::uint64_t> uids;
+  /// Harness 2-coloring exposed through NodeContext::color; empty = all 0.
+  std::vector<std::int32_t> colors;
+  /// Supported-mode extras: when set, every NodeContext carries this graph
+  /// and the uid table. Must describe the same topology as the CsrGraph
+  /// (e.g. the Graph the CSR was built from). nullptr = plain LOCAL.
+  const Graph* support = nullptr;
+};
+
+struct CsrRunOptions {
+  std::size_t max_rounds = 10'000;
+  /// Worker threads for the round sweeps; 0 = all hardware threads.
+  /// Output is bit-identical for every value.
+  std::size_t threads = 1;
+  /// Flat slot width: the longest message (in int64 words) any algorithm
+  /// may emit. Exceeding it is a structured run error, not UB. Max 255.
+  std::size_t max_message_words = 4;
+  /// Optional budget: charged one node per node computation, polled every
+  /// shard. Exhaustion aborts the run with `exhausted` set — never a
+  /// completed=true verdict (no flips).
+  SearchBudget* budget = nullptr;
+};
+
+struct CsrRunResult {
+  std::size_t rounds = 0;           // round of the last halt
+  bool completed = false;           // every node halted within max_rounds
+  bool exhausted = false;           // budget tripped mid-run (no verdict)
+  std::uint64_t messages_sent = 0;  // non-empty messages across the run
+  std::string error;                // non-empty on hard error (overflow)
+};
+
+class CsrNetwork {
+ public:
+  /// Value for halt_rounds() entries of nodes that never halted.
+  static constexpr std::size_t kNotHalted = static_cast<std::size_t>(-1);
+
+  explicit CsrNetwork(CsrGraph graph, CsrNetworkConfig config = {});
+
+  CsrRunResult run(Algorithm& algorithm, const CsrRunOptions& options = {});
+
+  /// Per-node halt round of the last run (0 = halted in on_start,
+  /// kNotHalted = still live when the run stopped).
+  const std::vector<std::size_t>& halt_rounds() const { return halt_rounds_; }
+
+  std::size_t node_count() const { return graph_.node_count(); }
+  const CsrGraph& graph() const { return graph_; }
+  const std::vector<std::uint64_t>& uids() const { return uids_; }
+
+ private:
+  CsrGraph graph_;
+  CsrNetworkConfig config_;
+  std::vector<std::uint64_t> uids_;
+  std::size_t max_input_degree_ = 0;
+  std::vector<std::size_t> halt_rounds_;
+};
+
+}  // namespace slocal

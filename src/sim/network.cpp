@@ -79,6 +79,7 @@ RunResult Network::run(Algorithm& algorithm, std::size_t max_rounds) {
   std::vector<std::vector<Message>> outboxes(n);
   std::vector<std::vector<Message>> inboxes(n);
   std::vector<bool> halted(n, false);
+  halt_rounds_.assign(n, kNotHalted);
   std::size_t live = n;
 
   for (std::size_t v = 0; v < n; ++v) {
@@ -88,6 +89,7 @@ RunResult Network::run(Algorithm& algorithm, std::size_t max_rounds) {
     algorithm.on_start(contexts_[v], outboxes[v], halt);
     if (halt) {
       halted[v] = true;
+      halt_rounds_[v] = 0;
       --live;
     }
   }
@@ -117,20 +119,23 @@ RunResult Network::run(Algorithm& algorithm, std::size_t max_rounds) {
       inboxes[edge.u][edge_pos[e][0]] = outboxes[edge.v][edge_pos[e][1]];
       inboxes[edge.v][edge_pos[e][1]] = outboxes[edge.u][edge_pos[e][0]];
     }
-    // Compute.
+    // Compute. Delivery already copied this round's messages out of the
+    // outboxes, so the algorithm writes the next round's messages straight
+    // into the (emptied, capacity-retaining) outbox — no per-node
+    // allocation in the round loop.
     for (std::size_t v = 0; v < n; ++v) {
       if (halted[v]) {
         // Halted nodes stay silent.
-        std::fill(outboxes[v].begin(), outboxes[v].end(), Message{});
+        for (auto& m : outboxes[v]) m.clear();
         continue;
       }
-      std::vector<Message> out(contexts_[v].incident.size());
+      for (auto& m : outboxes[v]) m.clear();
       bool halt = false;
-      algorithm.on_round(contexts_[v], round, inboxes[v], out, halt);
-      for (const auto& m : out) result.messages_sent += m.empty() ? 0 : 1;
-      outboxes[v] = std::move(out);
+      algorithm.on_round(contexts_[v], round, inboxes[v], outboxes[v], halt);
+      for (const auto& m : outboxes[v]) result.messages_sent += m.empty() ? 0 : 1;
       if (halt) {
         halted[v] = true;
+        halt_rounds_[v] = round;
         --live;
         result.rounds = round;
       }

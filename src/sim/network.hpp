@@ -68,6 +68,9 @@ struct RunResult {
 
 class Network {
  public:
+  /// Value for halt_rounds() entries of nodes that never halted.
+  static constexpr std::size_t kNotHalted = static_cast<std::size_t>(-1);
+
   /// Plain LOCAL network. `uids` defaults to 1..n when empty.
   Network(const Graph& graph, std::vector<std::uint64_t> uids = {});
 
@@ -83,6 +86,10 @@ class Network {
   const NodeContext& context(std::size_t index) const { return contexts_[index]; }
   std::size_t node_count() const { return contexts_.size(); }
 
+  /// Per-node halt round of the last run (0 = halted in on_start,
+  /// kNotHalted = still live when the run stopped).
+  const std::vector<std::size_t>& halt_rounds() const { return halt_rounds_; }
+
   /// The input graph (equal to the support graph in plain LOCAL mode).
   Graph input_graph() const;
   const Graph& support_graph() const { return graph_; }
@@ -94,6 +101,7 @@ class Network {
   std::vector<bool> input_edges_;
   std::vector<std::uint64_t> uids_;
   std::vector<NodeContext> contexts_;
+  std::vector<std::size_t> halt_rounds_;
   bool supported_ = false;
 };
 

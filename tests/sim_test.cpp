@@ -353,6 +353,54 @@ TEST(Generators, NamedCagesHaveTheirParameters) {
   EXPECT_EQ(girth(mcgee), 7u);
 }
 
+TEST(Network, ReusedOutboxesArriveEmptyAndHaltedNodesGoSilent) {
+  // Pins the buffer-reuse semantics of Network::run: the outbox handed to
+  // on_round is all-empty every round (round 1's payloads must not leak
+  // into round 2 through recycled capacity), and a node that halts in
+  // round r is heard in round r+1 but silent from r+2 on.
+  class Witness : public Algorithm {
+   public:
+    bool saw_dirty_out = false;
+    std::vector<std::size_t> last_heard_from_zero;  // per node, round
+
+    explicit Witness(std::size_t n) : last_heard_from_zero(n, 0) {}
+
+    void on_start(const NodeContext& node, std::vector<Message>& out,
+                  bool& halt) override {
+      for (auto& m : out) m = {9, 9, 9};  // big payloads to seed capacity
+      if (node.index == 0) halt = true;   // node 0 halts at round 0
+    }
+    void on_round(const NodeContext& node, std::size_t round,
+                  const std::vector<Message>& inbox, std::vector<Message>& out,
+                  bool& halt) override {
+      for (const auto& m : out) {
+        if (!m.empty()) saw_dirty_out = true;
+      }
+      for (std::size_t i = 0; i < inbox.size(); ++i) {
+        if (node.neighbors[i] == 0 && !inbox[i].empty()) {
+          last_heard_from_zero[node.index] = round;
+        }
+      }
+      for (auto& m : out) m = {1};
+      if (round == 4) halt = true;
+    }
+  };
+  const Graph ring = make_cycle(6);
+  Network net(ring);
+  Witness alg(6);
+  const auto result = net.run(alg, 10);
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(alg.saw_dirty_out);
+  // Node 0 halted in round 0: its start message arrives in round 1, then
+  // silence.
+  EXPECT_EQ(alg.last_heard_from_zero[1], 1u);
+  EXPECT_EQ(alg.last_heard_from_zero[5], 1u);
+  // halt_rounds mirrors the halting schedule.
+  ASSERT_EQ(net.halt_rounds().size(), 6u);
+  EXPECT_EQ(net.halt_rounds()[0], 0u);
+  for (std::size_t v = 1; v < 6; ++v) EXPECT_EQ(net.halt_rounds()[v], 4u);
+}
+
 TEST(Network, MessageCountTracked) {
   const Graph ring = make_cycle(10);
   Network net(ring);

@@ -178,9 +178,60 @@ TEST(ToolCli, HelpExitsZeroAndMentionsEveryCommand) {
   EXPECT_EQ(run_tool_capture("--help", &out), 0);
   for (const char* cmd : {"print", "re", "fixed", "lift", "solve", "zero",
                           "portfolio", "sweep", "sequence", "check-cert",
-                          "--emit-cert", "--no-inprocessing"}) {
+                          "simulate", "--emit-cert", "--no-inprocessing"}) {
     EXPECT_NE(out.find(cmd), std::string::npos) << "--help misses " << cmd;
   }
+}
+
+// -- simulate: the batched CSR simulator behind a CLI. Exit-code contract:
+//    0 = all nodes halted, 2 = still live at the --rounds cap, 3 = budget
+//    exhausted mid-run (no verdict), 1 = bad algorithm/instance spec,
+//    64 = missing positionals. --
+
+TEST(ToolCli, SimulateRunsToCompletion) {
+  std::string out;
+  EXPECT_EQ(run_tool_capture("simulate luby-mis regular:2000x4 --seed=7", &out), 0);
+  EXPECT_NE(out.find("completed=yes"), std::string::npos) << out;
+  EXPECT_NE(out.find("mis_size="), std::string::npos) << out;
+}
+
+TEST(ToolCli, SimulateOutputIsThreadCountInvariant) {
+  // The printed summary carries rounds, messages, and the output statistic;
+  // all are bit-identical across thread counts by the CsrNetwork contract.
+  std::string serial, all_cores;
+  EXPECT_EQ(run_tool_capture(
+                "simulate luby-mis regular:3000x4 --seed=11 --threads=1", &serial),
+            0);
+  EXPECT_EQ(run_tool_capture(
+                "simulate luby-mis regular:3000x4 --seed=11 --threads=0",
+                &all_cores),
+            0);
+  // Strip the header line (it prints the resolved thread count).
+  const auto tail = [](const std::string& s) {
+    return s.substr(s.find('\n') + 1);
+  };
+  EXPECT_EQ(tail(serial), tail(all_cores));
+}
+
+TEST(ToolCli, SimulateExitsTwoWhenRoundCapLeavesLiveNodes) {
+  EXPECT_EQ(run_tool("simulate greedy-mis path:64 --rounds=3"), 2);
+}
+
+TEST(ToolCli, SimulateExitsThreeWhenBudgetExhausts) {
+  // One-node budget on a 20k-node instance: the first shard sweep trips the
+  // cap. No verdict is printed — exhaustion must never look like exit 0/2.
+  EXPECT_EQ(run_tool("simulate luby-mis regular:20000x4 --max-nodes=1"), 3);
+  EXPECT_EQ(run_tool("simulate luby-mis regular:20000x4 --timeout-ms=1 "
+                     "--rounds=1000000"),
+            3);
+}
+
+TEST(ToolCli, SimulateRejectsBadSpecs) {
+  EXPECT_EQ(run_tool("simulate luby-mis pentagon"), 1);
+  EXPECT_EQ(run_tool("simulate frobnicate cycle:10"), 1);
+  EXPECT_EQ(run_tool("simulate ring-coloring torus:4x4"), 1);  // not 2-regular
+  EXPECT_EQ(run_tool("simulate luby-mis regular:5x3"), 1);     // odd n*d
+  EXPECT_EQ(run_tool("simulate luby-mis"), 64);
 }
 
 // -- Certificate emission and validation through the CLI. The 0/1/2 contract
