@@ -22,6 +22,7 @@
 #include "src/cert/check.hpp"
 #include "src/cert/emit.hpp"
 #include "src/cert/format.hpp"
+#include "src/discover/discover.hpp"
 #include "src/formalism/canonical.hpp"
 #include "src/formalism/parser.hpp"
 #include "src/formalism/relaxation.hpp"
@@ -230,12 +231,38 @@ struct ServeDemo {
   double wall_ms = 0.0;
 };
 
+/// E2k — the automatic discovery driver on the E4 rediscovery workloads:
+/// the 2-coloring fixed point (pump, target 3) and the Δ'=3 matching chain
+/// (pool move, target 1). The gated invariants are certs_valid (every
+/// emitted certificate passes check_certificate) and thread_invariance
+/// (threads=4 reproduces the threads=1 discovery log and certificate bytes
+/// exactly); walls and counters are reported, never gated.
+struct DiscoverRun {
+  std::size_t target = 0;
+  std::string status;
+  bool pumped = false;
+  std::uint64_t expansions = 0;
+  std::uint64_t frontier_peak = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t cache_hits = 0, cache_misses = 0;
+  std::uint64_t certs_emitted = 0;
+  std::size_t cert_bytes = 0;
+  double wall_ms = 0.0;
+};
+
+struct DiscoverDemo {
+  DiscoverRun coloring;  // 2-coloring pump
+  DiscoverRun matching;  // Δ'=3 matching chain
+  bool certs_valid = false;
+  bool thread_invariance = false;
+};
+
 void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                 double table_wall_ms, double serial_table_wall_ms,
                 const BudgetDemo& budget_demo, const PortfolioDemo& portfolio_demo,
                 const SweepDemo& sweep_demo, const CacheDemo& cache_demo,
                 const CertDemo& cert_demo, const InprocessDemo& inprocess_demo,
-                const ServeDemo& serve_demo) {
+                const ServeDemo& serve_demo, const DiscoverDemo& discover_demo) {
   std::FILE* f = std::fopen("BENCH_RE.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write BENCH_RE.json\n");
@@ -244,7 +271,7 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"bench_re\",\n"
-               "  \"schema_version\": 7,\n"
+               "  \"schema_version\": 8,\n"
                "  \"hardware_threads\": %u,\n"
                "  \"e2_table_wall_ms\": %.3f,\n"
                "  \"e2_table_serial_wall_ms\": %.3f,\n"
@@ -405,7 +432,7 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                "    \"warm_cache_hits\": %llu,\n"
                "    \"requests_per_sec\": %.1f,\n"
                "    \"wall_ms\": %.3f\n"
-               "  }\n",
+               "  },\n",
                serve_demo.requests, static_cast<unsigned long long>(serve_demo.ok),
                static_cast<unsigned long long>(serve_demo.admission_rejects),
                static_cast<unsigned long long>(serve_demo.checkpoint_failures),
@@ -415,6 +442,40 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                serve_demo.final_checkpoint_valid ? "true" : "false",
                static_cast<unsigned long long>(serve_demo.warm_cache_hits),
                serve_demo.requests_per_sec, serve_demo.wall_ms);
+  std::fprintf(f, "  \"discover_demo\": {\n");
+  const std::pair<const char*, const DiscoverRun&> discover_runs[] = {
+      {"coloring", discover_demo.coloring}, {"matching", discover_demo.matching}};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& [tag, run] = discover_runs[i];
+    std::fprintf(f,
+                 "    \"%s\": {\n"
+                 "      \"target\": %zu,\n"
+                 "      \"status\": \"%s\",\n"
+                 "      \"pumped\": %s,\n"
+                 "      \"expansions\": %llu,\n"
+                 "      \"frontier_peak\": %llu,\n"
+                 "      \"nodes\": %llu,\n"
+                 "      \"cache_hits\": %llu,\n"
+                 "      \"cache_misses\": %llu,\n"
+                 "      \"certs_emitted\": %llu,\n"
+                 "      \"cert_bytes\": %zu,\n"
+                 "      \"wall_ms\": %.3f\n"
+                 "    },\n",
+                 tag, run.target, run.status.c_str(), run.pumped ? "true" : "false",
+                 static_cast<unsigned long long>(run.expansions),
+                 static_cast<unsigned long long>(run.frontier_peak),
+                 static_cast<unsigned long long>(run.nodes),
+                 static_cast<unsigned long long>(run.cache_hits),
+                 static_cast<unsigned long long>(run.cache_misses),
+                 static_cast<unsigned long long>(run.certs_emitted),
+                 run.cert_bytes, run.wall_ms);
+  }
+  std::fprintf(f,
+               "    \"certs_valid\": %s,\n"
+               "    \"thread_invariance\": %s\n"
+               "  }\n",
+               discover_demo.certs_valid ? "true" : "false",
+               discover_demo.thread_invariance ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_RE.json\n\n");
@@ -957,9 +1018,104 @@ void print_table() {
         serve_demo.final_checkpoint_valid ? "valid" : "TORN");
   }
 
+  // E2k: the automatic discovery driver on the two rediscovery workloads.
+  // Each family runs with threads=1 and threads=4; the determinism contract
+  // says the discovery log and the certificate bytes must agree exactly.
+  DiscoverDemo discover_demo;
+  {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path dir = fs::temp_directory_path() / "slocal_bench_discover";
+    fs::create_directories(dir, ec);
+
+    ParseError parse_error;
+    const auto two_coloring = parse_problem_text(
+        "two_coloring", "A^2\nB^2\n---\nA B\n", &parse_error);
+    const std::vector<Problem> coloring_family{*two_coloring};
+    const std::vector<Problem> matching_family{make_matching_problem(3, 0, 1),
+                                               make_matching_problem(3, 1, 1)};
+
+    bool certs_valid = true;
+    bool invariant = true;
+    const auto read_bytes = [](const std::string& path) {
+      std::string bytes;
+      if (std::FILE* bf = std::fopen(path.c_str(), "rb")) {
+        char buf[4096];
+        std::size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof(buf), bf)) > 0) bytes.append(buf, n);
+        std::fclose(bf);
+      }
+      return bytes;
+    };
+    const auto measure = [&](const char* tag, const std::vector<Problem>& family,
+                             std::size_t target) {
+      DiscoverRun run;
+      run.target = target;
+      std::string log_t1, cert_t1;
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        discover::DiscoverOptions options;
+        options.target_length = target;
+        options.threads = threads;
+        const auto t0 = std::chrono::steady_clock::now();
+        const discover::DiscoverResult result =
+            discover::run_discovery(family, options);
+        const double wall_ms = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+        std::string cert_bytes;
+        for (const discover::Discovery& find : result.found) {
+          const cert::CertCheckResult check = cert::check_certificate(find.certificate);
+          certs_valid = certs_valid && check.status == cert::CertStatus::kValid;
+          const std::string path = (dir / (std::string(tag) + ".cert")).string();
+          std::string error;
+          if (cert::save_certificate(find.certificate, path, &error)) {
+            cert_bytes += read_bytes(path);
+          } else {
+            certs_valid = false;
+          }
+        }
+        certs_valid = certs_valid && !result.found.empty();
+        if (threads == 1) {
+          log_t1 = result.log;
+          cert_t1 = cert_bytes;
+          run.status = discover::to_string(result.status);
+          run.pumped = !result.found.empty() && result.found.front().pumped;
+          run.expansions = result.stats.expansions;
+          run.frontier_peak = result.stats.frontier_peak;
+          run.nodes = result.stats.nodes_spent;
+          run.cache_hits = result.stats.cache_hits;
+          run.cache_misses = result.stats.cache_misses;
+          run.certs_emitted = result.stats.certs_emitted;
+          run.cert_bytes = cert_bytes.size();
+          run.wall_ms = wall_ms;
+        } else {
+          invariant = invariant && result.log == log_t1 && cert_bytes == cert_t1;
+        }
+      }
+      return run;
+    };
+    discover_demo.coloring = measure("coloring", coloring_family, 3);
+    discover_demo.matching = measure("matching", matching_family, 1);
+    discover_demo.certs_valid = certs_valid;
+    discover_demo.thread_invariance = invariant;
+    std::printf(
+        "E2k discover: coloring %s (pumped=%d, %llu expansions, %llu nodes, "
+        "%.2f ms) | matching %s (%llu expansions, %llu nodes, %.2f ms) | "
+        "certs %s | threads 1 vs 4 %s\n\n",
+        discover_demo.coloring.status.c_str(), discover_demo.coloring.pumped ? 1 : 0,
+        static_cast<unsigned long long>(discover_demo.coloring.expansions),
+        static_cast<unsigned long long>(discover_demo.coloring.nodes),
+        discover_demo.coloring.wall_ms, discover_demo.matching.status.c_str(),
+        static_cast<unsigned long long>(discover_demo.matching.expansions),
+        static_cast<unsigned long long>(discover_demo.matching.nodes),
+        discover_demo.matching.wall_ms,
+        discover_demo.certs_valid ? "valid" : "INVALID",
+        discover_demo.thread_invariance ? "identical" : "DIVERGE");
+  }
+
   write_json(rows, totals, table_wall_ms, serial_table_wall_ms, budget_demo,
              portfolio_demo, sweep_demo, cache_demo, cert_demo, inprocess_demo,
-             serve_demo);
+             serve_demo, discover_demo);
 }
 
 void BM_re_matching(benchmark::State& state) {

@@ -36,6 +36,28 @@
 //   slocal_tool check-cert <file>           validate a proof certificate
 //                                           (same verdicts and exit codes as
 //                                           the standalone cert_check binary)
+//   slocal_tool discover  <file> [<file>...] search the relaxation space for
+//                                           lower-bound sequences over the
+//                                           given problem family (every file
+//                                           is a candidate-pool member; the
+//                                           non-trivial ones seed the
+//                                           frontier). --target-length=K
+//                                           asks for K verified steps,
+//                                           --beam=N sets the frontier
+//                                           width, --max-expansions=N and
+//                                           --max-nodes=N bound the search,
+//                                           --checkpoint=PATH arms the
+//                                           crash-safe frontier checkpoint
+//                                           (resumed automatically when the
+//                                           file exists; a corrupt file is
+//                                           exit 2), --emit-cert=PATH
+//                                           writes each find's sequence
+//                                           certificate (find k > 0 goes to
+//                                           PATH.k). Output is bit-identical
+//                                           for every --threads value. Exit
+//                                           codes: 0 found, 1 none, 2
+//                                           corrupt checkpoint, 3 budget
+//                                           exhausted, 64 usage.
 //   slocal_tool simulate  <algorithm> <instance>
 //                                           run a Supported-model algorithm on
 //                                           a streamed instance through the
@@ -91,6 +113,7 @@
 #include "src/cert/check.hpp"
 #include "src/cert/emit.hpp"
 #include "src/cert/format.hpp"
+#include "src/discover/discover.hpp"
 #include "src/formalism/diagram.hpp"
 #include "src/formalism/parser.hpp"
 #include "src/graph/generators.hpp"
@@ -571,6 +594,96 @@ int cmd_sequence(std::vector<Problem> problems, std::size_t repeat,
   return report.valid ? 0 : 2;
 }
 
+struct DiscoverFlags {
+  std::size_t target_length = 1;
+  std::size_t beam = 4;
+  std::size_t max_expansions = 256;
+  std::size_t max_finds = 1;
+  std::size_t threads = 1;
+  std::uint64_t step_nodes = 0;
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 0;
+};
+
+int cmd_discover(const std::vector<Problem>& family,
+                 const DiscoverFlags& dflags, const std::string& cache_path,
+                 const std::string& emit_cert_path, const BudgetFlags& flags) {
+  RECache cache;
+  const bool use_cache = !cache_path.empty();
+  if (use_cache) {
+    // Same contract as `sequence`: missing = cold, corrupt = exit 2.
+    std::ifstream probe(cache_path);
+    if (probe.good()) {
+      std::string error;
+      if (!cache.load(cache_path, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+      }
+    }
+  }
+
+  SearchBudget budget_storage;
+  discover::DiscoverOptions options;
+  options.target_length = dflags.target_length;
+  options.beam_width = dflags.beam;
+  options.max_expansions = dflags.max_expansions;
+  options.max_finds = dflags.max_finds;
+  options.threads = dflags.threads;
+  options.step_nodes = dflags.step_nodes;
+  options.total_nodes = flags.max_nodes;  // --max-nodes = total node pool
+  options.checkpoint_path = dflags.checkpoint_path;
+  options.checkpoint_every = dflags.checkpoint_every;
+  // The budget carries the deadline and the signal chain; the node pool is
+  // steered by the driver itself, so the budget's own node limit stays off.
+  if (flags.timeout_ms > 0) {
+    budget_storage.set_deadline_ms(static_cast<double>(flags.timeout_ms));
+  }
+  budget_storage.chain_to(&g_signal_token);
+  options.budget = &budget_storage;
+  if (use_cache) options.cache = &cache;
+
+  const discover::DiscoverResult result = discover::run_discovery(family, options);
+  std::printf("%s", result.log.c_str());
+  std::printf("status: %s\n", discover::to_string(result.status));
+  std::printf("stats: %s\n", result.stats.to_string().c_str());
+
+  if (use_cache && result.status != discover::DiscoverStatus::kCorrupt) {
+    std::string error;
+    if (!cache.save(cache_path, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+  }
+  if (!emit_cert_path.empty()) {
+    for (std::size_t k = 0; k < result.found.size(); ++k) {
+      const std::string path =
+          k == 0 ? emit_cert_path : emit_cert_path + "." + std::to_string(k);
+      std::string error;
+      if (!cert::save_certificate(result.found[k].certificate, path, &error)) {
+        std::fprintf(stderr, "--emit-cert: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("certificate: find %zu (%zu steps) written to %s\n", k,
+                  result.found[k].chain.size() - 1, path.c_str());
+    }
+  }
+  switch (result.status) {
+    case discover::DiscoverStatus::kFound:
+      return 0;
+    case discover::DiscoverStatus::kNone:
+      return 1;
+    case discover::DiscoverStatus::kCorrupt:
+      return 2;
+    case discover::DiscoverStatus::kExhausted:
+      if (budget_storage.exhausted()) return report_exhausted(budget_storage);
+      std::fprintf(stderr, "budget exhausted: search caps hit before a "
+                           "definitive verdict (raise --max-expansions / "
+                           "--max-nodes, or resume via --checkpoint)\n");
+      return kExitExhausted;
+  }
+  return 1;
+}
+
 /// Streams an instance spec (cycle:<n>, path:<n>, torus:<w>x<h>,
 /// regular:<n>x<d>) into a validated CsrGraph without materializing
 /// per-node adjacency — million-node instances stay flat.
@@ -735,6 +848,9 @@ void print_usage(std::FILE* out) {
                "  portfolio  <file> <support>        race backtracking vs CDCL\n"
                "  sweep      <file> <D> <r> <family> lift solvability sweep\n"
                "  sequence   <file> [<file>...]      verify a lower-bound sequence\n"
+               "  discover   <file> [<file>...]      search the relaxation space\n"
+               "                                     for lower-bound sequences\n"
+               "                                     over the given family\n"
                "  check-cert <file>                  validate a proof certificate\n"
                "  simulate   <algorithm> <instance>  batched CSR simulation:\n"
                "                                     luby-mis | greedy-mis |\n"
@@ -755,10 +871,23 @@ void print_usage(std::FILE* out) {
                "                                     timing only)\n"
                "  --scratch                          sweep: re-encode each support\n"
                "  --repeat=N                         sequence: repeat last problem\n"
-               "  --re-cache=PATH                    sequence: persistent RE cache\n"
-               "  --emit-cert=PATH                   sequence/sweep: write a proof\n"
-               "                                     certificate for check-cert /\n"
-               "                                     cert_check\n"
+               "  --re-cache=PATH                    sequence/discover: persistent\n"
+               "                                     RE cache\n"
+               "  --emit-cert=PATH                   sequence/sweep/discover: write\n"
+               "                                     proof certificates for\n"
+               "                                     check-cert / cert_check\n"
+               "  --target-length=K                  discover: verified steps a\n"
+               "                                     chain needs (default 1)\n"
+               "  --beam=N --max-expansions=N        discover: frontier width and\n"
+               "                                     expansion cap\n"
+               "  --max-finds=N --step-nodes=N       discover: finds wanted; per-\n"
+               "                                     expansion node cap when\n"
+               "                                     --max-nodes sets no pool\n"
+               "  --checkpoint=PATH                  discover: crash-safe frontier\n"
+               "                                     checkpoint (auto-resumed;\n"
+               "                                     corrupt file = exit 2)\n"
+               "  --checkpoint-every=N               discover: checkpoint cadence\n"
+               "                                     in expansions\n"
                "exit codes: 0 ok/valid, 1 error/invalid, 2 unsolvable/not-fixed/\n"
                "            malformed cert, 3 budget exhausted, 64 usage\n");
 }
@@ -777,6 +906,7 @@ int main(int argc, char** argv) {
   bool scratch = false;
   bool inprocessing = true;
   std::size_t repeat = 0;
+  DiscoverFlags dflags;
   std::size_t sim_threads = 1;
   std::size_t sim_rounds = 10'000;
   std::uint64_t sim_seed = 1;
@@ -794,6 +924,21 @@ int main(int argc, char** argv) {
       inprocessing = false;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       sim_threads = std::strtoul(argv[i] + 10, nullptr, 10);
+      dflags.threads = sim_threads == 0 ? 1 : sim_threads;
+    } else if (std::strncmp(argv[i], "--target-length=", 16) == 0) {
+      dflags.target_length = std::strtoul(argv[i] + 16, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--beam=", 7) == 0) {
+      dflags.beam = std::strtoul(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--max-expansions=", 17) == 0) {
+      dflags.max_expansions = std::strtoul(argv[i] + 17, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--max-finds=", 12) == 0) {
+      dflags.max_finds = std::strtoul(argv[i] + 12, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--step-nodes=", 13) == 0) {
+      dflags.step_nodes = std::strtoull(argv[i] + 13, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--checkpoint=", 13) == 0) {
+      dflags.checkpoint_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--checkpoint-every=", 19) == 0) {
+      dflags.checkpoint_every = std::strtoul(argv[i] + 19, nullptr, 10);
     } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
       sim_rounds = std::strtoul(argv[i] + 9, nullptr, 10);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
@@ -828,6 +973,15 @@ int main(int argc, char** argv) {
     }
     return cmd_sequence(std::move(problems), repeat, re_cache_path,
                         emit_cert_path, flags);
+  }
+  if (cmd == "discover") {
+    std::vector<Problem> family;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const auto p = load_problem(args[i]);
+      if (!p) return 1;
+      family.push_back(*p);
+    }
+    return cmd_discover(family, dflags, re_cache_path, emit_cert_path, flags);
   }
   const auto pi = load_problem(args[1]);
   if (!pi) return 1;

@@ -1,0 +1,203 @@
+#include "src/discover/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/formalism/canonical.hpp"
+#include "src/formalism/serialize.hpp"
+#include "src/util/atomic_file.hpp"
+
+namespace slocal::discover {
+
+namespace {
+
+/// Chains and frontiers larger than these are not legitimate checkpoints
+/// (the driver's own limits are far below); bounding them here keeps a
+/// corrupted count from driving a multi-gigabyte parse.
+constexpr std::size_t kMaxChain = 4096;
+constexpr std::size_t kMaxFrontier = 1 << 20;
+constexpr std::size_t kMaxVisited = 1 << 24;
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+void write_hex(std::ostream& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  out << buf;
+}
+
+bool read_hex(std::istream& in, std::uint64_t* v) {
+  std::string token;
+  if (!(in >> token) || token.size() != 16) return false;
+  std::uint64_t parsed = 0;
+  for (const char c : token) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return false;
+    parsed = (parsed << 4) | static_cast<std::uint64_t>(digit);
+  }
+  *v = parsed;
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_frontier_checkpoint(const FrontierCheckpoint& cp) {
+  std::ostringstream out;
+  out << "search " << cp.target_length << ' ' << cp.next_seq << ' '
+      << cp.expansions << ' ' << cp.nodes_spent << ' ' << cp.finds_emitted << ' '
+      << (cp.definitive ? 1 : 0) << '\n';
+  out << "visited " << cp.visited.size() << '\n';
+  for (const std::uint64_t fp : cp.visited) {
+    write_hex(out, fp);
+    out << '\n';
+  }
+  out << "frontier " << cp.frontier.size() << '\n';
+  for (const FrontierNode& node : cp.frontier) {
+    out << "node " << node.score << ' ' << node.seq << ' ' << node.chain.size()
+        << '\n';
+    for (std::size_t i = 0; i < node.chain.size(); ++i) {
+      out << "fp ";
+      write_hex(out, node.fingerprints[i]);
+      out << '\n';
+      write_problem(out, node.chain[i]);
+    }
+  }
+  const std::string payload = out.str();
+  char checksum_line[40];
+  std::snprintf(checksum_line, sizeof(checksum_line), "checksum %016llx\n",
+                static_cast<unsigned long long>(fnv1a_bytes(payload)));
+  return "slocal-discover 1\n" + std::string(checksum_line) + payload;
+}
+
+bool save_frontier_checkpoint(const FrontierCheckpoint& cp, const std::string& path,
+                              std::string* error) {
+  std::string io_error;
+  if (!write_file_atomic(path, serialize_frontier_checkpoint(cp), &io_error)) {
+    return fail(error, "discover-checkpoint: " + io_error);
+  }
+  return true;
+}
+
+bool load_frontier_checkpoint(const std::string& path, FrontierCheckpoint* out,
+                              std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return fail(error, "discover-checkpoint: cannot open '" + path + "'");
+  }
+  std::string magic;
+  if (!std::getline(file, magic)) {
+    return fail(error, "discover-checkpoint: '" + path + "' is not a checkpoint");
+  }
+  if (magic != "slocal-discover 1") {
+    return fail(error, magic.rfind("slocal-discover", 0) == 0
+                           ? "discover-checkpoint: unsupported version ('" +
+                                 magic + "')"
+                           : "discover-checkpoint: '" + path +
+                                 "' is not a checkpoint");
+  }
+  std::string checksum_text;
+  if (!std::getline(file, checksum_text) || checksum_text.size() != 9 + 16 ||
+      checksum_text.compare(0, 9, "checksum ") != 0) {
+    return fail(error, "discover-checkpoint: malformed checksum line");
+  }
+  std::uint64_t stored_checksum = 0;
+  {
+    std::istringstream hex(checksum_text.substr(9));
+    if (!(hex >> std::hex >> stored_checksum)) {
+      return fail(error, "discover-checkpoint: malformed checksum line");
+    }
+  }
+  std::ostringstream raw;
+  raw << file.rdbuf();
+  const std::string payload = raw.str();
+  if (fnv1a_bytes(payload) != stored_checksum) {
+    return fail(error,
+                "discover-checkpoint: payload checksum mismatch (corrupt file)");
+  }
+
+  // Parse and validate everything into a local object; *out is only
+  // written after the last byte checked out.
+  FrontierCheckpoint cp;
+  std::istringstream in(payload);
+  std::string tag;
+  int definitive = 0;
+  if (!(in >> tag >> cp.target_length >> cp.next_seq >> cp.expansions >>
+        cp.nodes_spent >> cp.finds_emitted >> definitive) ||
+      tag != "search" || (definitive != 0 && definitive != 1)) {
+    return fail(error, "discover-checkpoint: malformed search header");
+  }
+  cp.definitive = definitive == 1;
+  if (cp.target_length == 0 || cp.target_length > kMaxChain) {
+    return fail(error, "discover-checkpoint: target length out of range");
+  }
+
+  std::size_t visited_count = 0;
+  if (!(in >> tag >> visited_count) || tag != "visited" ||
+      visited_count > kMaxVisited) {
+    return fail(error, "discover-checkpoint: malformed visited count");
+  }
+  cp.visited.reserve(visited_count);
+  for (std::size_t i = 0; i < visited_count; ++i) {
+    std::uint64_t fp = 0;
+    if (!read_hex(in, &fp)) {
+      return fail(error, "discover-checkpoint: malformed visited fingerprint");
+    }
+    if (i > 0 && fp <= cp.visited.back()) {
+      return fail(error, "discover-checkpoint: visited set not sorted");
+    }
+    cp.visited.push_back(fp);
+  }
+
+  std::size_t frontier_count = 0;
+  if (!(in >> tag >> frontier_count) || tag != "frontier" ||
+      frontier_count > kMaxFrontier) {
+    return fail(error, "discover-checkpoint: malformed frontier count");
+  }
+  cp.frontier.reserve(frontier_count);
+  for (std::size_t i = 0; i < frontier_count; ++i) {
+    FrontierNode node;
+    std::size_t chain_length = 0;
+    if (!(in >> tag >> node.score >> node.seq >> chain_length) || tag != "node" ||
+        chain_length == 0 || chain_length > kMaxChain) {
+      return fail(error, "discover-checkpoint: malformed frontier node");
+    }
+    node.chain.reserve(chain_length);
+    node.fingerprints.reserve(chain_length);
+    for (std::size_t j = 0; j < chain_length; ++j) {
+      std::uint64_t fp = 0;
+      if (!(in >> tag) || tag != "fp" || !read_hex(in, &fp)) {
+        return fail(error, "discover-checkpoint: malformed chain fingerprint");
+      }
+      Problem p;
+      if (!read_problem(in, "chain_" + std::to_string(j), &p, error,
+                        "discover-checkpoint")) {
+        return false;
+      }
+      // Defense in depth beyond the checksum: the stored fingerprint must
+      // really be the canonical fingerprint of the stored problem, pinning
+      // the file to the in-process canonicalization (a checkpoint from an
+      // incompatible build is rejected, not silently mis-deduplicated).
+      if (canonical_fingerprint(p) != fp) {
+        return fail(error,
+                    "discover-checkpoint: chain fingerprint does not match "
+                    "its problem");
+      }
+      node.fingerprints.push_back(fp);
+      node.chain.push_back(std::move(p));
+    }
+    cp.frontier.push_back(std::move(node));
+  }
+  if (in >> tag) {
+    return fail(error, "discover-checkpoint: trailing data after frontier");
+  }
+  *out = std::move(cp);
+  return true;
+}
+
+}  // namespace slocal::discover

@@ -50,6 +50,12 @@ bool parse_options(const std::vector<std::string>& tokens, std::size_t first,
       req->max_nodes = value;
     } else if (key == "timeout-ms") {
       req->timeout_ms = value;
+    } else if (req->kind == Request::Kind::kDiscover && key == "target") {
+      req->target = static_cast<std::size_t>(value);
+    } else if (req->kind == Request::Kind::kDiscover && key == "beam") {
+      req->beam = static_cast<std::size_t>(value);
+    } else if (req->kind == Request::Kind::kDiscover && key == "max-expansions") {
+      req->max_expansions = static_cast<std::size_t>(value);
     } else {
       return fail(error, "unknown option '" + key + "'");
     }
@@ -153,6 +159,20 @@ std::optional<Request> parse_request_line(const std::string& line, std::string* 
     req.big_r = static_cast<std::size_t>(r);
     req.family = tokens[6];
     if (!parse_options(tokens, 7, &req, error)) return std::nullopt;
+    return req;
+  }
+  if (cmd == "discover") {
+    if (tokens.size() < 4) {
+      fail(error, "discover needs a comma-joined problem family");
+      return std::nullopt;
+    }
+    req.kind = Request::Kind::kDiscover;
+    req.path = tokens[3];
+    if (!parse_options(tokens, 4, &req, error)) return std::nullopt;
+    if (req.target < 1 || req.beam < 1 || req.max_expansions < 1) {
+      fail(error, "discover needs target, beam, max-expansions >= 1");
+      return std::nullopt;
+    }
     return req;
   }
   if (cmd == "check-cert") {

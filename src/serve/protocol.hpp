@@ -8,6 +8,8 @@
 //   req <id> sequence  <problem-file> [repeat=N] [max-nodes=N] [timeout-ms=N]
 //   req <id> sweep     <problem-file> <Δ> <r> <family> [max-nodes=N] [timeout-ms=N]
 //   req <id> check-cert <cert-file>
+//   req <id> discover  <file>[,<file>...] [target=N] [beam=N]
+//                      [max-expansions=N] [max-nodes=N] [timeout-ms=N]
 //   ping | stats | checkpoint | shutdown
 //
 // Responses:
@@ -64,6 +66,7 @@ struct Request {
     kSequence,
     kSweep,
     kCheckCert,
+    kDiscover,
     kPing,
     kStats,
     kCheckpoint,
@@ -71,11 +74,15 @@ struct Request {
   };
   Kind kind = Kind::kPing;
   std::string id;    // empty for control requests (ping/stats/...)
-  std::string path;  // problem or certificate file
+  std::string path;  // problem/certificate file; comma-joined family for discover
   std::size_t repeat = 1;
   std::size_t big_delta = 0;
   std::size_t big_r = 0;
   std::string family;
+  /// Discover knobs (target chain length, beam width, expansion cap).
+  std::size_t target = 1;
+  std::size_t beam = 4;
+  std::size_t max_expansions = 64;
   /// Per-request budget caps; 0 = inherit the server default.
   std::uint64_t max_nodes = 0;
   std::uint64_t timeout_ms = 0;

@@ -10,6 +10,7 @@
 
 #include "src/cert/check.hpp"
 #include "src/cert/format.hpp"
+#include "src/discover/discover.hpp"
 #include "src/formalism/canonical.hpp"
 #include "src/formalism/parser.hpp"
 #include "src/lift/sweep.hpp"
@@ -25,6 +26,13 @@ using Clock = std::chrono::steady_clock;
 /// Problem is copied (an oversized repeat is a memory-amplification vector,
 /// not a legitimate workload).
 constexpr std::size_t kMaxRepeat = 100'000;
+
+/// Discover requests carry a whole family and an exponential search; these
+/// caps keep a single request from monopolizing a worker even before its
+/// budget trips.
+constexpr std::size_t kMaxDiscoverFamily = 16;
+constexpr std::size_t kMaxDiscoverTarget = 64;
+constexpr std::size_t kMaxDiscoverExpansions = 4096;
 
 std::optional<Problem> load_problem_file(const std::string& path, std::string* error) {
   std::ifstream in(path);
@@ -317,6 +325,9 @@ void Server::execute(const Request& request, std::uint64_t ticket,
       case Request::Kind::kCheckCert:
         response = run_check_cert(request, *budget);
         break;
+      case Request::Kind::kDiscover:
+        response = run_discover(request, *budget);
+        break;
       default:
         response = make_invalid(request.id, "not an executable request");
         break;
@@ -454,6 +465,89 @@ Response Server::run_check_cert(const Request& request, SearchBudget& budget) {
       result.status == cert::CertStatus::kValid ? "valid" : "invalid";
   return make_ok(request.id, std::string("verdict=") + verdict,
                  budget.consumption());
+}
+
+Response Server::run_discover(const Request& request, SearchBudget& budget) {
+  // request.path is a comma-joined family; the first file doubles as the
+  // search root, exactly like the CLI's positional list.
+  std::vector<Problem> family;
+  std::string error;
+  std::size_t start = 0;
+  while (start <= request.path.size()) {
+    const std::size_t comma = request.path.find(',', start);
+    const std::string piece = request.path.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (piece.empty()) return make_invalid(request.id, "empty family member");
+    if (family.size() >= kMaxDiscoverFamily) {
+      return make_invalid(request.id, "family exceeds " +
+                                          std::to_string(kMaxDiscoverFamily) +
+                                          " problems");
+    }
+    const auto problem = load_problem_file(piece, &error);
+    if (!problem) return make_invalid(request.id, error);
+    family.push_back(*problem);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (request.target > kMaxDiscoverTarget) {
+    return make_invalid(request.id, "target exceeds " +
+                                        std::to_string(kMaxDiscoverTarget));
+  }
+  if (request.max_expansions > kMaxDiscoverExpansions) {
+    return make_invalid(request.id, "max-expansions exceeds " +
+                                        std::to_string(kMaxDiscoverExpansions));
+  }
+
+  // Serial inside (threads = 1) like every request: cross-request
+  // parallelism comes from the worker pool. The request's node cap becomes
+  // the driver's total pool, so the steering rule splits exactly the budget
+  // admission granted.
+  discover::DiscoverOptions options;
+  options.target_length = request.target;
+  options.beam_width = request.beam;
+  options.max_expansions = request.max_expansions;
+  options.threads = 1;
+  options.total_nodes = budget.node_limit();
+  options.budget = &budget;
+  options.cache = &cache_;
+  const discover::DiscoverResult result = discover::run_discovery(family, options);
+
+  BudgetConsumption consumed = budget.consumption();
+  consumed.nodes = std::max(consumed.nodes, result.stats.nodes_spent);
+  switch (result.status) {
+    case discover::DiscoverStatus::kFound: {
+      const discover::Discovery& find = result.found.front();
+      char body[192];
+      std::snprintf(body, sizeof(body),
+                    "status=found steps=%zu pumped=%d fp=%016llx "
+                    "expansions=%llu cache_hits=%llu cache_misses=%llu",
+                    find.chain.size() - 1, find.pumped ? 1 : 0,
+                    static_cast<unsigned long long>(find.fingerprints.front()),
+                    static_cast<unsigned long long>(result.stats.expansions),
+                    static_cast<unsigned long long>(result.stats.cache_hits),
+                    static_cast<unsigned long long>(result.stats.cache_misses));
+      return make_ok(request.id, body, consumed);
+    }
+    case discover::DiscoverStatus::kNone: {
+      char body[128];
+      std::snprintf(body, sizeof(body),
+                    "status=none expansions=%llu generated=%llu",
+                    static_cast<unsigned long long>(result.stats.expansions),
+                    static_cast<unsigned long long>(
+                        result.stats.candidates_generated));
+      return make_ok(request.id, body, consumed);
+    }
+    case discover::DiscoverStatus::kCorrupt:
+      // Unreachable today (requests never name a checkpoint file), but the
+      // fail-closed class is the right answer if that ever changes.
+      return make_corrupt(request.id, "discover checkpoint failed validation");
+    case discover::DiscoverStatus::kExhausted:
+      break;
+  }
+  if (consumed.reason == ExhaustReason::kNone) {
+    consumed.reason = ExhaustReason::kNodes;
+  }
+  return make_retryable(request.id, "", options_.retry_after_ms, consumed);
 }
 
 void Server::finish_request(std::uint64_t ticket, const Response& response) {

@@ -165,6 +165,7 @@ class Server {
   Response run_sequence(const Request& request, SearchBudget& budget);
   Response run_sweep(const Request& request, SearchBudget& budget);
   Response run_check_cert(const Request& request, SearchBudget& budget);
+  Response run_discover(const Request& request, SearchBudget& budget);
   void finish_request(std::uint64_t ticket, const Response& response);
   void watchdog_loop();
   std::size_t wedged_now() const;  // registry_mutex_ must be held

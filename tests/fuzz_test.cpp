@@ -13,9 +13,13 @@
 #include "src/cert/check.hpp"
 #include "src/cert/emit.hpp"
 #include "src/cert/format.hpp"
+#include "src/discover/checkpoint.hpp"
+#include "src/discover/discover.hpp"
+#include "src/formalism/canonical.hpp"
 #include "src/formalism/parser.hpp"
 #include "src/graph/generators.hpp"
 #include "src/problems/classic.hpp"
+#include "src/problems/matching_family.hpp"
 #include "src/problems/verifiers.hpp"
 #include "src/re/re_cache.hpp"
 #include "src/re/sequence.hpp"
@@ -265,6 +269,45 @@ TEST(Fuzz, LiftCertificateRejectsEveryByteFlip) {
   cert::Certificate pristine;
   EXPECT_TRUE(cert::load_certificate(path, &pristine, &error)) << error;
   EXPECT_EQ(cert::check_certificate(pristine).status, cert::CertStatus::kValid);
+}
+
+TEST(Fuzz, DiscoverCheckpointRejectsEveryByteFlip) {
+  // Persist a real mid-search frontier ("slocal-discover 1"): run the
+  // discovery driver with an expansion cap of 1 so it exhausts and writes
+  // its resume state, then storm that file. Every mutant must be rejected
+  // with a structured error — a silently-accepted mutant would let a
+  // corrupted frontier masquerade as legitimate resume material.
+  const std::vector<Problem> family{make_matching_problem(3, 0, 1),
+                                    make_matching_problem(3, 1, 1)};
+  const std::string path = fuzz_temp("fuzz_discover.ckpt");
+  std::filesystem::remove(path);
+
+  discover::DiscoverOptions options;
+  options.target_length = 2;  // out of reach: one expansion cannot find it
+  options.max_expansions = 1;
+  options.checkpoint_path = path;
+  const auto result = discover::run_discovery(family, options);
+  ASSERT_EQ(result.status, discover::DiscoverStatus::kExhausted) << result.log;
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  expect_every_byte_flip_rejected(path, [](const std::string& f, std::string* e) {
+    discover::FrontierCheckpoint probe;
+    return discover::load_frontier_checkpoint(f, &probe, e);
+  });
+
+  discover::FrontierCheckpoint pristine;
+  std::string error;
+  ASSERT_TRUE(discover::load_frontier_checkpoint(path, &pristine, &error))
+      << error;
+  // The untouched file is genuine resume material: its frontier chains
+  // re-canonicalize to the fingerprints it claims.
+  ASSERT_FALSE(pristine.frontier.empty());
+  for (const auto& node : pristine.frontier) {
+    ASSERT_EQ(node.chain.size(), node.fingerprints.size());
+    for (std::size_t i = 0; i < node.chain.size(); ++i) {
+      EXPECT_EQ(canonicalize(node.chain[i]).fingerprint, node.fingerprints[i]);
+    }
+  }
 }
 
 TEST(Fuzz, CnfEncoderModelsDecodeToSemanticMaximalMatchings) {

@@ -22,6 +22,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -37,8 +38,10 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/discover/checkpoint.hpp"
 #include "src/formalism/canonical.hpp"
 #include "src/formalism/parser.hpp"
+#include "src/problems/matching_family.hpp"
 #include "src/re/re_cache.hpp"
 #include "src/serve/checkpoint.hpp"
 #include "src/serve/fault_plan.hpp"
@@ -93,6 +96,49 @@ TEST(ServeProtocol, ParsesSweepAndControls) {
   for (const char* control : {"ping", "stats", "checkpoint", "shutdown"}) {
     EXPECT_TRUE(parse_request_line(control, &error, &error_id).has_value())
         << control;
+  }
+}
+
+TEST(ServeProtocol, ParsesDiscoverWithOptions) {
+  std::string error, error_id;
+  const auto req = parse_request_line(
+      "req d1 discover /tmp/a.txt,/tmp/b.txt target=2 beam=8 "
+      "max-expansions=32 max-nodes=500 timeout-ms=1000",
+      &error, &error_id);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->kind, Request::Kind::kDiscover);
+  EXPECT_EQ(req->id, "d1");
+  EXPECT_EQ(req->path, "/tmp/a.txt,/tmp/b.txt");
+  EXPECT_EQ(req->target, 2u);
+  EXPECT_EQ(req->beam, 8u);
+  EXPECT_EQ(req->max_expansions, 32u);
+  EXPECT_EQ(req->max_nodes, 500u);
+  EXPECT_EQ(req->timeout_ms, 1000u);
+  // Defaults apply when no options are given.
+  const auto bare =
+      parse_request_line("req d2 discover /tmp/a.txt", &error, &error_id);
+  ASSERT_TRUE(bare.has_value()) << error;
+  EXPECT_EQ(bare->target, 1u);
+  EXPECT_EQ(bare->beam, 4u);
+}
+
+TEST(ServeProtocol, DiscoverOptionsAreKindGatedAndBounded) {
+  std::string error, error_id;
+  // target= / beam= / max-expansions= belong to discover only.
+  EXPECT_FALSE(parse_request_line("req x sequence /tmp/p.txt target=2", &error,
+                                  &error_id)
+                   .has_value());
+  EXPECT_FALSE(
+      parse_request_line("req x sweep /tmp/p.txt 2 2 cycles:2..3 beam=8",
+                         &error, &error_id)
+          .has_value());
+  // Zero is out of range for every discover knob.
+  for (const char* bad : {"target=0", "beam=0", "max-expansions=0"}) {
+    EXPECT_FALSE(parse_request_line(
+                     std::string("req x discover /tmp/p.txt ") + bad, &error,
+                     &error_id)
+                     .has_value())
+        << bad;
   }
 }
 
@@ -275,6 +321,52 @@ TEST(ServeServer, AnswersControlAndVerdictRequests) {
   EXPECT_EQ(counters.ok, 1u);
   EXPECT_EQ(counters.invalid, 1u);
   EXPECT_EQ(counters.corrupt, 1u);
+  server.request_shutdown();
+}
+
+TEST(ServeServer, DiscoverRequestsAnswerEveryResponseClass) {
+  ServeOptions options;
+  options.workers = 2;
+  Server server(options);
+  Collector sink;
+  sink.attach(server);
+
+  // Found: the Δ'=3 matching chain from the comma-joined family files.
+  EXPECT_TRUE(server.handle_line(
+      "req d1 discover " + problem("matching_3_0_1.txt") + "," +
+      problem("matching_3_1_1.txt") + " target=1"));
+  // None: the dead-end singleton family has no length-2 chain.
+  EXPECT_TRUE(server.handle_line("req d2 discover " +
+                                 problem("matching_3_1_1.txt") + " target=2"));
+  // Retryable: a 10-node budget trips inside the first engine call.
+  EXPECT_TRUE(server.handle_line("req d3 discover " +
+                                 problem("matching_3_0_1.txt") + "," +
+                                 problem("matching_3_1_1.txt") +
+                                 " target=1 max-nodes=10"));
+  // Invalid: missing file.
+  EXPECT_TRUE(server.handle_line("req d4 discover /no/such/family.txt"));
+  server.drain();
+
+  const std::string found = sink.only_response("d1");
+  EXPECT_NE(found.find(" ok "), std::string::npos) << found;
+  EXPECT_NE(found.find("status=found"), std::string::npos) << found;
+  EXPECT_NE(found.find("steps=1"), std::string::npos) << found;
+  const std::string none = sink.only_response("d2");
+  EXPECT_NE(none.find(" ok "), std::string::npos) << none;
+  EXPECT_NE(none.find("status=none"), std::string::npos) << none;
+  const std::string retry = sink.only_response("d3");
+  EXPECT_NE(retry.find(" retryable reason=nodes"), std::string::npos) << retry;
+  const std::string invalid = sink.only_response("d4");
+  EXPECT_NE(invalid.find(" invalid "), std::string::npos) << invalid;
+
+  // The retryable attempt succeeds verbatim-without-the-cap later — budget
+  // exhaustion never flipped anything.
+  EXPECT_TRUE(server.handle_line(
+      "req d5 discover " + problem("matching_3_0_1.txt") + "," +
+      problem("matching_3_1_1.txt") + " target=1"));
+  server.drain();
+  const std::string after = sink.only_response("d5");
+  EXPECT_NE(after.find("status=found"), std::string::npos) << after;
   server.request_shutdown();
 }
 
@@ -694,6 +786,58 @@ TEST(RECacheAtomicity, SaveSurvivesSigkillAtArbitraryOffsets) {
       std::string error;
       EXPECT_TRUE(loaded.load(path, &error))
           << "torn cache after SIGKILL at " << delay_us << "us: " << error;
+    }
+  }
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(path + ".tmp." + std::to_string(::getpid()), ec);
+}
+
+TEST(DiscoverCheckpointAtomicity, SaveSurvivesSigkillAtArbitraryOffsets) {
+  // Same contract as the RECache writer, for the "slocal-discover 1"
+  // frontier format: a SIGKILL at any moment leaves either the previous
+  // generation or a complete new one — never a torn file. This is what
+  // makes resuming a killed `slocal_tool discover --checkpoint=` run safe.
+  const std::string path = temp_path("kill_discover");
+  discover::FrontierCheckpoint cp;
+  cp.target_length = 2;
+  cp.next_seq = 4;
+  cp.expansions = 2;
+  cp.nodes_spent = 999;
+  const Problem p0 = make_matching_problem(3, 0, 1);
+  const Problem p1 = make_matching_problem(3, 1, 1);
+  cp.visited = {canonicalize(p0).fingerprint, canonicalize(p1).fingerprint};
+  std::sort(cp.visited.begin(), cp.visited.end());
+  discover::FrontierNode node;
+  node.score = 7;
+  node.seq = 3;
+  node.chain = {p0, p1};
+  node.fingerprints = {canonicalize(p0).fingerprint,
+                       canonicalize(p1).fingerprint};
+  cp.frontier.push_back(node);
+
+  std::error_code ec;
+  for (const useconds_t delay_us : {100u, 500u, 1200u, 2500u, 4000u}) {
+    std::filesystem::remove(path, ec);
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      for (;;) {
+        std::string error;
+        if (!discover::save_frontier_checkpoint(cp, path, &error)) _exit(2);
+      }
+    }
+    ::usleep(delay_us);
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    if (std::filesystem::exists(path, ec)) {
+      discover::FrontierCheckpoint loaded;
+      std::string error;
+      EXPECT_TRUE(discover::load_frontier_checkpoint(path, &loaded, &error))
+          << "torn discover checkpoint after SIGKILL at " << delay_us
+          << "us: " << error;
+      EXPECT_EQ(loaded.frontier.size(), 1u);
     }
   }
   std::filesystem::remove(path, ec);

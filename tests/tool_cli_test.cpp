@@ -8,8 +8,10 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <ostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -44,80 +46,130 @@ std::string problem(const char* name) {
   return std::string("'") + SLOCAL_PROBLEM_DIR + "/" + name + "' ";
 }
 
-TEST(ToolCli, PortfolioReportsSolvableOnEvenCycle) {
-  EXPECT_EQ(run_tool("portfolio " + problem("two_coloring.txt") + "cycle:4"), 0);
+// ------------------------------------------------------ exit-code contract
+//
+// The whole exit-code contract as one table. Every row is one pinned fact:
+// `slocal_tool <args>` exits with exactly <expected>. Adding a command means
+// adding its rows here — the table is the contract scripts and CI key on.
+// Tests that additionally inspect stdout or produced files stay standalone
+// below.
+
+struct ExitRow {
+  const char* name;  ///< test-name suffix; [A-Za-z0-9] only
+  std::string args;
+  int expected;
+};
+
+void PrintTo(const ExitRow& row, std::ostream* os) {
+  *os << "slocal_tool " << row.args << " must exit " << row.expected;
 }
 
-TEST(ToolCli, PortfolioReportsUnsolvableOnOddCycle) {
-  EXPECT_EQ(run_tool("portfolio " + problem("two_coloring.txt") + "cycle:3"), 2);
-}
-
-TEST(ToolCli, PortfolioExitsThreeWhenBudgetExhausts) {
-  // An unwinnable budget: the edge-parity contradiction is global (a
-  // double-counting argument over all of K_{3,3}), so no engine — CDCL under
-  // any branching seed or phase, backtracking under any order — can decide it
-  // within one node/conflict. Every racer trips its cap and the tool must
-  // report exit 3 rather than pretending --max-nodes was honored. The pin
-  // holds with inprocessing armed (the default) and disarmed: pre-race
-  // simplification is capped by the same per-engine budget, so it may not
-  // decide instances the engines may not.
-  const std::string args =
+std::vector<ExitRow> exit_rows() {
+  // Reused fragments. The K_{3,3} edge-parity budget rows pin a global
+  // contradiction (a double-counting argument over the whole graph) that no
+  // engine — CDCL under any seed, backtracking under any order — can decide
+  // within one node/conflict, so every racer trips its cap and the tool must
+  // report exit 3 rather than pretend --max-nodes was honored; the pin holds
+  // with inprocessing armed and disarmed because pre-race simplification is
+  // capped by the same per-engine budget.
+  const std::string parity_capped =
       "portfolio " + problem("edge_parity_3.txt") + "complete:3x3 --max-nodes=1";
-  EXPECT_EQ(run_tool(args), 3);
-  EXPECT_EQ(run_tool(args + " --no-inprocessing"), 3);
+  const std::string sweep_cycles =
+      "sweep " + problem("two_coloring.txt") + "2 2 cycles:2..6";
+  const std::string matching_family =
+      problem("matching_3_0_1.txt") + problem("matching_3_1_1.txt");
+  return {
+      // portfolio: 0 = solvable, 2 = proven unsolvable, 3 = exhausted.
+      {"PortfolioSolvableEvenCycle",
+       "portfolio " + problem("two_coloring.txt") + "cycle:4", 0},
+      {"PortfolioUnsolvableOddCycle",
+       "portfolio " + problem("two_coloring.txt") + "cycle:3", 2},
+      {"PortfolioExhaustsOnCappedParity", parity_capped, 3},
+      {"PortfolioExhaustsOnCappedParityNoInprocessing",
+       parity_capped + " --no-inprocessing", 3},
+      // --no-inprocessing is an A/B timing knob: verdicts and exit codes
+      // are contractually identical in both modes.
+      {"PortfolioSolvableNoInprocessing",
+       "portfolio " + problem("two_coloring.txt") + "cycle:4 --no-inprocessing",
+       0},
+      {"PortfolioUnsolvableNoInprocessing",
+       "portfolio " + problem("two_coloring.txt") + "cycle:3 --no-inprocessing",
+       2},
+      {"PortfolioParityUnsolvableNoInprocessing",
+       "portfolio " + problem("edge_parity_3.txt") +
+           "complete:3x3 --no-inprocessing",
+       2},
+      // sweep: decides the cycle family incrementally, from scratch, and
+      // without inprocessing; exhausts under a one-node cap; rejects lift
+      // targets the problem cannot dominate (maximal_matching_3 has black
+      // degree 2, so r = 1 cannot host the lift).
+      {"SweepDecidesCycles", sweep_cycles, 0},
+      {"SweepDecidesCyclesScratch", sweep_cycles + " --scratch", 0},
+      {"SweepDecidesCyclesNoInprocessing",
+       sweep_cycles + " --no-inprocessing", 0},
+      {"SweepExhaustsUnderNodeCap", sweep_cycles + " --max-nodes=1", 3},
+      {"SweepRejectsNonDominatingLift",
+       "sweep " + problem("maximal_matching_3.txt") + "3 1 gadgets:1..3", 1},
+      // sequence: two_coloring is an RE fixed point (repeat chains verify);
+      // maximal_matching_3 is not a relaxation of RE(two_coloring).
+      {"SequenceVerifiesFixedPointChain",
+       "sequence " + problem("two_coloring.txt") + "--repeat=3", 0},
+      {"SequenceRejectsNonRelaxationChain",
+       "sequence " + problem("two_coloring.txt") +
+           problem("maximal_matching_3.txt"),
+       2},
+      {"SequenceNeedsTwoProblems", "sequence " + problem("two_coloring.txt"),
+       1},
+      // discover: 0 = chain found, 1 = definitive none, 3 = budget
+      // exhausted before an answer, 64 = usage. The found row rediscovers
+      // the two_coloring pump; the none row asks the dead-end singleton
+      // Π_3(1,1) for a length-2 chain; the exhausted row caps expansions at
+      // 1 so the matching chain stays out of reach.
+      {"DiscoverFindsColoringPump",
+       "discover " + problem("two_coloring.txt") + "--target-length=3", 0},
+      {"DiscoverReportsNoneOnDeadEnd",
+       "discover " + problem("matching_3_1_1.txt") + "--target-length=2", 1},
+      {"DiscoverExhaustsUnderExpansionCap",
+       "discover " + matching_family + "--target-length=2 --max-expansions=1",
+       3},
+      {"DiscoverWithoutFamilyIsUsage", "discover", 64},
+      // usage and input errors, shared across commands.
+      {"NoArgsIsUsage", "", 64},
+      {"UnknownCommandIsUsage",
+       "frobnicate " + problem("two_coloring.txt") + "cycle:4", 64},
+      {"MissingProblemFileIsInputError",
+       "portfolio " + problem("no_such_problem.txt") + "cycle:4", 1},
+      {"BadInstanceSpecIsInputError",
+       "portfolio " + problem("two_coloring.txt") + "pentagon", 1},
+      // simulate: 0 = all halted, 2 = live nodes at the round cap, 3 =
+      // budget exhausted mid-run (one node / 1ms on a 20k-node instance:
+      // no verdict may be printed), 1 = bad spec, 64 = missing positionals.
+      {"SimulateExitsTwoAtRoundCap", "simulate greedy-mis path:64 --rounds=3",
+       2},
+      {"SimulateExhaustsUnderNodeCap",
+       "simulate luby-mis regular:20000x4 --max-nodes=1", 3},
+      {"SimulateExhaustsUnderDeadline",
+       "simulate luby-mis regular:20000x4 --timeout-ms=1 --rounds=1000000", 3},
+      {"SimulateRejectsBadInstance", "simulate luby-mis pentagon", 1},
+      {"SimulateRejectsUnknownAlgorithm", "simulate frobnicate cycle:10", 1},
+      {"SimulateRejectsDegreeMismatch",
+       "simulate ring-coloring torus:4x4", 1},  // ring needs 2-regular
+      {"SimulateRejectsOddDegreeSum", "simulate luby-mis regular:5x3", 1},
+      {"SimulateWithoutInstanceIsUsage", "simulate luby-mis", 64},
+  };
 }
 
-TEST(ToolCli, PortfolioVerdictsUnchangedWithoutInprocessing) {
-  // --no-inprocessing is an A/B timing knob: verdicts and exit codes are
-  // contractually identical in both modes.
-  EXPECT_EQ(run_tool("portfolio " + problem("two_coloring.txt") +
-                     "cycle:4 --no-inprocessing"),
-            0);
-  EXPECT_EQ(run_tool("portfolio " + problem("two_coloring.txt") +
-                     "cycle:3 --no-inprocessing"),
-            2);
-  EXPECT_EQ(run_tool("portfolio " + problem("edge_parity_3.txt") +
-                     "complete:3x3 --no-inprocessing"),
-            2);
+class ExitContract : public testing::TestWithParam<ExitRow> {};
+
+TEST_P(ExitContract, PinsExitCode) {
+  EXPECT_EQ(run_tool(GetParam().args), GetParam().expected)
+      << "slocal_tool " << GetParam().args;
 }
 
-TEST(ToolCli, SweepDecidesCycleFamilyIncrementallyAndFromScratch) {
-  const std::string args = "sweep " + problem("two_coloring.txt") + "2 2 cycles:2..6";
-  EXPECT_EQ(run_tool(args), 0);
-  EXPECT_EQ(run_tool(args + " --scratch"), 0);
-  EXPECT_EQ(run_tool(args + " --no-inprocessing"), 0);
-}
-
-TEST(ToolCli, SweepExitsThreeWhenBudgetExhausts) {
-  EXPECT_EQ(run_tool("sweep " + problem("two_coloring.txt") +
-                     "2 2 cycles:2..6 --max-nodes=1"),
-            3);
-}
-
-TEST(ToolCli, SweepRejectsNonDominatingLiftTargets) {
-  // maximal_matching_3 has black degree 2; r = 1 cannot host the lift.
-  EXPECT_EQ(run_tool("sweep " + problem("maximal_matching_3.txt") +
-                     "3 1 gadgets:1..3"),
-            1);
-}
-
-TEST(ToolCli, SequenceVerifiesFixedPointChain) {
-  // two_coloring is an RE fixed point, so the repeated chain is a valid
-  // lower bound sequence (each Π_i is a relaxation of RE(Π_{i-1})).
-  EXPECT_EQ(run_tool("sequence " + problem("two_coloring.txt") + "--repeat=3"), 0);
-}
-
-TEST(ToolCli, SequenceRejectsNonRelaxationChain) {
-  // maximal_matching_3 is not a relaxation of RE(two_coloring): negative
-  // verdict, exit 2.
-  EXPECT_EQ(run_tool("sequence " + problem("two_coloring.txt") +
-                     problem("maximal_matching_3.txt")),
-            2);
-}
-
-TEST(ToolCli, SequenceNeedsAtLeastTwoProblems) {
-  EXPECT_EQ(run_tool("sequence " + problem("two_coloring.txt")), 1);
-}
+INSTANTIATE_TEST_SUITE_P(ToolCli, ExitContract, testing::ValuesIn(exit_rows()),
+                         [](const testing::TestParamInfo<ExitRow>& info) {
+                           return info.param.name;
+                         });
 
 TEST(ToolCli, SequenceCacheColdRunWritesWarmRunHits) {
   const std::string cache =
@@ -166,27 +218,19 @@ TEST(ToolCli, SequenceRejectsCorruptCacheWithExitTwo) {
   EXPECT_EQ(out.find("sequence:"), std::string::npos) << out;
 }
 
-TEST(ToolCli, UsageAndInputErrors) {
-  EXPECT_EQ(run_tool(""), 64);
-  EXPECT_EQ(run_tool("frobnicate " + problem("two_coloring.txt") + "cycle:4"), 64);
-  EXPECT_EQ(run_tool("portfolio " + problem("no_such_problem.txt") + "cycle:4"), 1);
-  EXPECT_EQ(run_tool("portfolio " + problem("two_coloring.txt") + "pentagon"), 1);
-}
-
 TEST(ToolCli, HelpExitsZeroAndMentionsEveryCommand) {
   std::string out;
   EXPECT_EQ(run_tool_capture("--help", &out), 0);
   for (const char* cmd : {"print", "re", "fixed", "lift", "solve", "zero",
                           "portfolio", "sweep", "sequence", "check-cert",
-                          "simulate", "--emit-cert", "--no-inprocessing"}) {
+                          "simulate", "discover", "--emit-cert",
+                          "--no-inprocessing"}) {
     EXPECT_NE(out.find(cmd), std::string::npos) << "--help misses " << cmd;
   }
 }
 
-// -- simulate: the batched CSR simulator behind a CLI. Exit-code contract:
-//    0 = all nodes halted, 2 = still live at the --rounds cap, 3 = budget
-//    exhausted mid-run (no verdict), 1 = bad algorithm/instance spec,
-//    64 = missing positionals. --
+// -- simulate: the batched CSR simulator behind a CLI (exit pins live in
+//    the contract table; these check the printed summary). --
 
 TEST(ToolCli, SimulateRunsToCompletion) {
   std::string out;
@@ -211,27 +255,6 @@ TEST(ToolCli, SimulateOutputIsThreadCountInvariant) {
     return s.substr(s.find('\n') + 1);
   };
   EXPECT_EQ(tail(serial), tail(all_cores));
-}
-
-TEST(ToolCli, SimulateExitsTwoWhenRoundCapLeavesLiveNodes) {
-  EXPECT_EQ(run_tool("simulate greedy-mis path:64 --rounds=3"), 2);
-}
-
-TEST(ToolCli, SimulateExitsThreeWhenBudgetExhausts) {
-  // One-node budget on a 20k-node instance: the first shard sweep trips the
-  // cap. No verdict is printed — exhaustion must never look like exit 0/2.
-  EXPECT_EQ(run_tool("simulate luby-mis regular:20000x4 --max-nodes=1"), 3);
-  EXPECT_EQ(run_tool("simulate luby-mis regular:20000x4 --timeout-ms=1 "
-                     "--rounds=1000000"),
-            3);
-}
-
-TEST(ToolCli, SimulateRejectsBadSpecs) {
-  EXPECT_EQ(run_tool("simulate luby-mis pentagon"), 1);
-  EXPECT_EQ(run_tool("simulate frobnicate cycle:10"), 1);
-  EXPECT_EQ(run_tool("simulate ring-coloring torus:4x4"), 1);  // not 2-regular
-  EXPECT_EQ(run_tool("simulate luby-mis regular:5x3"), 1);     // odd n*d
-  EXPECT_EQ(run_tool("simulate luby-mis"), 64);
 }
 
 // -- Certificate emission and validation through the CLI. The 0/1/2 contract
@@ -286,6 +309,51 @@ TEST(ToolCli, SweepEmitCertFailsWhenNothingIsUnsolvable) {
                      "2 2 cycles:2..2 --emit-cert='" + cert + "'"),
             1);
   EXPECT_FALSE(std::filesystem::exists(cert));
+}
+
+TEST(ToolCli, DiscoverEmitsCertificateBothCheckersAccept) {
+  // The rediscovered matching chain's certificate must satisfy both the
+  // tool's own checker and the standalone cert_check binary — the driver is
+  // untrusted, the certificate is the deliverable.
+  const std::string cert =
+      (std::filesystem::path(testing::TempDir()) / "cli_discover.cert").string();
+  std::filesystem::remove(cert);
+  EXPECT_EQ(run_tool("discover " + problem("matching_3_0_1.txt") +
+                     problem("matching_3_1_1.txt") +
+                     "--target-length=1 --emit-cert='" + cert + "'"),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(cert));
+  std::string out;
+  EXPECT_EQ(run_tool_capture("check-cert '" + cert + "'", &out), 0);
+  EXPECT_NE(out.find("VALID"), std::string::npos) << out;
+  EXPECT_EQ(run_cert_check(cert), 0);
+}
+
+TEST(ToolCli, DiscoverRejectsCorruptCheckpointWithExitTwo) {
+  // Exhaust once to produce a real "slocal-discover 1" checkpoint, flip one
+  // byte, and resume: the tool must fail closed with exit 2 before any
+  // search runs — never resume from damaged frontier state.
+  const std::string ckpt =
+      (std::filesystem::path(testing::TempDir()) / "cli_discover.ckpt").string();
+  std::filesystem::remove(ckpt);
+  const std::string family =
+      problem("matching_3_0_1.txt") + problem("matching_3_1_1.txt");
+  ASSERT_EQ(run_tool("discover " + family +
+                     "--target-length=2 --max-expansions=1 --checkpoint='" +
+                     ckpt + "'"),
+            3);
+  ASSERT_TRUE(std::filesystem::exists(ckpt));
+
+  std::ifstream in(ckpt, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  text[text.size() / 2] ^= 0x01;
+  std::ofstream(ckpt, std::ios::trunc | std::ios::binary) << text;
+
+  EXPECT_EQ(run_tool("discover " + family +
+                     "--target-length=2 --checkpoint='" + ckpt + "'"),
+            2);
 }
 
 TEST(ToolCli, CheckCertRejectsCorruptFileWithExitTwo) {

@@ -311,6 +311,48 @@ def main(argv):
     elif base_serve:
         rc |= fail("serve_demo missing from current report")
 
+    disc = current.get("discover_demo")
+    base_disc = baseline.get("discover_demo")
+    if disc:
+        # Hard gates (schema v8). The discovery driver must rediscover both
+        # workloads (the 2-coloring pump and the Δ'=3 matching chain), every
+        # emitted certificate must pass the independent checker, and the
+        # threads=4 run must reproduce the threads=1 discovery log and
+        # certificate bytes exactly. Walls are reported, never gated.
+        if not disc["certs_valid"]:
+            rc |= fail("discover_demo: an emitted certificate failed validation")
+        if not disc["thread_invariance"]:
+            rc |= fail("discover_demo: threads=1 and threads=4 outputs diverge")
+        for tag in ("coloring", "matching"):
+            sub = disc.get(tag)
+            if sub is None:
+                rc |= fail(f"discover_demo.{tag} missing")
+                continue
+            if sub["status"] != "found":
+                rc |= fail(
+                    f"discover_demo.{tag}: status {sub['status']!r} "
+                    "(expected 'found')"
+                )
+            if sub["certs_emitted"] == 0:
+                rc |= fail(f"discover_demo.{tag}: no certificate emitted")
+            base_sub = (base_disc or {}).get(tag)
+            if base_sub:
+                rc |= check_counters(
+                    f"discover_demo.{tag}",
+                    {"dfs_nodes": sub["nodes"]},
+                    {"dfs_nodes": base_sub["nodes"]},
+                )
+            print(
+                f"info: discover[{tag}] {sub['status']} target={sub['target']} "
+                f"expansions={sub['expansions']} frontier_peak="
+                f"{sub['frontier_peak']} nodes={sub['nodes']} cache "
+                f"{sub['cache_hits']}/{sub['cache_misses']} (hits/misses), "
+                f"{sub['cert_bytes']} cert bytes, {sub['wall_ms']:.2f} ms "
+                f"(wall not gated)"
+            )
+    elif base_disc:
+        rc |= fail("discover_demo missing from current report")
+
     print("bench_re counters within limits" if rc == 0 else "bench_re check FAILED")
     return rc
 
