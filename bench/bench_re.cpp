@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +29,9 @@
 #include "src/formalism/relaxation.hpp"
 #include "src/graph/generators.hpp"
 #include "src/lift/sweep.hpp"
+#include "src/net/batcher.hpp"
+#include "src/net/client.hpp"
+#include "src/net/tcp_server.hpp"
 #include "src/problems/classic.hpp"
 #include "src/problems/coloring_family.hpp"
 #include "src/problems/matching_family.hpp"
@@ -229,6 +233,23 @@ struct ServeDemo {
   std::uint64_t warm_cache_hits = 0;
   double requests_per_sec = 0.0;
   double wall_ms = 0.0;
+  // Socket phase (schema v9): the same sweep workload once per-request
+  // through a plain server (the unbatched reference) and once over N
+  // concurrent loopback connections through TcpServer + SweepBatcher. The
+  // gated invariants are socket_verdicts_match (socket responses reproduce
+  // the reference verdicts token-for-token), socket_batch_groups >= 1, and
+  // socket_batch_peak >= 2 (the dispatcher really coalesced concurrent
+  // sweeps); throughput is reported, never gated.
+  std::size_t socket_connections = 0;
+  std::size_t socket_requests = 0;
+  std::uint64_t socket_batch_groups = 0;
+  std::uint64_t socket_batched_requests = 0;
+  std::uint64_t socket_batch_peak = 0;
+  std::uint64_t socket_single_dispatch = 0;
+  std::uint64_t unbatched_dispatches = 0;  // reference run, one solve per sweep
+  bool socket_verdicts_match = false;
+  double socket_requests_per_sec = 0.0;
+  double socket_wall_ms = 0.0;
 };
 
 /// E2k — the automatic discovery driver on the E4 rediscovery workloads:
@@ -271,7 +292,7 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"bench_re\",\n"
-               "  \"schema_version\": 8,\n"
+               "  \"schema_version\": 9,\n"
                "  \"hardware_threads\": %u,\n"
                "  \"e2_table_wall_ms\": %.3f,\n"
                "  \"e2_table_serial_wall_ms\": %.3f,\n"
@@ -431,7 +452,19 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                "    \"final_checkpoint_valid\": %s,\n"
                "    \"warm_cache_hits\": %llu,\n"
                "    \"requests_per_sec\": %.1f,\n"
-               "    \"wall_ms\": %.3f\n"
+               "    \"wall_ms\": %.3f,\n"
+               "    \"socket\": {\n"
+               "      \"connections\": %zu,\n"
+               "      \"requests\": %zu,\n"
+               "      \"batch_groups\": %llu,\n"
+               "      \"batched_requests\": %llu,\n"
+               "      \"batch_peak\": %llu,\n"
+               "      \"single_dispatch\": %llu,\n"
+               "      \"unbatched_dispatches\": %llu,\n"
+               "      \"verdicts_match\": %s,\n"
+               "      \"requests_per_sec\": %.1f,\n"
+               "      \"wall_ms\": %.3f\n"
+               "    }\n"
                "  },\n",
                serve_demo.requests, static_cast<unsigned long long>(serve_demo.ok),
                static_cast<unsigned long long>(serve_demo.admission_rejects),
@@ -441,7 +474,15 @@ void write_json(const std::vector<E2Row>& rows, const REStats& totals,
                serve_demo.verdicts_match ? "true" : "false",
                serve_demo.final_checkpoint_valid ? "true" : "false",
                static_cast<unsigned long long>(serve_demo.warm_cache_hits),
-               serve_demo.requests_per_sec, serve_demo.wall_ms);
+               serve_demo.requests_per_sec, serve_demo.wall_ms,
+               serve_demo.socket_connections, serve_demo.socket_requests,
+               static_cast<unsigned long long>(serve_demo.socket_batch_groups),
+               static_cast<unsigned long long>(serve_demo.socket_batched_requests),
+               static_cast<unsigned long long>(serve_demo.socket_batch_peak),
+               static_cast<unsigned long long>(serve_demo.socket_single_dispatch),
+               static_cast<unsigned long long>(serve_demo.unbatched_dispatches),
+               serve_demo.socket_verdicts_match ? "true" : "false",
+               serve_demo.socket_requests_per_sec, serve_demo.socket_wall_ms);
   std::fprintf(f, "  \"discover_demo\": {\n");
   const std::pair<const char*, const DiscoverRun&> discover_runs[] = {
       {"coloring", discover_demo.coloring}, {"matching", discover_demo.matching}};
@@ -1016,6 +1057,113 @@ void print_table() {
         serve_demo.verdicts_match ? "match" : "DIVERGE",
         static_cast<unsigned long long>(serve_demo.warm_cache_hits),
         serve_demo.final_checkpoint_valid ? "valid" : "TORN");
+
+    // Socket phase: the same sweep workload, batched vs unbatched. Eight
+    // clients ask for overlapping cycle ranges on the same problem — same
+    // canonical fingerprint, same (Δ, r), same family kind — so the batcher
+    // must fold all of them into one sweep-group dispatch. The reference run
+    // pushes the identical requests through a plain server one at a time
+    // (8 single dispatches); the socket run must reproduce its verdicts
+    // exactly despite answering them from one shared encoding.
+    constexpr std::size_t kSocketClients = 8;
+    std::vector<std::string> socket_requests;
+    for (std::size_t i = 0; i < kSocketClients; ++i) {
+      socket_requests.push_back(
+          "req sock" + std::to_string(i) + " sweep " + problem_path + " 2 2 " +
+          (i % 2 == 0 ? "cycles:2..4" : "cycles:3..5"));
+    }
+
+    std::map<std::string, std::string> verdicts_plain;
+    {
+      serve::ServeOptions options;
+      options.workers = 2;
+      serve::Server server(options);
+      server.set_response_sink([&](const std::string& line) {
+        if (line.rfind("resp sock", 0) != 0) return;
+        const std::size_t id_end = line.find(' ', 5);
+        if (id_end == std::string::npos) return;
+        if (line.compare(id_end + 1, 3, "ok ") == 0) {
+          verdicts_plain[line.substr(5, id_end - 5)] = verdict_token(line);
+        }
+      });
+      for (const std::string& request : socket_requests) {
+        server.handle_line(request);
+      }
+      server.drain();
+      // No batcher here, so every ok sweep was one full solver dispatch.
+      serve_demo.unbatched_dispatches = server.counters().ok;
+    }
+
+    std::map<std::string, std::string> verdicts_socket;
+    {
+      serve::ServeOptions options;
+      options.workers = 2;
+      options.queue_capacity = 2 * kSocketClients;
+      serve::Server server(options);
+      net::SweepBatcherOptions batch_options;
+      batch_options.window_ms = 250;  // every client sends well inside this
+      net::SweepBatcher batcher(server, batch_options);
+      batcher.attach();
+      net::TcpServerOptions tcp_options;
+      net::TcpServer tcp(server, tcp_options);
+      std::string error;
+      if (!tcp.start(&error)) {
+        std::fprintf(stderr, "E2j socket: %s\n", error.c_str());
+      } else {
+        std::thread runner([&tcp] { tcp.run(); });
+        const auto socket_t0 = std::chrono::steady_clock::now();
+        std::mutex verdicts_mutex;
+        std::vector<std::thread> clients;
+        for (std::size_t i = 0; i < kSocketClients; ++i) {
+          clients.emplace_back([&, i] {
+            net::ClientOptions client_options;
+            client_options.port = tcp.port();
+            net::Client client;
+            std::string client_error;
+            if (!client.connect(client_options, &client_error)) return;
+            const auto response =
+                client.request(socket_requests[i], &client_error);
+            if (!response) return;
+            const std::string token = verdict_token(*response);
+            if (token.empty()) return;
+            const std::lock_guard<std::mutex> lock(verdicts_mutex);
+            verdicts_socket["sock" + std::to_string(i)] = token;
+          });
+        }
+        for (std::thread& t : clients) t.join();
+        serve_demo.socket_wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - socket_t0)
+                .count();
+        tcp.stop();
+        runner.join();
+        const serve::ServeCounters counters = server.counters();
+        serve_demo.socket_connections = kSocketClients;
+        serve_demo.socket_requests = socket_requests.size();
+        serve_demo.socket_batch_groups = counters.sweep_batch_groups;
+        serve_demo.socket_batched_requests = counters.sweep_batch_requests;
+        serve_demo.socket_batch_peak = counters.sweep_batch_peak;
+        serve_demo.socket_single_dispatch = counters.sweep_single_dispatch;
+        serve_demo.socket_requests_per_sec =
+            serve_demo.socket_wall_ms > 0.0
+                ? static_cast<double>(serve_demo.socket_requests) /
+                      (serve_demo.socket_wall_ms / 1000.0)
+                : 0.0;
+      }
+    }
+    serve_demo.socket_verdicts_match =
+        !verdicts_plain.empty() && verdicts_plain == verdicts_socket;
+    std::printf(
+        "E2j socket, %zu clients x 1 sweep @ %.0f req/s: batch groups=%llu "
+        "batched=%llu peak=%llu single=%llu (unbatched reference: %llu "
+        "dispatches) | verdicts %s\n\n",
+        serve_demo.socket_connections, serve_demo.socket_requests_per_sec,
+        static_cast<unsigned long long>(serve_demo.socket_batch_groups),
+        static_cast<unsigned long long>(serve_demo.socket_batched_requests),
+        static_cast<unsigned long long>(serve_demo.socket_batch_peak),
+        static_cast<unsigned long long>(serve_demo.socket_single_dispatch),
+        static_cast<unsigned long long>(serve_demo.unbatched_dispatches),
+        serve_demo.socket_verdicts_match ? "match" : "DIVERGE");
   }
 
   // E2k: the automatic discovery driver on the two rediscovery workloads.

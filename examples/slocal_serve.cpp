@@ -19,11 +19,20 @@
 //   slocal_serve [--workers=N] [--queue=N] [--max-nodes=N] [--timeout-ms=N]
 //                [--max-timeout-ms=N] [--retry-after-ms=N]
 //                [--checkpoint=PATH] [--checkpoint-every=N]
-//                [--fault-plan=SPEC]
+//                [--fault-plan=SPEC] [--listen=PORT] [--max-connections=N]
+//                [--idle-timeout-ms=N] [--batch-window-ms=N]
 //
 // --fault-plan injects deterministic faults for testing (see
 // src/serve/fault_plan.hpp): fail-checkpoint=<n>[/<p>],
-// delay-request=<n>[/<p>]:<ms>, exhaust-request=<n>[/<p>].
+// delay-request=<n>[/<p>]:<ms>, exhaust-request=<n>[/<p>],
+// drop-connection=<n>[/<p>].
+//
+// --listen=PORT switches from the stdin/stdout pipe to a localhost TCP
+// listener (src/net/): many concurrent connections, per-connection
+// buffering, idle timeouts, connection-cap shedding, and the batching
+// sweep dispatcher. PORT 0 binds an ephemeral port; the chosen port is
+// announced as `listening port=N` on stdout. Without --listen the stdin
+// loop below is byte-identical to previous releases.
 #include <errno.h>
 #include <signal.h>
 #include <unistd.h>
@@ -34,22 +43,34 @@
 #include <cstring>
 #include <string>
 
+#include "src/net/batcher.hpp"
+#include "src/net/event_loop.hpp"
+#include "src/net/tcp_server.hpp"
 #include "src/serve/server.hpp"
 
 namespace {
 
+using slocal::net::SweepBatcher;
+using slocal::net::SweepBatcherOptions;
+using slocal::net::TcpServer;
+using slocal::net::TcpServerOptions;
 using slocal::serve::Server;
 using slocal::serve::ServeFaultPlan;
 using slocal::serve::ServeOptions;
 
 /// The running server, published once before the handlers are installed.
 /// The handler only calls request_shutdown(), which is two lock-free atomic
-/// stores — async-signal-safe by construction.
+/// stores — async-signal-safe by construction. In listen mode the TCP
+/// front-end is published too: stop() is an atomic store plus one write(2)
+/// to the event loop's wake pipe, both async-signal-safe.
 std::atomic<Server*> g_server{nullptr};
+std::atomic<TcpServer*> g_tcp{nullptr};
 
 void handle_signal(int /*signo*/) {
   Server* server = g_server.load(std::memory_order_acquire);
   if (server != nullptr) server->request_shutdown();
+  TcpServer* tcp = g_tcp.load(std::memory_order_acquire);
+  if (tcp != nullptr) tcp->stop();
 }
 
 void install_signal_handlers() {
@@ -59,6 +80,9 @@ void install_signal_handlers() {
   action.sa_flags = 0;  // no SA_RESTART: the blocking read must see EINTR
   sigaction(SIGINT, &action, nullptr);
   sigaction(SIGTERM, &action, nullptr);
+  // A client that disconnects mid-response must not kill the process: every
+  // send uses MSG_NOSIGNAL, and SIG_IGN covers the stdout pipe too.
+  signal(SIGPIPE, SIG_IGN);
 }
 
 void print_usage(std::FILE* out) {
@@ -79,7 +103,15 @@ void print_usage(std::FILE* out) {
       "(0 = only at shutdown)\n"
       "  --fault-plan=SPEC    deterministic fault injection (tests): "
       "fail-checkpoint=<n>[/<p>], delay-request=<n>[/<p>]:<ms>, "
-      "exhaust-request=<n>[/<p>]\n"
+      "exhaust-request=<n>[/<p>], drop-connection=<n>[/<p>]\n"
+      "  --listen=PORT        serve localhost TCP instead of stdin "
+      "(0 = ephemeral; prints 'listening port=N')\n"
+      "  --max-connections=N  concurrent connection cap in listen mode "
+      "(default 64; excess shed retryable)\n"
+      "  --idle-timeout-ms=N  close idle connections in listen mode "
+      "(default 30000)\n"
+      "  --batch-window-ms=N  sweep batching window in listen mode "
+      "(default 10; 0 disables batching)\n"
       "requests on stdin, one per line; responses on stdout, correlated by "
       "id (see src/serve/protocol.hpp)\n"
       "exit codes: 0 clean shutdown (EOF, 'shutdown', SIGINT/SIGTERM), "
@@ -90,6 +122,9 @@ void print_usage(std::FILE* out) {
 
 int main(int argc, char** argv) {
   ServeOptions options;
+  bool listen_mode = false;
+  TcpServerOptions tcp_options;
+  std::uint64_t batch_window_ms = 10;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--workers=", 10) == 0) {
@@ -116,6 +151,16 @@ int main(int argc, char** argv) {
         return 64;
       }
       options.faults = *plan;
+    } else if (std::strncmp(arg, "--listen=", 9) == 0) {
+      listen_mode = true;
+      tcp_options.port =
+          static_cast<std::uint16_t>(std::strtoul(arg + 9, nullptr, 10));
+    } else if (std::strncmp(arg, "--max-connections=", 18) == 0) {
+      tcp_options.max_connections = std::strtoull(arg + 18, nullptr, 10);
+    } else if (std::strncmp(arg, "--idle-timeout-ms=", 18) == 0) {
+      tcp_options.idle_timeout_ms = std::strtoull(arg + 18, nullptr, 10);
+    } else if (std::strncmp(arg, "--batch-window-ms=", 18) == 0) {
+      batch_window_ms = std::strtoull(arg + 18, nullptr, 10);
     } else if (std::strcmp(arg, "--help") == 0) {
       print_usage(stdout);
       return 0;
@@ -127,13 +172,15 @@ int main(int argc, char** argv) {
   }
 
   Server server(options);
-  server.set_response_sink([](const std::string& line) {
-    // Serialized by the server; one write + flush per response so a client
-    // driving us through a pipe sees every line promptly.
-    std::fwrite(line.data(), 1, line.size(), stdout);
-    std::fputc('\n', stdout);
-    std::fflush(stdout);
-  });
+  if (!listen_mode) {
+    server.set_response_sink([](const std::string& line) {
+      // Serialized by the server; one EINTR-safe write per response so a
+      // client driving us through a pipe sees every line promptly even
+      // when signals land mid-write (handlers install without SA_RESTART).
+      const std::string out = line + "\n";
+      slocal::net::write_fully(STDOUT_FILENO, out.data(), out.size());
+    });
+  }
 
   g_server.store(&server, std::memory_order_release);
   install_signal_handlers();
@@ -144,29 +191,51 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
 
-  // Raw read(2) instead of iostreams so a signal interrupts the blocking
-  // read (EINTR) and the loop re-checks the shutdown flag.
-  std::string pending;
-  char buf[4096];
-  bool running = true;
-  while (running && !server.shutdown_requested()) {
-    const ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
+  if (listen_mode) {
+    tcp_options.retry_after_ms = options.retry_after_ms;
+    // Lifetime contract: batcher after the server (detaches before the
+    // server dies), TCP front-end last (torn down before the batcher so no
+    // connection can enqueue into a dying window).
+    SweepBatcherOptions batch_options;
+    batch_options.window_ms = batch_window_ms;
+    SweepBatcher batcher(server, batch_options);
+    if (batch_window_ms > 0) batcher.attach();
+    TcpServer tcp(server, tcp_options);
+    std::string error;
+    if (!tcp.start(&error)) {
+      std::fprintf(stderr, "--listen: %s\n", error.c_str());
+      return 1;
     }
-    if (n == 0) break;  // EOF: drain and shut down cleanly
-    pending.append(buf, static_cast<std::size_t>(n));
-    std::size_t newline;
-    while (running && (newline = pending.find('\n')) != std::string::npos) {
-      std::string line = pending.substr(0, newline);
-      pending.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      running = server.handle_line(line);
+    std::printf("listening port=%u\n", static_cast<unsigned>(tcp.port()));
+    std::fflush(stdout);
+    g_tcp.store(&tcp, std::memory_order_release);
+    tcp.run();  // returns after shutdown: drained, connections flushed
+    g_tcp.store(nullptr, std::memory_order_release);
+  } else {
+    // Raw read(2) instead of iostreams so a signal interrupts the blocking
+    // read (EINTR) and the loop re-checks the shutdown flag.
+    std::string pending;
+    char buf[4096];
+    bool running = true;
+    while (running && !server.shutdown_requested()) {
+      const ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n == 0) break;  // EOF: drain and shut down cleanly
+      pending.append(buf, static_cast<std::size_t>(n));
+      std::size_t newline;
+      while (running && (newline = pending.find('\n')) != std::string::npos) {
+        std::string line = pending.substr(0, newline);
+        pending.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        running = server.handle_line(line);
+      }
     }
-  }
-  if (running && !server.shutdown_requested() && !pending.empty()) {
-    server.handle_line(pending);  // trailing line without newline at EOF
+    if (running && !server.shutdown_requested() && !pending.empty()) {
+      server.handle_line(pending);  // trailing line without newline at EOF
+    }
   }
 
   server.request_shutdown();

@@ -119,6 +119,7 @@
 #include "src/graph/generators.hpp"
 #include "src/graph/hypergraph.hpp"
 #include "src/lift/lift.hpp"
+#include "src/net/client.hpp"
 #include "src/sim/algorithms.hpp"
 #include "src/sim/fast/csr_graph.hpp"
 #include "src/sim/fast/csr_network.hpp"
@@ -156,6 +157,9 @@ void install_signal_handlers() {
   action.sa_flags = 0;  // no SA_RESTART: blocking I/O must see EINTR
   sigaction(SIGINT, &action, nullptr);
   sigaction(SIGTERM, &action, nullptr);
+  // The client verb writes to a server socket that may vanish mid-request;
+  // surface that as an error return, not a fatal signal.
+  signal(SIGPIPE, SIG_IGN);
 }
 
 struct BudgetFlags {
@@ -835,6 +839,47 @@ int cmd_simulate(const std::string& alg_spec, const std::string& instance_spec,
   return 0;
 }
 
+/// `client <host:port|port> <request words...>` — one request against a
+/// running `slocal_serve --listen` instance over the src/net/ client
+/// library. Prints the answering line and maps the response class onto the
+/// tool's exit-code convention (ok 0, invalid 1, corrupt 2, retryable 3).
+int cmd_client(const char* target, const std::string& line) {
+  net::ClientOptions options;
+  std::string spec = target;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    options.host = spec.substr(0, colon);
+    spec.erase(0, colon + 1);
+  }
+  const unsigned long port = std::strtoul(spec.c_str(), nullptr, 10);
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "client: bad port in '%s'\n", target);
+    return 64;
+  }
+  options.port = static_cast<std::uint16_t>(port);
+  net::Client client;
+  std::string error;
+  if (!client.connect(options, &error)) {
+    std::fprintf(stderr, "client: connect %s:%u: %s\n", options.host.c_str(),
+                 static_cast<unsigned>(options.port), error.c_str());
+    return 1;
+  }
+  const auto response = client.request(line, &error);
+  if (!response) {
+    std::fprintf(stderr, "client: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->c_str());
+  if (response->rfind("resp ", 0) != 0) return 0;  // pong / stats / ...
+  std::istringstream in(*response);
+  std::string resp, id, cls;
+  in >> resp >> id >> cls;
+  if (cls == "invalid") return 1;
+  if (cls == "corrupt") return 2;
+  if (cls == "retryable") return kExitExhausted;
+  return 0;
+}
+
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: slocal_tool <command> [args] [flags]\n"
@@ -852,6 +897,11 @@ void print_usage(std::FILE* out) {
                "                                     for lower-bound sequences\n"
                "                                     over the given family\n"
                "  check-cert <file>                  validate a proof certificate\n"
+               "  client     <[host:]port> <words..> send one request line to a\n"
+               "                                     slocal_serve --listen server\n"
+               "                                     and print the response (exit:\n"
+               "                                     ok 0, invalid 1, corrupt 2,\n"
+               "                                     retryable 3)\n"
                "  simulate   <algorithm> <instance>  batched CSR simulation:\n"
                "                                     luby-mis | greedy-mis |\n"
                "                                     color-class-mis | ring-coloring\n"
@@ -959,6 +1009,15 @@ int main(int argc, char** argv) {
   if (args.size() < 2) return usage();
   const std::string cmd = args[0];
   if (cmd == "check-cert") return cmd_check_cert(args[1]);
+  if (cmd == "client") {
+    if (args.size() < 3) return usage();
+    std::string line;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (i > 2) line += ' ';
+      line += args[i];
+    }
+    return cmd_client(args[1], line);
+  }
   if (cmd == "simulate") {
     if (args.size() < 3) return usage();
     return cmd_simulate(args[1], args[2], sim_threads, sim_rounds, sim_seed,

@@ -1,6 +1,8 @@
 #include "src/lift/sweep.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <map>
 #include <utility>
 
 #include "src/graph/generators.hpp"
@@ -129,6 +131,65 @@ std::vector<BipartiteGraph> make_cycle_supports(std::size_t lo, std::size_t hi) 
     supports.push_back(make_bipartite_cycle(half));
   }
   return supports;
+}
+
+std::vector<BipartiteGraph> make_gadget_supports_for(
+    std::size_t big_delta, std::size_t big_r, const std::vector<std::size_t>& sizes) {
+  std::vector<BipartiteGraph> supports;
+  supports.reserve(sizes.size());
+  for (const std::size_t k : sizes) {
+    auto one = make_gadget_supports(big_delta, big_r, k, k);
+    if (one.empty()) continue;
+    supports.push_back(std::move(one.front()));
+  }
+  return supports;
+}
+
+std::vector<BipartiteGraph> make_cycle_supports_for(
+    const std::vector<std::size_t>& sizes) {
+  std::vector<BipartiteGraph> supports;
+  supports.reserve(sizes.size());
+  for (const std::size_t half : sizes) {
+    if (half < 2) continue;
+    supports.push_back(make_bipartite_cycle(half));
+  }
+  return supports;
+}
+
+SweepGroupResult run_lift_sweep_group(const Problem& pi, std::size_t big_delta,
+                                      std::size_t big_r, bool cycles,
+                                      std::span<const SweepGroupMember> members,
+                                      const LiftSweepOptions& options) {
+  SweepGroupResult result;
+  std::vector<std::size_t> sizes;
+  for (const SweepGroupMember& m : members) {
+    for (std::size_t k = m.lo; k <= m.hi; ++k) sizes.push_back(k);
+  }
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  result.sizes = sizes;
+
+  const std::vector<BipartiteGraph> supports =
+      cycles ? make_cycle_supports_for(sizes)
+             : make_gadget_supports_for(big_delta, big_r, sizes);
+  if (supports.size() != sizes.size()) return result;  // invalid size in list
+  result.sweep = run_lift_sweep(pi, big_delta, big_r, supports, options);
+  if (!result.sweep.lift_materialized) return result;
+  result.lift_materialized = true;
+
+  // Slice each member's range out of the union solve.
+  std::map<std::size_t, Verdict> by_size;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    by_size[sizes[i]] = result.sweep.steps[i].verdict;
+  }
+  result.member_verdicts.reserve(members.size());
+  for (const SweepGroupMember& m : members) {
+    std::vector<Verdict> verdicts;
+    verdicts.reserve(m.hi >= m.lo ? m.hi - m.lo + 1 : 0);
+    for (std::size_t k = m.lo; k <= m.hi; ++k) verdicts.push_back(by_size.at(k));
+    result.member_verdicts.push_back(std::move(verdicts));
+  }
+  return result;
 }
 
 }  // namespace slocal

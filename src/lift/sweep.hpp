@@ -106,4 +106,46 @@ std::vector<BipartiteGraph> make_gadget_supports(std::size_t big_delta,
 /// node, exercising the guarded (non-nested) reuse case.
 std::vector<BipartiteGraph> make_cycle_supports(std::size_t lo, std::size_t hi);
 
+/// Supports for an arbitrary ascending size list instead of a contiguous
+/// range. Each graph is laid out with exactly the same node ids as its
+/// counterpart in the contiguous families above, so an incremental sweep
+/// over the union of several overlapping ranges still reuses every shared
+/// edge and node constraint.
+std::vector<BipartiteGraph> make_gadget_supports_for(
+    std::size_t big_delta, std::size_t big_r, const std::vector<std::size_t>& sizes);
+std::vector<BipartiteGraph> make_cycle_supports_for(
+    const std::vector<std::size_t>& sizes);
+
+/// One member of a batched sweep group: an inclusive support-size range
+/// over the group's shared family kind.
+struct SweepGroupMember {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+
+struct SweepGroupResult {
+  /// false iff lift_{Δ,r}(pi) could not be materialized.
+  bool lift_materialized = false;
+  /// Sorted, deduplicated union of every member's sizes; `sweep.steps`
+  /// aligns with this list.
+  std::vector<std::size_t> sizes;
+  LiftSweepResult sweep;
+  /// Per member, the verdicts for its own lo..hi range in ascending order —
+  /// slices of the union solve, so overlapping members share every solve.
+  std::vector<std::vector<Verdict>> member_verdicts;
+};
+
+/// The batch entry point behind the service's sweep dispatcher: several
+/// requests over the same problem, lift targets, and family kind (gadgets
+/// or cycles, possibly with different lo..hi ranges) are answered through
+/// ONE incremental encoding. The union of the requested sizes is solved
+/// once — each size is a single assumption-guarded solve — and every
+/// member's verdict list is sliced out of the shared result. Budget
+/// exhaustion marks the affected sizes kExhausted exactly like
+/// run_lift_sweep; verdicts are never wrong, only missing.
+SweepGroupResult run_lift_sweep_group(const Problem& pi, std::size_t big_delta,
+                                      std::size_t big_r, bool cycles,
+                                      std::span<const SweepGroupMember> members,
+                                      const LiftSweepOptions& options = {});
+
 }  // namespace slocal

@@ -1,0 +1,111 @@
+#include "src/net/batcher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace slocal::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+SweepBatcher::SweepBatcher(serve::Server& server,
+                           const SweepBatcherOptions& options)
+    : server_(server), options_(options) {
+  options_.max_group = std::max<std::size_t>(2, options_.max_group);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+SweepBatcher::~SweepBatcher() {
+  // Detach first: set_sweep_interceptor synchronizes with an in-progress
+  // delivery, so after it returns no new enqueue can start.
+  server_.set_sweep_interceptor(nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  flush();  // nothing pending survives: drain() depends on it
+}
+
+void SweepBatcher::attach() {
+  server_.set_sweep_interceptor(
+      [this](serve::Server::AdmittedSweep&& admitted) {
+        enqueue(std::move(admitted));
+      });
+}
+
+void SweepBatcher::enqueue(serve::Server::AdmittedSweep&& admitted) {
+  if (admitted.group_key.empty()) {
+    // Ungroupable (will fail validation in the per-request path anyway).
+    server_.submit_admitted_sweep(std::move(admitted));
+    return;
+  }
+  std::vector<serve::Server::AdmittedSweep> full;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    PendingGroup& group = pending_[admitted.group_key];
+    if (group.members.empty()) group.first_at = Clock::now();
+    group.members.push_back(std::move(admitted));
+    if (group.members.size() >= options_.max_group) {
+      full = std::move(group.members);
+      pending_.erase(full.front().group_key);
+    }
+  }
+  if (!full.empty()) {
+    server_.submit_sweep_group(std::move(full));
+    return;
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::vector<serve::Server::AdmittedSweep>> SweepBatcher::take_due(
+    bool everything) {
+  std::vector<std::vector<serve::Server::AdmittedSweep>> due;
+  const auto now = Clock::now();
+  const auto window = std::chrono::milliseconds(options_.window_ms);
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (everything || now - it->second.first_at >= window) {
+      due.push_back(std::move(it->second.members));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return due;
+}
+
+void SweepBatcher::flush() {
+  std::vector<std::vector<serve::Server::AdmittedSweep>> due;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    due = take_due(/*everything=*/true);
+  }
+  for (auto& group : due) server_.submit_sweep_group(std::move(group));
+}
+
+void SweepBatcher::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (pending_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      continue;
+    }
+    // Sleep until the oldest group's window expires (or a new group and
+    // its earlier deadline shows up).
+    auto oldest = Clock::time_point::max();
+    for (const auto& [key, group] : pending_) {
+      oldest = std::min(oldest, group.first_at);
+    }
+    cv_.wait_until(lock, oldest + std::chrono::milliseconds(options_.window_ms),
+                   [this] { return stop_; });
+    if (stop_) break;
+    auto due = take_due(/*everything=*/false);
+    lock.unlock();
+    for (auto& group : due) server_.submit_sweep_group(std::move(group));
+    lock.lock();
+  }
+}
+
+}  // namespace slocal::net

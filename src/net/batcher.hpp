@@ -1,0 +1,85 @@
+// The batching sweep dispatcher: the piece that turns many concurrent
+// clients into fewer solver runs.
+//
+// Installed as serve::Server's sweep interceptor, the batcher holds each
+// admitted sweep request for a short window and groups the queue by the
+// server-computed group key (canonical problem fingerprint + lift targets
+// + family kind). A group whose window expires — or that reaches max_group
+// first — is handed back to the server as ONE unit: the union of the
+// members' support ranges is answered through one IncrementalLabelingSweep
+// encoding (one assumption-guarded solve per support size) and each
+// member's verdict list is sliced out of the shared result. Singleton
+// groups and requests that failed key construction fall back to the
+// ordinary per-request dispatch, so the batcher can only ever remove
+// solver work, never add a failure mode. Admission, budgets, deadlines,
+// and the watchdog all happened BEFORE interception and keep acting on
+// every member individually — a request stuck in a window past its
+// deadline is cancelled by the watchdog exactly like a queued one, and is
+// shed as retryable when its group executes.
+//
+// Lifetime: construct after the Server, destroy before it. The destructor
+// detaches the interceptor (synchronizing with in-progress deliveries),
+// flushes everything still pending, and joins — no request is ever lost,
+// so Server::drain() always terminates.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/server.hpp"
+
+namespace slocal::net {
+
+struct SweepBatcherOptions {
+  /// How long the first request of a group waits for peers before the
+  /// group is dispatched.
+  std::uint64_t window_ms = 10;
+  /// A group reaching this size is dispatched immediately.
+  std::size_t max_group = 64;
+};
+
+class SweepBatcher {
+ public:
+  SweepBatcher(serve::Server& server, const SweepBatcherOptions& options);
+  ~SweepBatcher();
+
+  SweepBatcher(const SweepBatcher&) = delete;
+  SweepBatcher& operator=(const SweepBatcher&) = delete;
+
+  /// Installs this batcher as the server's sweep interceptor.
+  void attach();
+
+  /// Takes custody of one admitted sweep (thread-safe; called by the
+  /// server's interceptor hook). Ungroupable requests dispatch instantly.
+  void enqueue(serve::Server::AdmittedSweep&& admitted);
+
+  /// Dispatches everything pending right now (tests and shutdown paths;
+  /// normal operation relies on the window timer).
+  void flush();
+
+ private:
+  struct PendingGroup {
+    std::vector<serve::Server::AdmittedSweep> members;
+    std::chrono::steady_clock::time_point first_at;
+  };
+
+  void worker_loop();
+  /// Moves expired (or all, when `everything`) groups out of pending_.
+  /// Lock must be held; dispatch happens outside it.
+  std::vector<std::vector<serve::Server::AdmittedSweep>> take_due(bool everything);
+
+  serve::Server& server_;
+  SweepBatcherOptions options_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, PendingGroup> pending_;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace slocal::net

@@ -1,0 +1,68 @@
+// Blocking client for the slocal_serve socket transport.
+//
+// One Client is one TCP connection speaking the line protocol of
+// src/serve/protocol.hpp. All I/O is EINTR-safe and runs on a non-blocking
+// socket guarded by poll(2), so connect, send, and read all honor their
+// timeouts instead of hanging forever on a dead peer. request() correlates
+// by request id: it sends one line and waits for the `resp <id> ...` that
+// answers it specifically, so a client can share a connection with earlier
+// in-flight requests without stealing their responses.
+//
+// Used by tests, the bench socket demo, and the `slocal_tool client` verb.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/net/event_loop.hpp"
+
+namespace slocal::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t connect_timeout_ms = 5'000;
+  /// Per read_line()/send_line() call; request() applies it to the whole
+  /// round trip.
+  std::uint64_t io_timeout_ms = 10'000;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects within connect_timeout_ms. false with *error set on failure.
+  bool connect(const ClientOptions& options, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one line ('\n' appended). EINTR-safe, honors io_timeout_ms.
+  bool send_line(const std::string& line, std::string* error);
+
+  /// Next line from the server (LF or CRLF stripped). nullopt with *error
+  /// set on timeout, disconnect, or error.
+  std::optional<std::string> read_line(std::string* error);
+
+  /// Sends a request line and returns the line that answers it: for
+  /// "req <id> ..." lines the matching "resp <id> ...", for control lines
+  /// (ping/stats/checkpoint) the next non-resp line. Responses to other
+  /// ids that arrive in between are discarded — use one outstanding
+  /// request per Client when every response matters.
+  std::optional<std::string> request(const std::string& line, std::string* error);
+
+ private:
+  bool wait_ready(short events, std::uint64_t timeout_ms, std::string* error);
+
+  int fd_ = -1;
+  std::uint64_t io_timeout_ms_ = 10'000;
+  LineFramer framer_{1 << 20};  // responses are ours; no 4096 hostility cap
+};
+
+}  // namespace slocal::net

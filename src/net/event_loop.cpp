@@ -1,0 +1,130 @@
+#include "src/net/event_loop.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace slocal::net {
+
+bool write_fully(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  return true;
+}
+
+EventLoop::EventLoop() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    wake_read_ = fds[0];
+    wake_write_ = fds[1];
+    set_nonblocking(wake_read_);
+    set_nonblocking(wake_write_);
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+}
+
+void EventLoop::watch(int fd, short events, Callback callback) {
+  watches_[fd] = Watch{events, std::move(callback)};
+}
+
+void EventLoop::set_events(int fd, short events) {
+  const auto it = watches_.find(fd);
+  if (it != watches_.end()) it->second.events = events;
+}
+
+void EventLoop::unwatch(int fd) { watches_.erase(fd); }
+
+bool EventLoop::run_once(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(watches_.size() + 1);
+  fds.push_back(pollfd{wake_read_, POLLIN, 0});
+  for (const auto& [fd, watch] : watches_) {
+    fds.push_back(pollfd{fd, watch.events, 0});
+  }
+
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) return errno == EINTR;
+  if (ready == 0) return true;
+
+  if ((fds[0].revents & POLLIN) != 0) {
+    // Drain every queued wakeup byte; the caller re-checks its state flags.
+    char buf[64];
+    while (::read(wake_read_, buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  // Dispatch from a snapshot: callbacks may watch/unwatch freely, and an
+  // unwatched fd must not be dispatched even if poll flagged it.
+  for (std::size_t i = 1; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) continue;
+    const auto it = watches_.find(fds[i].fd);
+    if (it == watches_.end() || !it->second.callback) continue;
+    // Copy: the callback may unwatch (and thereby destroy) its own entry.
+    const Callback callback = it->second.callback;
+    callback(fds[i].revents);
+  }
+  return true;
+}
+
+void EventLoop::wakeup() {
+  if (wake_write_ < 0) return;
+  const char byte = 1;
+  // Async-signal-safe: a single write; EAGAIN means a wakeup is already
+  // pending, which is just as good.
+  while (::write(wake_write_, &byte, 1) < 0 && errno == EINTR) {
+  }
+}
+
+void LineFramer::feed(const char* data, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      if (!discarding_) {
+        if (!pending_.empty() && pending_.back() == '\r') pending_.pop_back();
+      }
+      if (pending_.size() > max_line_) ++oversized_lines_;
+      ready_.push_back(std::move(pending_));
+      pending_.clear();
+      discarding_ = false;
+      continue;
+    }
+    if (discarding_) continue;
+    if (pending_.size() > max_line_) {
+      // Over the cap with no newline yet: keep the prefix (the id lives
+      // there), drop the rest of this line. The kept size is max_line + 1
+      // so the protocol still classifies the line as oversized.
+      discarding_ = true;
+      continue;
+    }
+    pending_.push_back(c);
+  }
+}
+
+std::optional<std::string> LineFramer::next() {
+  if (ready_.empty()) return std::nullopt;
+  std::string line = std::move(ready_.front());
+  ready_.pop_front();
+  return line;
+}
+
+}  // namespace slocal::net

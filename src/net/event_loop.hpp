@@ -1,0 +1,113 @@
+// The net layer's poll(2) plumbing: a small single-threaded event loop, an
+// incremental line framer, and EINTR-safe write helpers.
+//
+// EventLoop multiplexes any number of fds through one poll(2) call per
+// iteration. Callbacks may watch/unwatch fds (including their own) during
+// dispatch — removal is honored immediately, never a dangling callback. A
+// self-pipe makes wakeup() safe from other threads AND from signal handlers
+// (one write(2), nothing else), which is how worker threads flush responses
+// into a sleeping loop and how SIGINT/SIGTERM interrupt it.
+//
+// LineFramer turns an arbitrary chunking of bytes (partial reads, 1-byte
+// dribbles, many lines per read) back into protocol lines. It accepts LF
+// and CRLF, and it bounds memory against hostile senders: once a line
+// exceeds the cap without a newline, only the first cap+1 bytes are kept
+// (enough for serve::protocol to recover the request id and answer
+// `invalid`) and the rest is discarded until the newline.
+#pragma once
+
+#include <poll.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/serve/protocol.hpp"
+
+namespace slocal::net {
+
+/// Writes the whole buffer to a (blocking) fd, retrying on EINTR and short
+/// writes. Returns false on any other error (e.g. EPIPE with SIGPIPE
+/// ignored). This is the sink helper for stdout transports; the socket
+/// transport uses non-blocking writes inside the loop instead.
+bool write_fully(int fd, const char* data, std::size_t size);
+
+/// Marks an fd non-blocking (and close-on-exec). Returns false on error.
+bool set_nonblocking(int fd);
+
+class EventLoop {
+ public:
+  /// Called with the revents that poll(2) reported for the fd.
+  using Callback = std::function<void(short revents)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// false when the self-pipe could not be created (the loop is unusable).
+  bool valid() const { return wake_read_ >= 0; }
+
+  /// Registers (or re-registers) an fd. The loop does not own the fd.
+  void watch(int fd, short events, Callback callback);
+  /// Changes the interest set of an already-watched fd.
+  void set_events(int fd, short events);
+  /// Removes an fd; safe to call from inside any callback.
+  void unwatch(int fd);
+  bool watching(int fd) const { return watches_.count(fd) != 0; }
+
+  /// One poll(2) iteration: blocks up to timeout_ms (-1 = forever, but a
+  /// wakeup() still interrupts), then dispatches callbacks. Returns false
+  /// only on a fatal poll error (never for EINTR or timeout).
+  bool run_once(int timeout_ms);
+
+  /// Interrupts the current (or next) run_once. Async-signal-safe: one
+  /// write(2) on the self-pipe.
+  void wakeup();
+
+ private:
+  struct Watch {
+    short events = 0;
+    Callback callback;
+  };
+
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::map<int, Watch> watches_;
+};
+
+class LineFramer {
+ public:
+  explicit LineFramer(std::size_t max_line = serve::kMaxRequestLine)
+      : max_line_(max_line) {}
+
+  /// Appends a chunk of raw bytes (any split is fine).
+  void feed(const char* data, std::size_t size);
+
+  /// Pops the next completed line, with the trailing LF (and a CR before
+  /// it) stripped. An oversized line comes out truncated to max_line + 1
+  /// bytes — still over the protocol cap, so parse_request_line flags it
+  /// and recovers the id from the kept prefix. nullopt = no complete line
+  /// buffered yet.
+  std::optional<std::string> next();
+
+  /// Lines delivered so far that exceeded the cap (observability only).
+  std::uint64_t oversized_lines() const { return oversized_lines_; }
+  /// Bytes currently buffered for an incomplete line.
+  std::size_t pending_bytes() const { return pending_.size(); }
+
+ private:
+  std::size_t max_line_;
+  std::string pending_;
+  bool discarding_ = false;  // inside an oversized line, dropping until LF
+  std::deque<std::string> ready_;
+  std::uint64_t oversized_lines_ = 0;
+};
+
+}  // namespace slocal::net

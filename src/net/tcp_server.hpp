@@ -1,0 +1,142 @@
+// The socket transport for the lower-bound service: one poll-based loop
+// (src/net/event_loop.hpp) accepting many concurrent localhost TCP
+// connections and driving the transport-agnostic serve::Server through its
+// per-line sink API.
+//
+// Responsibilities, and only these — request semantics stay in src/serve/:
+//
+//  * accept loop on 127.0.0.1:<port> (port 0 = ephemeral, report the bound
+//    one), with a connection cap: accepts over the cap are shed with the
+//    protocol's `retryable` class (reason=connections + retry_after_ms
+//    hint) and closed, mirroring admission control one layer down;
+//  * per-connection read/write buffering: reads are framed by LineFramer
+//    (partial reads, CRLF/LF, oversized lines with id recovery all
+//    handled), writes are queued per connection and flushed when the
+//    socket accepts them, so one slow client never blocks the loop;
+//  * every parsed line goes to Server::handle_line with a per-connection
+//    sink, so concurrent workers route each response back to exactly the
+//    connection that asked — ids never cross connections;
+//  * idle-connection timeouts, and hard resilience to clients vanishing
+//    mid-response: writes use MSG_NOSIGNAL and treat EPIPE/ECONNRESET as
+//    an ordinary close, responses to dead connections are dropped;
+//  * the drop-connection fault (ServeFaultPlan, by 1-based accept ordinal,
+//    counted through the server's shared FaultInjector) closes a freshly
+//    accepted socket before a byte is served — the soak asserts dropped
+//    clients get no response and nobody else is affected.
+//
+// Shutdown: stop() (async-signal-safe) or a `shutdown` request line ends
+// the loop; run() then drains the server so every admitted request's
+// response still reaches its connection, flushes the outboxes, and closes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/net/event_loop.hpp"
+#include "src/serve/server.hpp"
+
+namespace slocal::net {
+
+struct TcpServerOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Max simultaneously open connections; accepts beyond it are shed with
+  /// a retryable response.
+  std::size_t max_connections = 64;
+  /// Connections with no traffic for this long are closed (0 = never).
+  std::uint64_t idle_timeout_ms = 30'000;
+  /// Hint attached to connection-shed retryable responses.
+  double retry_after_ms = 50.0;
+  /// How long run() keeps flushing queued responses after drain (the
+  /// bound on a slow client delaying shutdown).
+  std::uint64_t shutdown_flush_ms = 2'000;
+};
+
+/// Monotonic transport counters (connection-level; request-level counters
+/// live in ServeCounters).
+struct TcpServerCounters {
+  std::uint64_t accepted = 0;        // connections accepted (incl. shed/dropped)
+  std::uint64_t shed = 0;            // closed over the connection cap
+  std::uint64_t dropped = 0;         // drop-connection fault closes
+  std::uint64_t idle_closed = 0;
+  std::uint64_t eof_closed = 0;      // client closed first
+  std::uint64_t error_closed = 0;    // read/write error (EPIPE, reset, ...)
+  std::uint64_t lines_in = 0;
+  std::uint64_t responses_out = 0;   // response lines fully written
+  std::uint64_t oversized_lines = 0;
+};
+
+class TcpServer {
+ public:
+  TcpServer(serve::Server& server, const TcpServerOptions& options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds and listens on 127.0.0.1. false with *error set on failure.
+  bool start(std::string* error);
+  /// The actually bound port (after start; resolves port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Serves until stop() or a shutdown request line, then drains the
+  /// server, flushes queued responses, and closes every connection.
+  /// Call from one thread; start() must have succeeded.
+  void run();
+
+  /// Ends run() from another thread or a signal handler. Async-signal-safe:
+  /// one atomic store plus one write(2) on the loop's self-pipe.
+  void stop();
+
+  TcpServerCounters counters() const;
+  std::size_t active_connections() const;
+
+ private:
+  /// Worker-visible half of a connection: the response outbox. Workers
+  /// finishing after the socket closed (or after the whole TcpServer is
+  /// gone) find alive == false and drop the response; holding the mutex
+  /// across the wakeup makes that check race-free against teardown.
+  struct ConnState {
+    std::mutex mutex;
+    std::deque<std::string> outbox;  // response lines, '\n' included
+    std::size_t front_offset = 0;    // partially written head
+    bool alive = true;
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::shared_ptr<ConnState> state;
+    LineFramer framer;
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  void accept_ready();
+  void conn_ready(int fd, short revents);
+  bool flush_outbox(Conn& conn);  // false = connection must close
+  void close_conn(int fd);
+  void update_interest(Conn& conn);
+  void scan_idle();
+  void flush_all_before_close();
+  serve::Server::Sink make_sink(std::shared_ptr<ConnState> state);
+
+  serve::Server& server_;
+  TcpServerOptions options_;
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex conns_mutex_;  // guards conns_ size for counters only
+  std::map<int, Conn> conns_;
+
+  mutable std::mutex counter_mutex_;
+  TcpServerCounters counters_;
+};
+
+}  // namespace slocal::net

@@ -72,6 +72,8 @@ std::optional<ServeFaultPlan> ServeFaultPlan::parse(const std::string& spec,
       }
     } else if (key == "exhaust-request") {
       if (!parse_trigger(value, &plan.exhaust_request, error)) return std::nullopt;
+    } else if (key == "drop-connection") {
+      if (!parse_trigger(value, &plan.drop_connection, error)) return std::nullopt;
     } else {
       fail(error, "unknown fault '" + key + "'");
       return std::nullopt;

@@ -18,11 +18,17 @@
 //   * request budgets     — a triggered exhaustion trips the request's
 //     budget before the engines run, simulating a request that arrives
 //     already over quota; the response must be retryable, never a verdict.
+//   * accepted connections — a triggered drop closes a freshly accepted
+//     socket before a single byte is served (the net transport's hook),
+//     simulating a flaky client or a mid-handshake network fault; the
+//     dropped client gets no response at all and every other connection
+//     must be served exactly as if the drop never happened.
 //
 // Spec syntax (comma-separated, all clauses optional):
 //   fail-checkpoint=<start>[/<period>]
 //   delay-request=<start>[/<period>]:<ms>
 //   exhaust-request=<start>[/<period>]
+//   drop-connection=<start>[/<period>]
 // Ordinals are 1-based; a missing /<period> means the fault fires once.
 #pragma once
 
@@ -51,10 +57,13 @@ struct ServeFaultPlan {
   FaultTrigger delay_request;
   std::uint64_t delay_ms = 0;
   FaultTrigger exhaust_request;
+  /// By 1-based accept ordinal: close this accepted connection immediately,
+  /// before any request is read or any response written.
+  FaultTrigger drop_connection;
 
   bool any() const {
     return fail_checkpoint.start != 0 || delay_request.start != 0 ||
-           exhaust_request.start != 0;
+           exhaust_request.start != 0 || drop_connection.start != 0;
   }
 
   /// Parses the spec syntax above; empty spec = no faults. Returns nullopt
@@ -86,13 +95,20 @@ class FaultInjector {
     return f;
   }
 
+  /// Counts one accepted connection; true = drop it before serving a byte.
+  bool next_accept_dropped() {
+    return plan_.drop_connection.fires_at(++accepts_);
+  }
+
   std::uint64_t checkpoints_counted() const { return checkpoints_.load(); }
   std::uint64_t requests_counted() const { return requests_.load(); }
+  std::uint64_t accepts_counted() const { return accepts_.load(); }
 
  private:
   ServeFaultPlan plan_;
   std::atomic<std::uint64_t> checkpoints_{0};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> accepts_{0};
 };
 
 }  // namespace slocal::serve

@@ -54,6 +54,28 @@ std::optional<std::vector<BipartiteGraph>> parse_family(const std::string& spec,
                                                         std::size_t big_delta,
                                                         std::size_t big_r,
                                                         std::string* error) {
+  const auto parsed = parse_sweep_family_spec(spec, big_delta, big_r, error);
+  if (!parsed) return std::nullopt;
+  if (parsed->cycles) return make_cycle_supports(parsed->lo, parsed->hi);
+  return make_gadget_supports(big_delta, big_r, parsed->lo, parsed->hi);
+}
+
+/// Comma-joins step verdicts the way every sweep response spells them.
+std::string join_verdicts(const std::vector<Verdict>& verdicts) {
+  std::string joined;
+  for (const Verdict v : verdicts) {
+    if (!joined.empty()) joined += ',';
+    joined += to_string(v);
+  }
+  return joined;
+}
+
+}  // namespace
+
+std::optional<SweepFamilySpec> parse_sweep_family_spec(const std::string& spec,
+                                                       std::size_t big_delta,
+                                                       std::size_t big_r,
+                                                       std::string* error) {
   const auto parse_range = [](const char* body, std::size_t* lo, std::size_t* hi) {
     char* end = nullptr;
     *lo = std::strtoul(body, &end, 10);
@@ -61,30 +83,32 @@ std::optional<std::vector<BipartiteGraph>> parse_family(const std::string& spec,
     *hi = std::strtoul(end + 2, nullptr, 10);
     return *lo >= 1 && *hi >= *lo;
   };
-  std::size_t lo = 0, hi = 0;
-  if (spec.rfind("gadgets:", 0) == 0 && parse_range(spec.c_str() + 8, &lo, &hi)) {
-    if (hi - lo > 256) {
+  SweepFamilySpec parsed;
+  if (spec.rfind("gadgets:", 0) == 0 &&
+      parse_range(spec.c_str() + 8, &parsed.lo, &parsed.hi)) {
+    if (parsed.hi - parsed.lo > 256) {
       *error = "family too large (more than 257 supports)";
       return std::nullopt;
     }
-    return make_gadget_supports(big_delta, big_r, lo, hi);
+    parsed.cycles = false;
+    return parsed;
   }
-  if (spec.rfind("cycles:", 0) == 0 && parse_range(spec.c_str() + 7, &lo, &hi)) {
-    if (big_delta != 2 || big_r != 2 || lo < 2) {
+  if (spec.rfind("cycles:", 0) == 0 &&
+      parse_range(spec.c_str() + 7, &parsed.lo, &parsed.hi)) {
+    if (big_delta != 2 || big_r != 2 || parsed.lo < 2) {
       *error = "cycles family needs delta = r = 2 and lo >= 2";
       return std::nullopt;
     }
-    if (hi - lo > 256) {
+    if (parsed.hi - parsed.lo > 256) {
       *error = "family too large (more than 257 supports)";
       return std::nullopt;
     }
-    return make_cycle_supports(lo, hi);
+    parsed.cycles = true;
+    return parsed;
   }
   *error = "bad family '" + spec + "' (want gadgets:<lo>..<hi> or cycles:<lo>..<hi>)";
   return std::nullopt;
 }
-
-}  // namespace
 
 Server::Server(const ServeOptions& options)
     : options_(options),
@@ -106,9 +130,15 @@ Server::~Server() {
   pool_.reset();
 }
 
-void Server::set_response_sink(std::function<void(const std::string&)> sink) {
+void Server::set_response_sink(Sink sink) {
   const std::lock_guard<std::mutex> lock(sink_mutex_);
   sink_ = std::move(sink);
+}
+
+void Server::set_sweep_interceptor(
+    std::function<void(AdmittedSweep&&)> interceptor) {
+  const std::lock_guard<std::mutex> lock(interceptor_mutex_);
+  interceptor_ = std::move(interceptor);
 }
 
 std::string Server::ready_line() const {
@@ -122,14 +152,26 @@ std::string Server::ready_line() const {
   return buf;
 }
 
-void Server::emit(const Response& response) { emit_raw(format_response(response)); }
+void Server::emit(const Response& response, const Sink& sink) {
+  emit_raw(format_response(response), sink);
+}
 
-void Server::emit_raw(const std::string& line) {
+void Server::emit_raw(const std::string& line, const Sink& sink) {
+  // A per-line sink (socket transport) routes around the global one; it
+  // does its own serialization per connection.
+  if (sink) {
+    sink(line);
+    return;
+  }
   const std::lock_guard<std::mutex> lock(sink_mutex_);
   if (sink_) sink_(line);
 }
 
 bool Server::handle_line(const std::string& line) {
+  return handle_line(line, Sink{});
+}
+
+bool Server::handle_line(const std::string& line, Sink sink) {
   if (line.empty() || line[0] == '#') return true;
   {
     const std::lock_guard<std::mutex> lock(counter_mutex_);
@@ -138,7 +180,7 @@ bool Server::handle_line(const std::string& line) {
   std::string error, error_id;
   const auto request = parse_request_line(line, &error, &error_id);
   if (!request) {
-    emit(make_invalid(error_id, error));
+    emit(make_invalid(error_id, error), sink);
     const std::lock_guard<std::mutex> lock(counter_mutex_);
     ++counters_.invalid;
     return true;
@@ -146,19 +188,19 @@ bool Server::handle_line(const std::string& line) {
 
   switch (request->kind) {
     case Request::Kind::kPing:
-      emit_raw("pong");
+      emit_raw("pong", sink);
       return true;
     case Request::Kind::kStats:
-      emit_raw(stats_line());
+      emit_raw(stats_line(), sink);
       return true;
     case Request::Kind::kCheckpoint: {
       std::string checkpoint_error;
       if (!checkpoints_.enabled()) {
-        emit_raw("checkpoint off");
+        emit_raw("checkpoint off", sink);
       } else if (checkpoints_.write(cache_, &injector_, &checkpoint_error)) {
-        emit_raw("checkpoint ok path=" + checkpoints_.path());
+        emit_raw("checkpoint ok path=" + checkpoints_.path(), sink);
       } else {
-        emit_raw("checkpoint failed " + checkpoint_error);
+        emit_raw("checkpoint failed " + checkpoint_error, sink);
       }
       return true;
     }
@@ -171,7 +213,7 @@ bool Server::handle_line(const std::string& line) {
 
   // Admission control for the engine-backed requests.
   if (shutdown_requested()) {
-    emit(make_retryable(request->id, "shutdown", options_.retry_after_ms, {}));
+    emit(make_retryable(request->id, "shutdown", options_.retry_after_ms, {}), sink);
     const std::lock_guard<std::mutex> lock(counter_mutex_);
     ++counters_.retryable;
     return true;
@@ -217,6 +259,7 @@ bool Server::handle_line(const std::string& line) {
       record.deadline = Clock::now() + std::chrono::milliseconds(
                                            timeout == 0 ? 3'600'000 : timeout);
       if (timeout > 0) budget->set_deadline_ms(static_cast<double>(timeout));
+      record.sink = sink;
       registry_.emplace(ticket, std::move(record));
       ++in_flight_;
       const std::lock_guard<std::mutex> counter_lock(counter_mutex_);
@@ -224,16 +267,86 @@ bool Server::handle_line(const std::string& line) {
     }
   }
   if (ticket == 0) {
-    emit(make_retryable(request->id, "admission", options_.retry_after_ms, {}));
+    emit(make_retryable(request->id, "admission", options_.retry_after_ms, {}), sink);
     return true;
   }
 
   const FaultInjector::RequestFaults faults = injector_.next_request_faults();
   if (faults.exhaust_budget) budget->cancel();
+
+  // Batched sweep dispatch: an installed interceptor takes custody of every
+  // admitted sweep (and later hands it back through submit_admitted_sweep /
+  // submit_sweep_group); everything else goes straight to the pool.
+  if (request->kind == Request::Kind::kSweep) {
+    const std::lock_guard<std::mutex> lock(interceptor_mutex_);
+    if (interceptor_) {
+      AdmittedSweep admitted;
+      admitted.request = *request;
+      admitted.ticket = ticket;
+      admitted.faults = faults;
+      admitted.group_key = sweep_group_key(*request);
+      interceptor_(std::move(admitted));
+      return true;
+    }
+  }
+
   pool_->submit([this, request = *request, ticket, faults] {
     execute(request, ticket, faults);
   });
   return true;
+}
+
+std::string Server::sweep_group_key(const Request& request) const {
+  // Grouping is keyed on the *canonical* problem (two paths to the same
+  // bytes batch together) + lift targets + family kind — members may differ
+  // in lo..hi, the group solve takes the union. Requests that would fail
+  // validation get no key and bounce through the per-request path.
+  std::string error;
+  const auto problem = load_problem_file(request.path, &error);
+  if (!problem) return {};
+  if (request.big_delta < problem->white_degree() ||
+      request.big_r < problem->black_degree()) {
+    return {};
+  }
+  const auto spec = parse_sweep_family_spec(request.family, request.big_delta,
+                                            request.big_r, &error);
+  if (!spec) return {};
+  char buf[96];
+  const CanonicalForm canonical = canonicalize(*problem);
+  std::snprintf(buf, sizeof(buf), "%016llx/%zu/%zu/%s",
+                static_cast<unsigned long long>(canonical.fingerprint),
+                request.big_delta, request.big_r,
+                spec->cycles ? "cycles" : "gadgets");
+  return buf;
+}
+
+void Server::submit_admitted_sweep(AdmittedSweep&& admitted) {
+  {
+    const std::lock_guard<std::mutex> lock(counter_mutex_);
+    ++counters_.sweep_single_dispatch;
+  }
+  pool_->submit([this, request = std::move(admitted.request),
+                 ticket = admitted.ticket, faults = admitted.faults] {
+    execute(request, ticket, faults);
+  });
+}
+
+void Server::submit_sweep_group(std::vector<AdmittedSweep>&& group) {
+  if (group.empty()) return;
+  if (group.size() == 1) {
+    submit_admitted_sweep(std::move(group.front()));
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(counter_mutex_);
+    ++counters_.sweep_batch_groups;
+    counters_.sweep_batch_requests += group.size();
+    counters_.sweep_batch_peak = std::max(
+        counters_.sweep_batch_peak, static_cast<std::uint64_t>(group.size()));
+  }
+  pool_->submit([this, group = std::move(group)]() mutable {
+    execute_sweep_group(std::move(group));
+  });
 }
 
 void Server::request_shutdown() {
@@ -334,6 +447,138 @@ void Server::execute(const Request& request, std::uint64_t ticket,
     }
   }
   finish_request(ticket, response);
+}
+
+void Server::execute_sweep_group(std::vector<AdmittedSweep> group) {
+  // Injected wedge, batched flavor: like the per-request path, sleep
+  // without polling any budget — the watchdog cancels around the group.
+  std::uint64_t delay_ms = 0;
+  for (const AdmittedSweep& a : group) {
+    delay_ms = std::max(delay_ms, a.faults.delay_ms);
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+
+  std::vector<std::shared_ptr<SearchBudget>> budgets(group.size());
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const auto it = registry_.find(group[i].ticket);
+      if (it != registry_.end()) budgets[i] = it->second.budget;
+    }
+  }
+
+  const auto shed = [&](std::size_t i) {
+    const BudgetConsumption consumed =
+        budgets[i] ? budgets[i]->consumption() : BudgetConsumption{};
+    finish_request(group[i].ticket, make_retryable(group[i].request.id, "",
+                                                   options_.retry_after_ms,
+                                                   consumed));
+  };
+
+  // The executor is the first member whose budget is still live; members
+  // already tripped (injected exhaustion, watchdog cancel, shutdown) are
+  // shed as retryable — a fault may delay a verdict, never flip one.
+  std::size_t executor = group.size();
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (budgets[i] && !budgets[i]->halted()) {
+      executor = i;
+      break;
+    }
+  }
+  if (executor == group.size()) {
+    for (std::size_t i = 0; i < group.size(); ++i) shed(i);
+    return;
+  }
+
+  const auto invalid_all = [&](const std::string& message) {
+    for (const AdmittedSweep& a : group) {
+      finish_request(a.ticket, make_invalid(a.request.id, message));
+    }
+  };
+
+  // Load and validate once off the executor: every member shares the group
+  // key, so the canonical problem, lift targets, and family kind agree.
+  const Request& lead = group[executor].request;
+  SearchBudget& budget = *budgets[executor];
+  std::string error;
+  const auto problem = load_problem_file(lead.path, &error);
+  if (!problem) {
+    invalid_all(error);
+    return;
+  }
+  std::vector<SweepGroupMember> members;
+  members.reserve(group.size());
+  bool cycles = false;
+  for (const AdmittedSweep& a : group) {
+    const auto spec = parse_sweep_family_spec(a.request.family, a.request.big_delta,
+                                              a.request.big_r, &error);
+    if (!spec) {
+      invalid_all(error);  // unreachable: the group key already parsed it
+      return;
+    }
+    cycles = spec->cycles;
+    members.push_back(SweepGroupMember{spec->lo, spec->hi});
+  }
+
+  LiftSweepOptions options;
+  options.incremental = true;
+  options.certify_cores = false;
+  options.budget = &budget;
+  const SweepGroupResult result = run_lift_sweep_group(
+      *problem, lead.big_delta, lead.big_r, cycles, members, options);
+  if (!result.lift_materialized) {
+    invalid_all("lift too large to materialize");
+    return;
+  }
+
+  char key_buf[96];
+  const CanonicalForm canonical = canonicalize(*problem);
+  std::snprintf(key_buf, sizeof(key_buf), "%016llx/%zu/%zu/",
+                static_cast<unsigned long long>(canonical.fingerprint),
+                lead.big_delta, lead.big_r);
+  const std::string group_size = std::to_string(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    // Shed members whose own budget tripped while the executor solved
+    // (watchdog cancel of an overdue member, injected exhaustion) — their
+    // retry contract stays exactly the per-request one.
+    if (i != executor && budgets[i] && budgets[i]->halted()) {
+      shed(i);
+      continue;
+    }
+    const std::vector<Verdict>& verdicts = result.member_verdicts[i];
+    bool exhausted = false;
+    for (const Verdict v : verdicts) exhausted = exhausted || v == Verdict::kExhausted;
+    BudgetConsumption consumed =
+        budgets[i] ? budgets[i]->consumption() : BudgetConsumption{};
+    if (i == executor) {
+      consumed.conflicts = std::max(consumed.conflicts, result.sweep.total_conflicts);
+    }
+    if (exhausted) {
+      if (consumed.reason == ExhaustReason::kNone) {
+        consumed.reason = ExhaustReason::kConflicts;
+      }
+      finish_request(group[i].ticket,
+                     make_retryable(group[i].request.id, "",
+                                    options_.retry_after_ms, consumed));
+      continue;
+    }
+    const std::string joined = join_verdicts(verdicts);
+    {
+      // Fully decided slices feed the memo exactly like budget-clean
+      // per-request sweeps, so later singletons replay them for free.
+      const std::lock_guard<std::mutex> lock(memo_mutex_);
+      sweep_memo_.emplace(std::string(key_buf) + group[i].request.family,
+                          SweepMemoEntry{joined, verdicts.size()});
+    }
+    finish_request(group[i].ticket,
+                   make_ok(group[i].request.id,
+                           "verdicts=" + joined + " supports=" +
+                               std::to_string(verdicts.size()) + " batch=" +
+                               group_size,
+                           consumed));
+  }
 }
 
 Response Server::run_sequence(const Request& request, SearchBudget& budget) {
@@ -579,7 +824,13 @@ void Server::finish_request(std::uint64_t ticket, const Response& response) {
       checkpoint_due = true;
     }
   }
-  emit(response);
+  Sink sink;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    const auto it = registry_.find(ticket);
+    if (it != registry_.end()) sink = it->second.sink;
+  }
+  emit(response, sink);
   if (checkpoint_due && checkpoints_.enabled()) {
     std::string error;
     checkpoints_.write(cache_, &injector_, &error);
@@ -610,13 +861,15 @@ std::string Server::stats_line() const {
     const std::lock_guard<std::mutex> lock(registry_mutex_);
     in_flight = in_flight_;
   }
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "stats received=%llu admitted=%llu admission_rejects=%llu completed=%llu "
       "ok=%llu invalid=%llu retryable=%llu corrupt=%llu budget_exhausted=%llu "
       "watchdog_cancels=%llu wedged_peak=%llu checkpoints_written=%llu "
-      "checkpoint_failures=%llu sweep_memo_hits=%llu cache_entries=%zu "
+      "checkpoint_failures=%llu sweep_memo_hits=%llu sweep_batch_groups=%llu "
+      "sweep_batch_requests=%llu sweep_batch_peak=%llu "
+      "sweep_single_dispatch=%llu cache_entries=%zu "
       "cache_hits=%llu cache_misses=%llu in_flight=%zu",
       static_cast<unsigned long long>(c.received),
       static_cast<unsigned long long>(c.admitted),
@@ -631,7 +884,11 @@ std::string Server::stats_line() const {
       static_cast<unsigned long long>(c.wedged_peak),
       static_cast<unsigned long long>(c.checkpoints_written),
       static_cast<unsigned long long>(c.checkpoint_failures),
-      static_cast<unsigned long long>(c.sweep_memo_hits), cache.entries,
+      static_cast<unsigned long long>(c.sweep_memo_hits),
+      static_cast<unsigned long long>(c.sweep_batch_groups),
+      static_cast<unsigned long long>(c.sweep_batch_requests),
+      static_cast<unsigned long long>(c.sweep_batch_peak),
+      static_cast<unsigned long long>(c.sweep_single_dispatch), cache.entries,
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses), in_flight);
   return buf;

@@ -308,6 +308,39 @@ def main(argv):
             f"rejects={serve['admission_rejects']}, recovered from "
             f"{serve['recovered_from']}, warm hits={serve['warm_cache_hits']}"
         )
+        # Hard gates (schema v9): the socket phase drives the same sweep
+        # workload over concurrent loopback connections through the batching
+        # dispatcher. Verdicts must reproduce the plain per-request run
+        # exactly, and the batcher must have actually coalesced concurrent
+        # sweeps (>= 1 group, peak group size >= 2). Throughput and the
+        # batched-vs-unbatched dispatch counts are reported, never gated.
+        socket = serve.get("socket")
+        base_socket = (base_serve or {}).get("socket")
+        if socket is None:
+            if base_socket is not None or serve.get("requests"):
+                rc |= fail("serve_demo.socket missing from current report")
+        else:
+            if not socket["verdicts_match"]:
+                rc |= fail(
+                    "serve_demo.socket: socket verdicts diverge from the "
+                    "plain per-request run"
+                )
+            if socket["batch_groups"] < 1:
+                rc |= fail("serve_demo.socket: no sweep group was batched")
+            if socket["batch_peak"] < 2:
+                rc |= fail(
+                    "serve_demo.socket: no group held more than one sweep "
+                    f"(batch_peak={socket['batch_peak']})"
+                )
+            print(
+                f"info: serve_demo.socket {socket['connections']} connections, "
+                f"{socket['requests']} sweeps @ "
+                f"{socket['requests_per_sec']:.0f} req/s (not gated): "
+                f"{socket['batch_groups']} group(s) of peak "
+                f"{socket['batch_peak']} covering "
+                f"{socket['batched_requests']} requests vs "
+                f"{socket['unbatched_dispatches']} unbatched dispatches"
+            )
     elif base_serve:
         rc |= fail("serve_demo missing from current report")
 
